@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark harnesses.
+ *
+ * Every harness prints the same rows/series the paper reports, next to
+ * the paper's own numbers where the paper states them. Absolute values
+ * differ (the substrate is a from-scratch simulator with synthetic
+ * SPEC-like workloads, see DESIGN.md); the shapes are the deliverable.
+ *
+ * The per-run instruction budget defaults to 200k and can be raised
+ * with the MOP_INSTS environment variable.
+ */
+
+#ifndef MOP_BENCH_BENCH_UTIL_HH
+#define MOP_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "sim/config.hh"
+#include "stats/table.hh"
+#include "trace/profiles.hh"
+
+namespace mop::bench
+{
+
+inline uint64_t
+insts()
+{
+    return sim::benchInsts(200000);
+}
+
+/** Cache of run results keyed by (bench, config fingerprint). */
+class Runner
+{
+  public:
+    pipeline::SimResult
+    run(const std::string &bench, const sim::RunConfig &cfg)
+    {
+        std::string key = bench + "/" + sim::machineName(cfg.machine) +
+                          "/iq" + std::to_string(cfg.iqEntries) + "/x" +
+                          std::to_string(cfg.extraStages) + "/d" +
+                          std::to_string(cfg.detectLatency) + "/f" +
+                          std::to_string(cfg.lastArrivalFilter) + "/i" +
+                          std::to_string(cfg.independentMops) + "/c" +
+                          std::to_string(cfg.cycleHeuristic) + "/m" +
+                          std::to_string(cfg.mopSize) + "/sd" +
+                          std::to_string(cfg.schedDepth);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        pipeline::SimResult r = sim::runBenchmark(bench, cfg, insts());
+        cache_[key] = r;
+        return r;
+    }
+
+    /** Base-machine IPC used for normalization. */
+    double
+    baseIpc(const std::string &bench, int iq_entries)
+    {
+        sim::RunConfig cfg;
+        cfg.machine = sim::Machine::Base;
+        cfg.iqEntries = iq_entries;
+        return run(bench, cfg).ipc;
+    }
+
+  private:
+    std::map<std::string, pipeline::SimResult> cache_;
+};
+
+} // namespace mop::bench
+
+#endif // MOP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's components:
+ * trace generation, MOP detection, wakeup-matrix operations, cache
+ * accesses, the scheduler loop, and end-to-end simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/characterize.hh"
+#include "core/mop_detector.hh"
+#include "mem/cache.hh"
+#include "sched/wired_or.hh"
+#include "sim/config.hh"
+#include "trace/profiles.hh"
+
+namespace
+{
+
+using namespace mop;
+
+void
+BM_SyntheticGeneration(benchmark::State &state)
+{
+    trace::SyntheticSource src(trace::profileFor("gzip"));
+    isa::MicroOp u;
+    for (auto _ : state) {
+        src.next(u);
+        benchmark::DoNotOptimize(u);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+void
+BM_MopDetectionStep(benchmark::State &state)
+{
+    trace::SyntheticSource src(trace::profileFor("gzip"));
+    std::vector<isa::MicroOp> uops(4096);
+    for (auto &u : uops)
+        src.next(u);
+    core::MopPointerCache cache;
+    core::DetectorParams params;
+    core::MopDetector det(params, cache);
+    uint64_t id = 0;
+    size_t i = 0;
+    for (auto _ : state) {
+        det.observe(uops[i % uops.size()], id);
+        ++i;
+        if (++id % 4 == 0)
+            det.endGroup(id / 4);
+    }
+    det.drain(~0ULL >> 1);
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_MopDetectionStep);
+
+void
+BM_WiredOrWakeup(benchmark::State &state)
+{
+    sched::WiredOrMatrix m(64);
+    for (int i = 0; i < 64; ++i) {
+        m.allocate(i);
+        if (i > 1) {
+            m.setDependence(i, i - 1);
+            m.setDependence(i, i - 2);
+        }
+    }
+    int line = 0;
+    for (auto _ : state) {
+        m.assertLine(line);
+        benchmark::DoNotOptimize(m.ready((line + 1) % 64));
+        m.deassertLine(line);
+        line = (line + 1) % 64;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_WiredOrWakeup);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::MemoryHierarchy hier;
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hier.dataAccess(addr, false));
+        addr = (addr + 4096) % (1 << 22);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DistanceCharacterization(benchmark::State &state)
+{
+    for (auto _ : state) {
+        trace::SyntheticSource src(trace::profileFor("bzip"));
+        auto r = analysis::characterizeDistance(src, 20000);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 20000);
+}
+BENCHMARK(BM_DistanceCharacterization);
+
+void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    // End-to-end simulated instructions per second for the machine
+    // configuration selected by the range argument.
+    sim::Machine machines[] = {sim::Machine::Base,
+                               sim::Machine::MopWiredOr};
+    sim::RunConfig cfg;
+    cfg.machine = machines[state.range(0)];
+    cfg.iqEntries = 32;
+    uint64_t total = 0;
+    for (auto _ : state) {
+        auto r = sim::runBenchmark("gzip", cfg, 20000);
+        total += r.insts;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(int64_t(total));
+}
+BENCHMARK(BM_PipelineSimulation)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

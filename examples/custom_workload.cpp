@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Build a custom synthetic workload and sweep the issue-queue size:
+ * shows how to use WorkloadProfile directly, and reproduces in
+ * miniature the scalability story of Figure 15 — macro-op scheduling
+ * buys effective window capacity because two instructions share one
+ * entry.
+ */
+
+#include <iostream>
+
+#include "sim/config.hh"
+#include "stats/table.hh"
+#include "trace/profiles.hh"
+#include "trace/synthetic.hh"
+
+int
+main()
+{
+    using namespace mop;
+
+    // An interpreter-like workload: one long serial recurrence per
+    // block, tight dependence distances, a warm data set.
+    trace::WorkloadProfile prof;
+    prof.name = "custom-interp";
+    prof.seed = 42;
+    prof.numBlocks = 200;
+    prof.avgBlockLen = 10;
+    prof.inductionChainLen = 3;
+    prof.inductionRegs = 2;
+    prof.depDistPmf = trace::makeDistancePmf(0.35, 0.05);
+    prof.loadFrac = 0.18;
+    prof.storeFrac = 0.10;
+    prof.memFootprintKB = 64;
+    prof.randomBranchFrac = 0.03;
+    prof.takenBias = 0.95;
+
+    stats::Table t("Custom workload: IPC vs issue-queue size");
+    t.setColumns({"IQ entries", "base", "2-cycle", "MOP-wiredOR",
+                  "MOP avg occupancy"});
+    for (int iq : {8, 16, 24, 32, 64, 0}) {
+        std::vector<std::string> row = {
+            iq == 0 ? "unrestricted" : std::to_string(iq)};
+        double mop_occ = 0;
+        for (auto m : {sim::Machine::Base, sim::Machine::TwoCycle,
+                       sim::Machine::MopWiredOr}) {
+            trace::SyntheticSource src(prof);
+            sim::RunConfig cfg;
+            cfg.machine = m;
+            cfg.iqEntries = iq;
+            pipeline::OooCore core(sim::makeCoreParams(cfg), src);
+            pipeline::SimResult r = core.run(100000);
+            row.push_back(stats::Table::fmt(r.ipc, 3));
+            if (m == sim::Machine::MopWiredOr)
+                mop_occ = r.avgIqOccupancy;
+        }
+        row.push_back(stats::Table::fmt(mop_occ, 1));
+        t.addRow(row);
+    }
+    t.setFootnote("Two grouped instructions share one entry: the MOP "
+                  "machine behaves like a conventional one with a "
+                  "larger queue.");
+    t.print(std::cout);
+    return 0;
+}

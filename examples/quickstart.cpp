@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: assemble a small program, run it through the base and
+ * macro-op machines, and look at what grouping did.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "prog/interpreter.hh"
+#include "prog/kernels.hh"
+#include "sim/config.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace mop;
+
+    // A classic serial dependence chain: Fibonacci. Every add depends
+    // on the previous one, so the scheduling loop's latency is fully
+    // exposed -- ideal ground for macro-op scheduling.
+    std::string source = prog::kernelSource("fib");
+    std::cout << "Running the 'fib' kernel (serial dependence chain)\n";
+
+    stats::Table t("fib on three scheduler configurations");
+    t.setColumns({"machine", "cycles", "IPC", "grouped insts",
+                  "IQ entries used"});
+
+    for (auto m : {sim::Machine::Base, sim::Machine::TwoCycle,
+                   sim::Machine::MopWiredOr}) {
+        prog::Interpreter interp(prog::assemble(source));
+        sim::RunConfig cfg;
+        cfg.machine = m;
+        cfg.iqEntries = 32;
+        pipeline::OooCore core(sim::makeCoreParams(cfg), interp);
+        pipeline::SimResult r = core.run(1'000'000);
+        t.addRow({sim::machineName(m), std::to_string(r.cycles),
+                  stats::Table::fmt(r.ipc),
+                  stats::Table::pct(r.groupedFrac()),
+                  std::to_string(r.iqEntriesInserted)});
+    }
+    t.setFootnote(
+        "2-cycle scheduling pays a bubble between dependent adds; "
+        "macro-op scheduling fuses pairs and wins most of it back.");
+    t.print(std::cout);
+
+    // Functional correctness does not depend on the scheduler: the
+    // interpreter computes fib(24) either way.
+    prog::Interpreter check(prog::assemble(source));
+    check.runToHalt();
+    std::cout << "\nArchitectural result: r1 = " << check.reg(1)
+              << " (fib(24) = 46368)\n";
+    return 0;
+}

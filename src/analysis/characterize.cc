@@ -1,0 +1,210 @@
+#include "analysis/characterize.hh"
+
+#include <array>
+#include <vector>
+
+namespace mop::analysis
+{
+
+namespace
+{
+
+/** Instruction-level view: store micro-op pairs merged into one record
+ *  (the paper counts each store once, as its address generation). */
+struct InsnRec
+{
+    isa::OpClass op = isa::OpClass::Nop;
+    int16_t dst = isa::kNoReg;
+    /** Sources that form groupable (candidate) dependences: for a
+     *  store, the address register only. */
+    std::array<int16_t, 2> candSrc = {isa::kNoReg, isa::kNoReg};
+    /** All sources, including a store's data register. */
+    std::array<int16_t, 3> allSrc = {isa::kNoReg, isa::kNoReg,
+                                     isa::kNoReg};
+
+    bool isCandidate() const { return isa::opIsMopCandidate(op); }
+    bool
+    isValueGenCandidate() const
+    {
+        return isCandidate() && dst != isa::kNoReg;
+    }
+};
+
+/** Read up to @p max_insts merged instruction records. */
+std::vector<InsnRec>
+collect(trace::TraceSource &src, uint64_t max_insts)
+{
+    std::vector<InsnRec> out;
+    out.reserve(size_t(max_insts));
+    isa::MicroOp u;
+    while (out.size() < max_insts && src.next(u)) {
+        if (u.op == isa::OpClass::Nop)
+            continue;
+        if (!u.firstUop) {
+            // StoreData half: fold its source into the store record.
+            if (!out.empty())
+                out.back().allSrc[2] = u.src[0];
+            continue;
+        }
+        InsnRec r;
+        r.op = u.op;
+        r.dst = u.dst;
+        r.candSrc = u.src;
+        r.allSrc = {u.src[0], u.src[1], isa::kNoReg};
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace
+
+DistanceResult
+characterizeDistance(trace::TraceSource &src, uint64_t max_insts)
+{
+    std::vector<InsnRec> insns = collect(src, max_insts);
+    DistanceResult res;
+    res.totalInsts = insns.size();
+
+    struct Pending
+    {
+        int64_t idx = -1;
+        bool anyConsumer = false;
+        bool resolved = false;
+    };
+    std::array<Pending, isa::kNumLogicalRegs> pend{};
+
+    auto finalize = [&](Pending &p) {
+        if (p.idx < 0)
+            return;
+        if (!p.resolved) {
+            if (p.anyConsumer)
+                ++res.notCandidate;
+            else
+                ++res.dead;
+        }
+        p = Pending{};
+    };
+
+    for (size_t i = 0; i < insns.size(); ++i) {
+        const InsnRec &r = insns[i];
+        // Consumer side: any read keeps the producer "live"; a read by
+        // a candidate through a groupable operand resolves the bucket.
+        for (int16_t reg : r.allSrc) {
+            if (reg == isa::kNoReg)
+                continue;
+            Pending &p = pend[size_t(reg)];
+            if (p.idx < 0)
+                continue;
+            p.anyConsumer = true;
+            if (p.resolved || !r.isCandidate())
+                continue;
+            bool groupable_edge = r.candSrc[0] == reg ||
+                                  r.candSrc[1] == reg;
+            if (!groupable_edge)
+                continue;
+            int64_t dist = int64_t(i) - p.idx;
+            if (dist <= 3)
+                ++res.dist1to3;
+            else if (dist <= 7)
+                ++res.dist4to7;
+            else
+                ++res.dist8plus;
+            p.resolved = true;
+        }
+        // Producer side.
+        if (r.dst != isa::kNoReg) {
+            Pending &p = pend[size_t(r.dst)];
+            finalize(p);
+            if (r.isValueGenCandidate()) {
+                ++res.valueGenCands;
+                p.idx = int64_t(i);
+            }
+        }
+    }
+    for (auto &p : pend)
+        finalize(p);
+    return res;
+}
+
+GroupingResult
+characterizeGrouping(trace::TraceSource &src, uint64_t max_insts,
+                     int max_mop_size, int scope)
+{
+    std::vector<InsnRec> insns = collect(src, max_insts);
+    const size_t n = insns.size();
+    GroupingResult res;
+    res.totalInsts = n;
+
+    // Producer index of each groupable source (rename semantics).
+    std::vector<std::array<int64_t, 2>> prod(n, {-1, -1});
+    {
+        std::array<int64_t, isa::kNumLogicalRegs> last_writer;
+        last_writer.fill(-1);
+        for (size_t i = 0; i < n; ++i) {
+            for (int s = 0; s < 2; ++s) {
+                int16_t reg = insns[i].candSrc[size_t(s)];
+                if (reg != isa::kNoReg)
+                    prod[i][size_t(s)] = last_writer[size_t(reg)];
+            }
+            if (insns[i].dst != isa::kNoReg)
+                last_writer[size_t(insns[i].dst)] = int64_t(i);
+        }
+    }
+
+    std::vector<bool> claimed(n, false);
+    auto grouped_count = [&](size_t i) {
+        if (insns[i].isValueGenCandidate())
+            ++res.groupedValueGen;
+        else
+            ++res.groupedNonValueGen;
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        if (claimed[i] || !insns[i].isValueGenCandidate())
+            continue;
+        // Greedy chain: repeatedly attach the nearest unclaimed
+        // dependent candidate within the scope of the chain head.
+        size_t cur = i;
+        int chain = 1;
+        while (chain < max_mop_size) {
+            size_t limit = std::min(n, i + size_t(scope));
+            size_t next = 0;
+            bool found = false;
+            for (size_t j = cur + 1; j < limit; ++j) {
+                if (claimed[j] || !insns[j].isCandidate())
+                    continue;
+                if (prod[j][0] == int64_t(cur) ||
+                    prod[j][1] == int64_t(cur)) {
+                    next = j;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                break;
+            if (chain == 1) {
+                claimed[i] = true;
+                grouped_count(i);
+                ++res.groups;
+            }
+            claimed[next] = true;
+            grouped_count(next);
+            ++chain;
+            cur = next;
+            if (!insns[cur].isValueGenCandidate())
+                break;  // a tail with no destination ends the chain
+        }
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        if (claimed[i])
+            continue;
+        if (insns[i].isCandidate())
+            ++res.candNotGrouped;
+        else
+            ++res.notCandidate;
+    }
+    return res;
+}
+
+} // namespace mop::analysis

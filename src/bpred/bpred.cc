@@ -1,0 +1,155 @@
+#include "bpred/bpred.hh"
+
+namespace mop::bpred
+{
+
+BranchPredictor::BranchPredictor(const BpredParams &p)
+    : params_(p),
+      bimodal_(p.bimodalEntries),
+      gshare_(p.gshareEntries),
+      selector_(p.selectorEntries),
+      btb_(p.btbEntries),
+      ras_(p.rasEntries, 0)
+{
+}
+
+uint32_t
+BranchPredictor::bimodalIndex(uint64_t pc) const
+{
+    return uint32_t((pc >> 2) % params_.bimodalEntries);
+}
+
+uint32_t
+BranchPredictor::gshareIndex(uint64_t pc) const
+{
+    return uint32_t(((pc >> 2) ^ ghr_) % params_.gshareEntries);
+}
+
+uint32_t
+BranchPredictor::selectorIndex(uint64_t pc) const
+{
+    return uint32_t((pc >> 2) % params_.selectorEntries);
+}
+
+BranchPredictor::BtbEntry *
+BranchPredictor::btbLookup(uint64_t pc)
+{
+    uint32_t sets = params_.btbEntries / params_.btbAssoc;
+    uint32_t set = uint32_t((pc >> 2) % sets);
+    BtbEntry *base = &btb_[size_t(set) * params_.btbAssoc];
+    for (uint32_t w = 0; w < params_.btbAssoc; ++w)
+        if (base[w].valid && base[w].pc == pc)
+            return &base[w];
+    return nullptr;
+}
+
+Prediction
+BranchPredictor::predictBranch(uint64_t pc)
+{
+    ++lookups_;
+    Prediction pr;
+    pr.ghrSnapshot = ghr_;
+    bool bim = bimodal_[bimodalIndex(pc)].taken();
+    bool gsh = gshare_[gshareIndex(pc)].taken();
+    pr.usedGshare = selector_[selectorIndex(pc)].taken();
+    pr.taken = pr.usedGshare ? gsh : bim;
+    if (BtbEntry *e = btbLookup(pc)) {
+        pr.btbHit = true;
+        pr.target = e->target;
+        e->lastUse = ++useClock_;
+    }
+    // Speculative history update; corrected on mispredict via update().
+    ghr_ = uint16_t((ghr_ << 1) | uint16_t(pr.taken));
+    return pr;
+}
+
+Prediction
+BranchPredictor::predictJump(uint64_t pc)
+{
+    Prediction pr;
+    pr.taken = true;
+    if (BtbEntry *e = btbLookup(pc)) {
+        pr.btbHit = true;
+        pr.target = e->target;
+        e->lastUse = ++useClock_;
+    }
+    return pr;
+}
+
+void
+BranchPredictor::pushRas(uint64_t return_pc)
+{
+    ras_[rasTop_] = return_pc;
+    rasTop_ = (rasTop_ + 1) % ras_.size();
+}
+
+uint64_t
+BranchPredictor::popRas()
+{
+    rasTop_ = (rasTop_ + ras_.size() - 1) % ras_.size();
+    return ras_[rasTop_];
+}
+
+void
+BranchPredictor::update(uint64_t pc, bool taken, uint64_t target,
+                        const Prediction &pred)
+{
+    // Train direction tables using the history the prediction saw.
+    uint32_t g_idx =
+        uint32_t(((pc >> 2) ^ pred.ghrSnapshot) % params_.gshareEntries);
+    bool bim_correct = bimodal_[bimodalIndex(pc)].taken() == taken;
+    bool gsh_correct = gshare_[g_idx].taken() == taken;
+    bimodal_[bimodalIndex(pc)].train(taken);
+    gshare_[g_idx].train(taken);
+    if (bim_correct != gsh_correct)
+        selector_[selectorIndex(pc)].train(gsh_correct);
+    if (pred.taken != taken) {
+        ++dirMispredicts_;
+        // Repair the speculatively-updated global history.
+        ghr_ = uint16_t((pred.ghrSnapshot << 1) | uint16_t(taken));
+    }
+
+    if (taken)
+        updateBtb(pc, target);
+}
+
+void
+BranchPredictor::updateBtb(uint64_t pc, uint64_t target)
+{
+    {
+        if (BtbEntry *e = btbLookup(pc)) {
+            e->target = target;
+            e->lastUse = ++useClock_;
+        } else {
+            // Allocate: LRU within the set.
+            uint32_t sets = params_.btbEntries / params_.btbAssoc;
+            uint32_t set = uint32_t((pc >> 2) % sets);
+            BtbEntry *base = &btb_[size_t(set) * params_.btbAssoc];
+            BtbEntry *victim = &base[0];
+            for (uint32_t w = 0; w < params_.btbAssoc; ++w) {
+                if (!base[w].valid) {
+                    victim = &base[w];
+                    break;
+                }
+                if (base[w].lastUse < victim->lastUse)
+                    victim = &base[w];
+            }
+            *victim = {pc, target, true, ++useClock_};
+        }
+    }
+}
+
+void
+BranchPredictor::addStats(stats::StatGroup &g) const
+{
+    g.addFormula("bpred.lookups", [this]() { return double(lookups_); },
+                 "conditional branch predictions");
+    g.addFormula("bpred.dirMispredicts",
+                 [this]() { return double(dirMispredicts_); },
+                 "direction mispredictions");
+    g.addFormula("bpred.mispredictRate", [this]() {
+        return lookups_ ? double(dirMispredicts_) / double(lookups_) : 0.0;
+    }, "direction misprediction rate");
+}
+
+} // namespace mop::bpred

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Branch prediction: combined bimodal/gshare with a selector, a set
+ * associative BTB and a return-address stack (Table 1 of the paper).
+ */
+
+#ifndef MOP_BPRED_BPRED_HH
+#define MOP_BPRED_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace mop::bpred
+{
+
+/** Saturating 2-bit counter helper. */
+class Counter2
+{
+  public:
+    bool taken() const { return v_ >= 2; }
+    void train(bool t) { v_ = t ? (v_ < 3 ? v_ + 1 : 3) : (v_ > 0 ? v_ - 1 : 0); }
+    void init(uint8_t v) { v_ = v; }
+
+  private:
+    uint8_t v_ = 2;  // weakly taken
+};
+
+struct BpredParams
+{
+    uint32_t bimodalEntries = 4096;
+    uint32_t gshareEntries = 4096;
+    uint32_t selectorEntries = 4096;
+    uint32_t btbEntries = 1024;
+    uint32_t btbAssoc = 4;
+    uint32_t rasEntries = 16;
+};
+
+/** Direction + target prediction outcome. */
+struct Prediction
+{
+    bool taken = false;
+    bool btbHit = false;
+    uint64_t target = 0;
+    bool usedGshare = false;  // for selector training
+    uint16_t ghrSnapshot = 0;
+};
+
+/**
+ * Combined predictor: a per-branch bimodal table and a global-history
+ * gshare table arbitrated by a selector table indexed by PC.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BpredParams &p = {});
+
+    /** Predict a conditional branch at @p pc. */
+    Prediction predictBranch(uint64_t pc);
+
+    /** Predict an unconditional direct/indirect jump target via BTB. */
+    Prediction predictJump(uint64_t pc);
+
+    /** Push a return address (calls). */
+    void pushRas(uint64_t return_pc);
+    /** Pop the RAS (returns). Returns 0 if empty. */
+    uint64_t popRas();
+
+    /**
+     * Train tables with the actual outcome and update the BTB.
+     * @p pred is the prediction that was made at fetch.
+     */
+    void update(uint64_t pc, bool taken, uint64_t target,
+                const Prediction &pred);
+
+    /** Update only the BTB (unconditional jumps: no direction). */
+    void updateBtb(uint64_t pc, uint64_t target);
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t dirMispredicts() const { return dirMispredicts_; }
+
+    void addStats(stats::StatGroup &g) const;
+
+  private:
+    struct BtbEntry
+    {
+        uint64_t pc = 0;
+        uint64_t target = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    uint32_t bimodalIndex(uint64_t pc) const;
+    uint32_t gshareIndex(uint64_t pc) const;
+    uint32_t selectorIndex(uint64_t pc) const;
+    BtbEntry *btbLookup(uint64_t pc);
+
+    BpredParams params_;
+    std::vector<Counter2> bimodal_;
+    std::vector<Counter2> gshare_;
+    std::vector<Counter2> selector_;  // taken => use gshare
+    std::vector<BtbEntry> btb_;
+    std::vector<uint64_t> ras_;
+    size_t rasTop_ = 0;
+    uint16_t ghr_ = 0;
+    uint64_t useClock_ = 0;
+    uint64_t lookups_ = 0;
+    uint64_t dirMispredicts_ = 0;
+};
+
+} // namespace mop::bpred
+
+#endif // MOP_BPRED_BPRED_HH

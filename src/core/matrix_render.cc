@@ -1,0 +1,62 @@
+#include "core/matrix_render.hh"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace mop::core
+{
+
+std::string
+renderMatrix(const std::vector<MatrixSlot> &window)
+{
+    const size_t n = window.size();
+    // Rename semantics: a source names its most recent in-window writer.
+    std::vector<std::array<int, 2>> prod(n, {-1, -1});
+    std::unordered_map<int16_t, int> last_writer;
+    for (size_t k = 0; k < n; ++k) {
+        const isa::MicroOp &u = window[k].u;
+        for (int s = 0; s < 2; ++s) {
+            int16_t r = u.src[size_t(s)];
+            if (r == isa::kNoReg)
+                continue;
+            auto it = last_writer.find(r);
+            if (it != last_writer.end())
+                prod[k][size_t(s)] = it->second;
+        }
+        if (u.hasDst())
+            last_writer[u.dst] = int(k);
+    }
+
+    std::ostringstream os;
+    os << "       ";
+    for (size_t c = 0; c < n; ++c)
+        os << " I" << c + 1;
+    os << "\n";
+    for (size_t r = 0; r < n; ++r) {
+        const MatrixSlot &slot = window[r];
+        std::string tag = slot.head ? "H" : slot.tail ? "T"
+                          : !slot.u.isMopCandidate() ? "x"
+                                                     : " ";
+        os << "  I" << r + 1 << (r + 1 < 10 ? " " : "") << tag << " ";
+        for (size_t c = 0; c < n; ++c) {
+            if (c >= r) {
+                os << "  .";
+                continue;
+            }
+            bool dep = prod[r][0] == int(c) || prod[r][1] == int(c);
+            if (dep)
+                os << "  " << slot.u.numSrcs();
+            else
+                os << "   ";
+        }
+        os << "  " << isa::opClassName(slot.u.op);
+        if (slot.u.hasDst())
+            os << " r" << slot.u.dst;
+        os << "\n";
+    }
+    os << "  (H=head T=tail x=not a candidate; a digit marks a "
+          "dependence,\n   its value is the consumer's source count)\n";
+    return os.str();
+}
+
+} // namespace mop::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Textual rendering of the MOP-detection dependence matrix (Figure 9).
+ *
+ * Produces the triangular matrix the paper draws: one row/column per
+ * micro-op in the detection window, a "1" or "2" mark where the row's
+ * op depends on the column's op (the digit is the consumer's source
+ * count), `inval` flags for non-candidates, and the head/tail flags of
+ * already-formed pairs. Purely pedagogical/diagnostic — used by the
+ * mop_walkthrough example and handy when debugging detection.
+ */
+
+#ifndef MOP_CORE_MATRIX_RENDER_HH
+#define MOP_CORE_MATRIX_RENDER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/uop.hh"
+
+namespace mop::core
+{
+
+/** One window slot with its detection flags. */
+struct MatrixSlot
+{
+    isa::MicroOp u;
+    bool head = false;
+    bool tail = false;
+};
+
+/** Render the dependence matrix of a detection window. */
+std::string renderMatrix(const std::vector<MatrixSlot> &window);
+
+} // namespace mop::core
+
+#endif // MOP_CORE_MATRIX_RENDER_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * MOP detection logic (Section 5.1).
+ *
+ * The detector sits outside the processor's critical path and watches
+ * the decoded micro-op stream in rename-width groups. It keeps a
+ * two-group window (8 micro-ops on the 4-wide machine) represented as
+ * the triangular dependence matrix of Figure 9: for each potential MOP
+ * head (a value-generating single-cycle candidate) it scans the
+ * column of dependence marks below it and selects the first admissible
+ * consumer as the MOP tail, emitting a MOP pointer.
+ *
+ * A dependence mark carries the consumer's source-operand count ("1"
+ * or "2"). The conservative cycle heuristic of Figure 8(c) is encoded
+ * exactly as in the paper: a "2" mark may only be selected when it is
+ * the first mark in the column — i.e. the head must not have an
+ * earlier outgoing edge when the candidate tail has another incoming
+ * edge. For the ablation study the heuristic can be replaced by
+ * precise cycle detection over the window's merged-node graph.
+ *
+ * After the dependent pass, unclaimed candidate pairs with identical
+ * (producer-aware) source operands are grouped as independent MOPs
+ * (Section 5.4.1).
+ *
+ * Pointers become visible in the pointer cache only after the
+ * configurable detection latency (3 cycles by default; Section 6.2
+ * shows even 100 cycles barely matters because pointers are reused).
+ */
+
+#ifndef MOP_CORE_MOP_DETECTOR_HH
+#define MOP_CORE_MOP_DETECTOR_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/mop_pointer.hh"
+#include "isa/uop.hh"
+#include "sched/types.hh"
+
+namespace mop::core
+{
+
+struct DetectorParams
+{
+    int groupWidth = 4;        ///< rename width (group size)
+    /** CAM-style wakeup: the grouped pair's source union must fit two
+     *  tag comparators. Wired-OR allows three (Section 3.1). */
+    bool camRestrict = true;
+    bool independentMops = true;
+    bool cycleHeuristic = true; ///< false = precise detection (ablation)
+    /// Maximum MOP size formation may build (Section 4.3). Above 2,
+    /// detection lets a MOP tail carry its own pointer to the next
+    /// chain link (one pointer per instruction, Section 5.1.3).
+    int maxMopSize = 2;
+    int detectLatency = 3;      ///< cycles until the pointer is visible
+    int maxOffset = 7;          ///< 3-bit pointer offset
+};
+
+class MopDetector
+{
+  public:
+    MopDetector(const DetectorParams &params, MopPointerCache &cache);
+
+    /** Feed one decoded micro-op (dense post-decode id @p dyn_id). */
+    void observe(const isa::MicroOp &u, uint64_t dyn_id);
+
+    /** Close the current group (one rename cycle) at @p now and run a
+     *  detection step over the two-group window. */
+    void endGroup(sched::Cycle now);
+
+    /** Write out pointers whose detection latency has elapsed. */
+    void drain(sched::Cycle now);
+
+    uint64_t dependentPairs() const { return dependentPairs_; }
+    uint64_t independentPairs() const { return independentPairs_; }
+    uint64_t cycleRejects() const { return cycleRejects_; }
+    uint64_t budgetRejects() const { return budgetRejects_; }
+    uint64_t ctrlRejects() const { return ctrlRejects_; }
+
+  private:
+    struct Item
+    {
+        isa::MicroOp u;
+        uint64_t dynId = 0;
+        bool head = false;
+        bool tail = false;
+    };
+
+    /** Producer-aware operand identity: within-window producer index,
+     *  or the (negative-offset) register name for external values. */
+    struct SrcId
+    {
+        int prod = -1;   ///< window index of producer, -1 if external
+        int16_t reg = isa::kNoReg;
+
+        bool
+        operator==(const SrcId &o) const
+        {
+            return prod == o.prod && reg == o.reg;
+        }
+    };
+
+    void detectStep(sched::Cycle now);
+    bool controlPathOk(const std::vector<Item> &win, int i, int j,
+                       bool &ctrl) const;
+    bool sourceBudgetOk(int i, int j) const;
+    bool preciseCycleFree(const std::vector<Item> &win, int i,
+                          int j) const;
+    void emitPointer(std::vector<Item> &win, int i, int j,
+                     bool independent, bool ctrl, sched::Cycle now);
+
+    DetectorParams params_;
+    MopPointerCache &cache_;
+
+    std::vector<Item> prev_;
+    std::vector<Item> cur_;
+    sched::Cycle lastNow_ = 0;
+
+    // Per-step scratch, indexed by window position.
+    std::vector<std::array<SrcId, 2>> srcIds_;
+    std::vector<int> pairOf_;  ///< window partner or -1 (precise mode)
+
+    struct PendingWrite
+    {
+        sched::Cycle visible;
+        uint64_t pc;
+        MopPointer ptr;
+    };
+    std::deque<PendingWrite> pending_;
+
+    uint64_t dependentPairs_ = 0;
+    uint64_t independentPairs_ = 0;
+    uint64_t cycleRejects_ = 0;
+    uint64_t budgetRejects_ = 0;
+    uint64_t ctrlRejects_ = 0;
+};
+
+} // namespace mop::core
+
+#endif // MOP_CORE_MOP_DETECTOR_HH

@@ -1,0 +1,156 @@
+#include "core/mop_formation.hh"
+
+#include <algorithm>
+
+namespace mop::core
+{
+
+MopFormation::MopFormation(bool grouping_enabled, MopPointerCache &cache,
+                           int max_mop_size)
+    : enabled_(grouping_enabled), cache_(cache),
+      maxMopSize_(max_mop_size)
+{
+    table_.fill(sched::kNoTag);
+}
+
+sched::Tag
+MopFormation::translateSrc(int16_t reg) const
+{
+    if (reg == isa::kNoReg || reg == isa::kZeroReg ||
+        reg == isa::kFpZeroReg) {
+        return sched::kNoTag;
+    }
+    return table_[size_t(reg)];
+}
+
+FormOutcome
+MopFormation::process(const isa::MicroOp &u, uint64_t dyn_id)
+{
+    FormOutcome out;
+    out.src = {translateSrc(u.src[0]), translateSrc(u.src[1])};
+
+    // 1. Is this µop the expected tail of a pending head?
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->tailDynId != dyn_id)
+            continue;
+        PendingHead p = *it;
+        pending_.erase(it);
+        if (u.pc == p.tailPc && u.isMopCandidate() && p.entry >= 0) {
+            out.role = FormOutcome::Role::Tail;
+            out.headEntry = p.entry;
+            out.headDynId = p.headDynId;
+            out.independent = p.independent;
+            out.dst = p.mopTag;
+            if (u.hasDst())
+                table_[size_t(u.dst)] = p.mopTag;
+            ++groupsFormed_;
+            if (p.independent)
+                ++independentFormed_;
+            // Chain extension: this link's own pointer names the next
+            // one, and the entry has room (Section 4.3).
+            if (p.sizeSoFar + 1 < maxMopSize_) {
+                MopPointer next = cache_.lookup(u.pc);
+                bool ok = next.valid() && next.chainSafe;
+                uint64_t next_tail = dyn_id + next.offset;
+                for (const auto &q : pending_)
+                    ok = ok && q.tailDynId != next_tail;
+                if (ok) {
+                    pending_.push_back(PendingHead{
+                        p.headDynId, next_tail, next.tailPc, p.mopTag,
+                        p.entry, 0, false, p.sizeSoFar + 1});
+                    out.moreExpected = true;
+                }
+            }
+            return out;
+        }
+        // Control flow diverged from the pointer's expectation: do not
+        // group with an unexpected instruction (Section 5.2.1). The
+        // head's entry loses its pending bit and issues solo.
+        ++verifyFails_;
+        out.clearPendingEntry = p.entry;
+        break;
+    }
+
+    // 2. Does this µop start a MOP (valid pointer fetched with it)?
+    if (enabled_) {
+        MopPointer ptr = cache_.lookup(u.pc);
+        bool eligible = ptr.valid() && u.isMopCandidate() &&
+                        (ptr.independent || u.isValueGenCandidate());
+        if (eligible) {
+            uint64_t tail_id = dyn_id + ptr.offset;
+            for (const auto &p : pending_)
+                eligible = eligible && p.tailDynId != tail_id;
+        }
+        if (eligible) {
+            out.role = FormOutcome::Role::Head;
+            out.independent = ptr.independent;
+            sched::Tag m = freshTag();
+            out.dst = m;  // the MOP's scheduling tag, even for heads
+                          // with no architectural destination
+            if (u.hasDst())
+                table_[size_t(u.dst)] = m;
+            pending_.push_back(PendingHead{dyn_id, dyn_id + ptr.offset,
+                                           ptr.tailPc, m, -1, 0,
+                                           ptr.independent});
+            return out;
+        }
+    }
+
+    // 3. Ordinary instruction: fresh tag per destination.
+    out.role = FormOutcome::Role::Single;
+    if (u.hasDst()) {
+        sched::Tag t = freshTag();
+        table_[size_t(u.dst)] = t;
+        out.dst = t;
+    }
+    return out;
+}
+
+void
+MopFormation::setHeadEntry(uint64_t head_dyn_id, int entry)
+{
+    for (auto &p : pending_)
+        if (p.headDynId == head_dyn_id)
+            p.entry = entry;
+}
+
+sched::Tag
+MopFormation::demoteTail(const isa::MicroOp &u, int entry)
+{
+    if (entry >= 0) {
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->entry == entry)
+                it = pending_.erase(it);
+            else
+                ++it;
+        }
+    }
+    ++demotions_;
+    sched::Tag t = sched::kNoTag;
+    if (u.hasDst()) {
+        t = freshTag();
+        table_[size_t(u.dst)] = t;
+    }
+    return t;
+}
+
+std::vector<int>
+MopFormation::groupBoundary()
+{
+    std::vector<int> expired;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (++it->groupAge > 1) {
+            // The tail is not in the same or the next insert group:
+            // abandon the pairing (Figure 11's policy).
+            if (it->entry >= 0)
+                expired.push_back(it->entry);
+            ++pendingExpired_;
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return expired;
+}
+
+} // namespace mop::core

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * MOP formation (Section 5.2): locating MOP pairs via pointers,
+ * translating register dependences into the MOP-ID name space, and the
+ * pending-bit insertion policy of Figure 11.
+ *
+ * The MOP translation table mirrors the register rename table but maps
+ * logical registers to MOP IDs; a single MOP ID is allocated to the
+ * two instructions named by a MOP pointer, so any consumer of either
+ * becomes a child of the MOP in the scheduler (Figure 10). Register
+ * renaming still proceeds in parallel and register values are accessed
+ * based on the original data dependences — in this simulator that
+ * half is represented by the per-µop producer tracking the pipeline
+ * uses for its dataflow-order invariant checks.
+ *
+ * This class also serves the non-MOP configurations: with grouping
+ * disabled it degenerates into a plain dependence renamer that assigns
+ * a fresh tag to every destination.
+ */
+
+#ifndef MOP_CORE_MOP_FORMATION_HH
+#define MOP_CORE_MOP_FORMATION_HH
+
+#include <array>
+#include <vector>
+
+#include "core/mop_pointer.hh"
+#include "isa/uop.hh"
+#include "sched/types.hh"
+
+namespace mop::core
+{
+
+/** Decision for one µop at the queue stage. */
+struct FormOutcome
+{
+    enum class Role : uint8_t
+    {
+        Single,  ///< own issue-queue entry
+        Head,    ///< MOP head: insert with the pending bit if the tail
+                 ///< is not in this insert group yet
+        Tail,    ///< joins the head's entry
+    };
+
+    Role role = Role::Single;
+    sched::Tag dst = sched::kNoTag;  ///< entry/broadcast tag
+    std::array<sched::Tag, 2> src = {sched::kNoTag, sched::kNoTag};
+    int headEntry = -1;      ///< Tail: issue-queue entry of the head
+    uint64_t headDynId = 0;  ///< Tail: dyn id of the head µop
+    bool independent = false;///< pair came from an independent pointer
+    /** Tail only: this link's own pointer extends the chain; the
+     *  entry must stay pending for the next link (MOP size > 2). */
+    bool moreExpected = false;
+    /** A pending head whose pairing was abandoned this µop (control
+     *  flow diverged); the caller must clearPending() this entry. */
+    int clearPendingEntry = -1;
+};
+
+class MopFormation
+{
+  public:
+    MopFormation(bool grouping_enabled, MopPointerCache &cache,
+                 int max_mop_size = 2);
+
+    /** Translate and classify one µop, in program order. */
+    FormOutcome process(const isa::MicroOp &u, uint64_t dyn_id);
+
+    /** The pipeline reports the issue-queue entry of an inserted head
+     *  (identified by the head µop's dyn id). */
+    void setHeadEntry(uint64_t head_dyn_id, int entry);
+
+    /**
+     * A tail failed to join (source-budget overflow or IQ state): give
+     * it a fresh tag instead and forget the pairing, including any
+     * chain links still expected on the same entry.
+     * @return the replacement destination tag (kNoTag if no dst).
+     */
+    sched::Tag demoteTail(const isa::MicroOp &u, int entry = -1);
+
+    /**
+     * Advance one insert-group boundary. Pending heads whose tail did
+     * not arrive within the next group are abandoned (Figure 11);
+     * their issue-queue entries, returned here, must get
+     * clearPending() from the caller.
+     */
+    std::vector<int> groupBoundary();
+
+    /** Fresh tag in the MOP-ID name space. */
+    sched::Tag freshTag() { return next_++; }
+
+    uint64_t groupsFormed() const { return groupsFormed_; }
+    uint64_t independentFormed() const { return independentFormed_; }
+    uint64_t pendingExpired() const { return pendingExpired_; }
+    uint64_t verifyFails() const { return verifyFails_; }
+    uint64_t demotions() const { return demotions_; }
+
+    bool groupingEnabled() const { return enabled_; }
+
+  private:
+    struct PendingHead
+    {
+        uint64_t headDynId = 0;
+        uint64_t tailDynId = 0;
+        uint64_t tailPc = 0;
+        sched::Tag mopTag = sched::kNoTag;
+        int entry = -1;
+        int groupAge = 0;
+        bool independent = false;
+        int sizeSoFar = 1;  ///< ops already in the entry
+    };
+
+    sched::Tag translateSrc(int16_t reg) const;
+
+    bool enabled_;
+    MopPointerCache &cache_;
+    int maxMopSize_;
+    sched::Tag next_ = 0;
+    std::array<sched::Tag, isa::kNumLogicalRegs> table_;
+    std::vector<PendingHead> pending_;
+
+    uint64_t groupsFormed_ = 0;
+    uint64_t independentFormed_ = 0;
+    uint64_t pendingExpired_ = 0;
+    uint64_t verifyFails_ = 0;
+    uint64_t demotions_ = 0;
+};
+
+} // namespace mop::core
+
+#endif // MOP_CORE_MOP_FORMATION_HH

@@ -1,0 +1,52 @@
+#include "core/mop_pointer.hh"
+
+namespace mop::core
+{
+
+MopPointer
+MopPointerCache::lookup(uint64_t pc) const
+{
+    auto it = map_.find(pc);
+    return it == map_.end() ? MopPointer{} : it->second;
+}
+
+void
+MopPointerCache::write(uint64_t pc, const MopPointer &p)
+{
+    if (!p.valid())
+        return;
+    if (isExcluded(pc, p.offset))
+        return;
+    map_[pc] = p;
+    ++writes_;
+}
+
+void
+MopPointerCache::deleteAndExclude(uint64_t pc)
+{
+    auto it = map_.find(pc);
+    if (it == map_.end())
+        return;
+    excluded_[pc] |= uint8_t(1u << (it->second.offset & 7));
+    map_.erase(it);
+    ++filterDeletions_;
+}
+
+bool
+MopPointerCache::isExcluded(uint64_t pc, uint8_t offset) const
+{
+    auto it = excluded_.find(pc);
+    return it != excluded_.end() && (it->second >> (offset & 7)) & 1;
+}
+
+void
+MopPointerCache::evictLine(uint64_t line_addr, uint32_t line_bytes)
+{
+    bool any = false;
+    for (uint64_t pc = line_addr; pc < line_addr + line_bytes; pc += 4)
+        any = map_.erase(pc) > 0 || any;
+    if (any)
+        ++lineEvictions_;
+}
+
+} // namespace mop::core

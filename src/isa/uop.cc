@@ -1,0 +1,139 @@
+#include "isa/uop.hh"
+
+#include <sstream>
+
+namespace mop::isa
+{
+
+int
+opLatency(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:
+      case OpClass::StoreAddr:
+      case OpClass::StoreData:
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::JumpInd:
+        return 1;
+      case OpClass::IntMult:
+        return 3;
+      case OpClass::IntDiv:
+        return 20;
+      case OpClass::Load:
+        return 1;  // address generation; cache access added by the core
+      case OpClass::FpAlu:
+        return 2;
+      case OpClass::FpMult:
+        return 4;
+      case OpClass::FpDiv:
+        return 24;
+      case OpClass::Nop:
+        return 0;
+    }
+    return 1;
+}
+
+FuKind
+opFuKind(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:
+      case OpClass::StoreAddr:
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::JumpInd:
+        return FuKind::IntAluFu;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return FuKind::IntMultDiv;
+      case OpClass::Load:
+      case OpClass::StoreData:
+        return FuKind::MemPort;
+      case OpClass::FpAlu:
+        return FuKind::FpAluFu;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return FuKind::FpMultDiv;
+      case OpClass::Nop:
+        return FuKind::None;
+    }
+    return FuKind::IntAluFu;
+}
+
+bool
+opUnpipelined(OpClass c)
+{
+    return c == OpClass::IntDiv || c == OpClass::FpDiv;
+}
+
+bool
+opIsControl(OpClass c)
+{
+    return c == OpClass::Branch || c == OpClass::Jump ||
+           c == OpClass::JumpInd;
+}
+
+bool
+opIsIndirectControl(OpClass c)
+{
+    return c == OpClass::JumpInd;
+}
+
+bool
+opIsMopCandidate(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:
+      case OpClass::StoreAddr:
+      case OpClass::Branch:
+      case OpClass::Jump:
+        return true;
+      // Indirect control breaks MOP pointer encoding; conservatively a
+      // non-candidate so it can never be grouped (Section 5.1.3).
+      default:
+        return false;
+    }
+}
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMult: return "IntMult";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::Load: return "Load";
+      case OpClass::StoreAddr: return "StoreAddr";
+      case OpClass::StoreData: return "StoreData";
+      case OpClass::Branch: return "Branch";
+      case OpClass::Jump: return "Jump";
+      case OpClass::JumpInd: return "JumpInd";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::FpMult: return "FpMult";
+      case OpClass::FpDiv: return "FpDiv";
+      case OpClass::Nop: return "Nop";
+    }
+    return "?";
+}
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream ss;
+    ss << "[" << seq << " pc=0x" << std::hex << pc << std::dec << " "
+       << opClassName(op);
+    if (hasDst())
+        ss << " r" << dst << " <-";
+    for (int i = 0; i < 2; ++i)
+        if (src[i] != kNoReg)
+            ss << " r" << src[i];
+    if (isLoad() || isStoreAddr() || op == OpClass::StoreData)
+        ss << " @0x" << std::hex << memAddr << std::dec;
+    if (isControl())
+        ss << (taken ? " T" : " NT");
+    ss << "]";
+    return ss.str();
+}
+
+} // namespace mop::isa

@@ -1,0 +1,131 @@
+#include "mem/cache.hh"
+
+#include <cassert>
+
+namespace mop::mem
+{
+
+Cache::Cache(const CacheParams &p) : params_(p)
+{
+    assert(p.sizeBytes % (p.lineBytes * p.assoc) == 0);
+    numSets_ = p.sizeBytes / (p.lineBytes * p.assoc);
+    lines_.resize(size_t(numSets_) * p.assoc);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++useClock_;
+    uint64_t la = lineAddr(addr);
+    uint32_t set = setIndex(la);
+    uint64_t tag = tagOf(la);
+    Line *base = &lines_[size_t(set) * params_.assoc];
+
+    for (uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = useClock_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+
+    // Choose the LRU victim (or an invalid way).
+    Line *victim = &base[0];
+    for (uint32_t w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim->valid && evictCb_) {
+        uint64_t victim_la = victim->tag * numSets_ + set;
+        evictCb_(victim_la * params_.lineBytes);
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t la = lineAddr(addr);
+    uint32_t set = setIndex(la);
+    uint64_t tag = tagOf(la);
+    const Line *base = &lines_[size_t(set) * params_.assoc];
+    for (uint32_t w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidate(uint64_t addr)
+{
+    uint64_t la = lineAddr(addr);
+    uint32_t set = setIndex(la);
+    uint64_t tag = tagOf(la);
+    Line *base = &lines_[size_t(set) * params_.assoc];
+    for (uint32_t w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            base[w].valid = false;
+}
+
+void
+Cache::setEvictCallback(std::function<void(uint64_t)> cb)
+{
+    evictCb_ = std::move(cb);
+}
+
+void
+Cache::addStats(stats::StatGroup &g) const
+{
+    g.addFormula(std::string(params_.name) + ".misses",
+                 [this]() { return double(misses_); }, "cache misses");
+    g.addFormula(std::string(params_.name) + ".missRate",
+                 [this]() { return missRate(); }, "miss rate");
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &p)
+    : params_(p), il1_(p.il1), dl1_(p.dl1), l2_(p.l2)
+{
+}
+
+int
+MemoryHierarchy::instAccess(uint64_t addr)
+{
+    int lat = il1_.hitLatency();
+    if (il1_.access(addr))
+        return lat;
+    lat += l2_.hitLatency();
+    if (l2_.access(addr))
+        return lat;
+    return lat + params_.memLatency;
+}
+
+int
+MemoryHierarchy::dataAccess(uint64_t addr, bool is_write)
+{
+    (void)is_write;  // write-allocate, write-back: same latency path
+    int lat = dl1_.hitLatency();
+    if (dl1_.access(addr))
+        return lat;
+    lat += l2_.hitLatency();
+    if (l2_.access(addr))
+        return lat;
+    return lat + params_.memLatency;
+}
+
+void
+MemoryHierarchy::addStats(stats::StatGroup &g) const
+{
+    il1_.addStats(g);
+    dl1_.addStats(g);
+    l2_.addStats(g);
+}
+
+} // namespace mop::mem

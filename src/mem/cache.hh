@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Timing is latency-based: an access returns the cycle at which data is
+ * available, filling the line on a miss (blocking model per level, but
+ * the pipeline overlaps misses across independent loads because each
+ * load carries its own completion time). This matches the
+ * SimpleScalar-style hierarchy of the paper's Table 1.
+ */
+
+#ifndef MOP_MEM_CACHE_HH
+#define MOP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace mop::mem
+{
+
+/** Geometry + latency parameters of one cache level. */
+struct CacheParams
+{
+    const char *name = "cache";
+    uint32_t sizeBytes = 16 * 1024;
+    uint32_t assoc = 2;
+    uint32_t lineBytes = 64;
+    int hitLatency = 2;
+};
+
+/**
+ * One level of cache. On eviction an optional callback reports the
+ * evicted line address; the MOP pointer store uses this to discard
+ * pointers held alongside IL1 lines (Section 5.1.3).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &p);
+
+    /**
+     * Look up @p addr. Returns true on hit. On miss the line is
+     * allocated (victim evicted via the callback).
+     */
+    bool access(uint64_t addr);
+
+    /** Probe without allocating or updating LRU. */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate a line if present. */
+    void invalidate(uint64_t addr);
+
+    void setEvictCallback(std::function<void(uint64_t)> cb);
+
+    int hitLatency() const { return params_.hitLatency; }
+    uint32_t lineBytes() const { return params_.lineBytes; }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        uint64_t n = hits_ + misses_;
+        return n ? double(misses_) / double(n) : 0.0;
+    }
+
+    void addStats(stats::StatGroup &g) const;
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    uint64_t lineAddr(uint64_t addr) const { return addr / params_.lineBytes; }
+    uint32_t setIndex(uint64_t la) const { return uint32_t(la % numSets_); }
+    uint64_t tagOf(uint64_t la) const { return la / numSets_; }
+
+    CacheParams params_;
+    uint32_t numSets_;
+    std::vector<Line> lines_;  // numSets_ * assoc
+    uint64_t useClock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    std::function<void(uint64_t)> evictCb_;
+};
+
+/** Latencies of the Table 1 memory system. */
+struct HierarchyParams
+{
+    CacheParams il1{"il1", 16 * 1024, 2, 64, 2};
+    CacheParams dl1{"dl1", 16 * 1024, 4, 64, 2};
+    CacheParams l2{"l2", 256 * 1024, 4, 128, 8};
+    int memLatency = 100;
+};
+
+/**
+ * Two-level hierarchy with split L1s and a unified L2, returning the
+ * total access latency for instruction fetches and data accesses.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyParams &p = {});
+
+    /** Fetch-side access: IL1 -> L2 -> memory. Returns latency. */
+    int instAccess(uint64_t addr);
+
+    /** Data-side access: DL1 -> L2 -> memory. Returns latency. */
+    int dataAccess(uint64_t addr, bool isWrite);
+
+    Cache &il1() { return il1_; }
+    Cache &dl1() { return dl1_; }
+    Cache &l2() { return l2_; }
+    const Cache &il1() const { return il1_; }
+    const Cache &dl1() const { return dl1_; }
+    const Cache &l2() const { return l2_; }
+
+    void addStats(stats::StatGroup &g) const;
+
+  private:
+    HierarchyParams params_;
+    Cache il1_;
+    Cache dl1_;
+    Cache l2_;
+};
+
+} // namespace mop::mem
+
+#endif // MOP_MEM_CACHE_HH

@@ -1,0 +1,437 @@
+#include "pipeline/ooo_core.hh"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace mop::pipeline
+{
+
+double
+SimResult::groupedFrac() const
+{
+    uint64_t grouped = groupCounts[size_t(GroupClass::IndependentMop)] +
+                       groupCounts[size_t(GroupClass::MopNonValueGen)] +
+                       groupCounts[size_t(GroupClass::MopValueGen)];
+    return insts ? double(grouped) / double(insts) : 0.0;
+}
+
+OooCore::OooCore(const CoreParams &params, trace::TraceSource &source)
+    : params_(params), src_(source), mem_(params.mem),
+      bpred_(params.bpred)
+{
+    detector_ = std::make_unique<core::MopDetector>(params_.detector,
+                                                    ptrCache_);
+    formation_ = std::make_unique<core::MopFormation>(
+        params_.mopEnabled, ptrCache_, params_.detector.maxMopSize);
+
+    sched::SchedParams sp = params_.sched;
+    sp.mopEnabled = params_.mopEnabled;
+    sched_ = std::make_unique<sched::Scheduler>(sp);
+    sched_->setLoadLatencyFn([this](uint64_t seq) {
+        RobEntry *re = robByDynId(seq);
+        assert(re && re->u.isLoad());
+        return mem_.dataAccess(re->u.memAddr, false);
+    });
+
+    if (params_.mopEnabled) {
+        // MOP pointers live alongside IL1 lines (Section 5.1.3).
+        mem_.il1().setEvictCallback([this](uint64_t line_addr) {
+            ptrCache_.evictLine(line_addr, mem_.il1().lineBytes());
+        });
+    }
+
+    prodComplete_.assign(kProdRing, {~0ULL, 0});
+    lastWriter_.fill(-1);
+}
+
+OooCore::~OooCore() = default;
+
+OooCore::RobEntry *
+OooCore::robByDynId(uint64_t dyn_id)
+{
+    if (rob_.empty() || dyn_id < rob_.front().dynId)
+        return nullptr;
+    size_t idx = size_t(dyn_id - rob_.front().dynId);
+    return idx < rob_.size() ? &rob_[idx] : nullptr;
+}
+
+void
+OooCore::checkInvariant(const RobEntry &re, const sched::ExecEvent &ev)
+{
+    for (int64_t p : re.srcProducer) {
+        if (p < 0)
+            continue;
+        const auto &slot = prodComplete_[size_t(p) % kProdRing];
+        if (slot.first != uint64_t(p))
+            continue;  // producer too old to matter (long committed)
+        if (slot.second > ev.execStart) {
+            std::ostringstream ss;
+            ss << "dataflow violation: uop " << ev.seq
+               << " began execution at cycle " << ev.execStart
+               << " but producer " << p << " completed at cycle "
+               << slot.second;
+            throw std::logic_error(ss.str());
+        }
+    }
+}
+
+void
+OooCore::handleCompletion(const sched::ExecEvent &ev)
+{
+    RobEntry *re = robByDynId(ev.seq);
+    assert(re && "completion for unknown rob entry");
+    re->completed = true;
+    re->completeCycle = ev.complete;
+    re->execStart = ev.execStart;
+    prodComplete_[ev.seq % kProdRing] = {ev.seq, ev.complete};
+    if (params_.checkInvariants)
+        checkInvariant(*re, ev);
+
+    if (waitingBranch_ && ev.seq == waitingBranchDynId_) {
+        // Mispredicted branch resolved: redirect fetch.
+        fetchStallUntil_ =
+            std::max(fetchStallUntil_,
+                     ev.complete + sched::Cycle(params_.mispredictRedirect));
+        waitingBranch_ = false;
+    }
+}
+
+void
+OooCore::doCommit()
+{
+    int n = 0;
+    while (n < params_.commitWidth && !rob_.empty() &&
+           rob_.front().completed) {
+        RobEntry &re = rob_.front();
+        if (re.u.op == isa::OpClass::StoreData)
+            mem_.dataAccess(re.u.memAddr, true);  // commit the store
+        if (re.u.firstUop) {
+            ++res_.insts;
+            GroupClass cls;
+            if (re.grouped) {
+                if (re.independent)
+                    cls = GroupClass::IndependentMop;
+                else if (re.u.isValueGenCandidate())
+                    cls = GroupClass::MopValueGen;
+                else
+                    cls = GroupClass::MopNonValueGen;
+            } else if (re.u.isMopCandidate()) {
+                cls = GroupClass::CandidateNotGrouped;
+            } else {
+                cls = GroupClass::NotCandidate;
+            }
+            ++res_.groupCounts[size_t(cls)];
+        }
+        ++res_.uops;
+        rob_.pop_front();
+        ++n;
+    }
+}
+
+void
+OooCore::doQueueInsert()
+{
+    // A frontend bubble (nothing deliverable this cycle) is an *empty*
+    // insert group: it advances the Figure 11 pending-tail window, so a
+    // MOP head whose tail is stuck behind a fetch stall (e.g. its own
+    // branch misprediction) reverts to a plain instruction. In
+    // contrast, a backpressure stall (ROB/IQ full) holds the latches
+    // and does not advance the group.
+    bool bubble =
+        frontend_.empty() || frontend_.front().queueReadyAt > now_;
+
+    int inserted = 0;
+    while (inserted < params_.renameWidth && !frontend_.empty()) {
+        InFlight &f = frontend_.front();
+        if (f.queueReadyAt > now_)
+            break;
+        if (int(rob_.size()) >= params_.robSize)
+            break;
+        // Conservatively require one free entry even for MOP tails.
+        if (!sched_->canInsert(1))
+            break;
+
+        core::FormOutcome out = formation_->process(f.u, f.dynId);
+        if (out.clearPendingEntry >= 0)
+            sched_->clearPending(out.clearPendingEntry);
+
+        sched::SchedOp op;
+        op.seq = f.dynId;
+        op.op = f.u.op;
+        op.dst = out.dst;
+        op.src = out.src;
+
+        RobEntry re;
+        re.u = f.u;
+        re.dynId = f.dynId;
+        for (int s = 0; s < 2; ++s) {
+            int16_t r = f.u.src[size_t(s)];
+            if (r != isa::kNoReg && r != isa::kZeroReg &&
+                r != isa::kFpZeroReg) {
+                re.srcProducer[size_t(s)] = lastWriter_[size_t(r)];
+            }
+        }
+
+        using Role = core::FormOutcome::Role;
+        switch (out.role) {
+          case Role::Single:
+            sched_->insert(op, now_, false);
+            break;
+          case Role::Head: {
+            int e = sched_->insert(op, now_, true);
+            formation_->setHeadEntry(f.dynId, e);
+            re.isHead = true;
+            re.independent = out.independent;
+            break;
+          }
+          case Role::Tail: {
+            if (sched_->appendTail(out.headEntry, op, now_,
+                                   out.moreExpected)) {
+                re.grouped = true;
+                re.independent = out.independent;
+                if (RobEntry *head = robByDynId(out.headDynId)) {
+                    head->grouped = true;
+                    head->independent = out.independent;
+                }
+            } else {
+                // Source-union overflow: fall back to a solo entry.
+                op.dst = formation_->demoteTail(f.u, out.headEntry);
+                sched_->clearPending(out.headEntry);
+                sched_->insert(op, now_, false);
+            }
+            break;
+          }
+        }
+
+        if (f.u.hasDst())
+            lastWriter_[size_t(f.u.dst)] = int64_t(f.dynId);
+
+        detector_->observe(f.u, f.dynId);
+        rob_.push_back(re);
+        frontend_.pop_front();
+        ++inserted;
+    }
+    if (inserted > 0 || bubble) {
+        detector_->endGroup(now_);
+        for (int e : formation_->groupBoundary())
+            sched_->clearPending(e);
+    }
+}
+
+void
+OooCore::doFetch()
+{
+    if (now_ < fetchStallUntil_ || waitingBranch_ || traceDone_)
+        return;
+    // Keep the frontend from ballooning when the queue stage stalls.
+    if (frontend_.size() >=
+        size_t(params_.fetchWidth * (params_.frontendDepth + 4))) {
+        return;
+    }
+
+    for (int slot = 0; slot < params_.fetchWidth; ++slot) {
+        if (!havePending_) {
+            if (!src_.next(pendingFetch_)) {
+                traceDone_ = true;
+                return;
+            }
+            havePending_ = true;
+        }
+        const isa::MicroOp &u = pendingFetch_;
+
+        // Instruction-cache access at line granularity.
+        uint64_t line = u.pc / mem_.il1().lineBytes();
+        if (line != lastFetchLine_) {
+            int lat = mem_.instAccess(u.pc);
+            lastFetchLine_ = line;
+            if (lat > mem_.il1().hitLatency()) {
+                fetchStallUntil_ = now_ + sched::Cycle(lat);
+                return;  // µop stays pending for after the fill
+            }
+        }
+
+        havePending_ = false;
+        if (u.op == isa::OpClass::Nop)
+            continue;  // filtered by the decoder (consumes a slot)
+
+        uint64_t dyn_id = nextDynId_++;
+        frontend_.push_back(InFlight{
+            u, dyn_id,
+            now_ + sched::Cycle(params_.frontendDepth +
+                                params_.extraFormationStages)});
+
+        if (!u.isControl())
+            continue;
+
+        if (u.op == isa::OpClass::Branch) {
+            bpred::Prediction pr = bpred_.predictBranch(u.pc);
+            bpred_.update(u.pc, u.taken, u.target, pr);
+            if (pr.taken != u.taken || (u.taken && !pr.btbHit)) {
+                bool dir_wrong = pr.taken != u.taken;
+                if (dir_wrong) {
+                    ++res_.mispredicts;
+                    waitingBranch_ = true;
+                    waitingBranchDynId_ = dyn_id;
+                } else {
+                    // Direction right, target unknown until decode.
+                    fetchStallUntil_ =
+                        now_ + sched::Cycle(params_.btbMissPenalty);
+                }
+                return;
+            }
+            if (u.taken)
+                return;  // fetch stops at the first taken branch
+        } else if (u.op == isa::OpClass::Jump) {
+            bpred::Prediction pr = bpred_.predictJump(u.pc);
+            bpred_.updateBtb(u.pc, u.target);
+            if (u.dst == 30)
+                bpred_.pushRas(u.pc + 4);  // call: push return address
+            if (!pr.btbHit || pr.target != u.target) {
+                fetchStallUntil_ =
+                    now_ + sched::Cycle(params_.btbMissPenalty);
+            }
+            return;  // taken control ends the fetch group
+        } else {  // JumpInd
+            uint64_t ras = (u.src[0] == 30) ? bpred_.popRas() : 0;
+            bpred::Prediction pr = bpred_.predictJump(u.pc);
+            bpred_.updateBtb(u.pc, u.target);
+            bool correct = ras == u.target ||
+                           (pr.btbHit && pr.target == u.target);
+            if (!correct) {
+                ++res_.mispredicts;
+                waitingBranch_ = true;
+                waitingBranchDynId_ = dyn_id;
+            }
+            return;
+        }
+    }
+}
+
+bool
+OooCore::step()
+{
+    if (now_ >= params_.maxCycles)
+        throw std::runtime_error("cycle guard exceeded");
+
+    completedScratch_.clear();
+    mopScratch_.clear();
+    sched_->tick(now_, completedScratch_,
+                 params_.mopEnabled ? &mopScratch_ : nullptr);
+    for (const auto &ev : completedScratch_)
+        handleCompletion(ev);
+    if (params_.mopEnabled && params_.lastArrivalFilter) {
+        for (const auto &mi : mopScratch_) {
+            if (!mi.tailLastArriving)
+                continue;
+            // Harmful grouping observed: delete the pointer and let
+            // detection search for an alternative pair (Figure 12c).
+            if (RobEntry *head = robByDynId(mi.headSeq))
+                ptrCache_.deleteAndExclude(head->u.pc);
+        }
+    }
+
+    doCommit();
+    doQueueInsert();
+    detector_->drain(now_);
+    doFetch();
+
+    ++now_;
+    return !(traceDone_ && !havePending_ && frontend_.empty() &&
+             rob_.empty());
+}
+
+SimResult
+OooCore::run(uint64_t max_insts)
+{
+    uint64_t target = res_.insts + max_insts;
+    while (res_.insts < target) {
+        if (!step())
+            break;
+    }
+    res_.cycles = now_;
+    res_.ipc = now_ ? double(res_.insts) / double(now_) : 0.0;
+    res_.iqEntriesInserted = sched_->insertedEntries();
+    res_.uopsInserted = sched_->insertedOps();
+    res_.replays = sched_->replayInvalidations();
+    res_.filterDeletions = ptrCache_.filterDeletions();
+    res_.avgIqOccupancy = sched_->occupancyAvg().mean();
+    return res_;
+}
+
+void
+OooCore::addStats(stats::StatGroup &g) const
+{
+    g.addFormula("core.cycles", [this] { return double(now_); });
+    g.addFormula("core.insts", [this] { return double(res_.insts); });
+    g.addFormula("core.uops", [this] { return double(res_.uops); });
+    g.addFormula("core.ipc", [this] {
+        return now_ ? double(res_.insts) / double(now_) : 0.0;
+    }, "committed instructions per cycle");
+    g.addFormula("core.mispredicts",
+                 [this] { return double(res_.mispredicts); },
+                 "fetch-detected branch mispredictions");
+    g.addFormula("core.groupedFrac",
+                 [this] { return res_.groupedFrac(); },
+                 "committed instructions inside MOPs");
+    g.addFormula("core.mopValueGen", [this] {
+        return double(res_.groupCounts[size_t(GroupClass::MopValueGen)]);
+    }, "grouped value-generating candidates");
+    g.addFormula("core.mopNonValueGen", [this] {
+        return double(
+            res_.groupCounts[size_t(GroupClass::MopNonValueGen)]);
+    });
+    g.addFormula("core.independentMop", [this] {
+        return double(
+            res_.groupCounts[size_t(GroupClass::IndependentMop)]);
+    });
+    g.addFormula("core.candidateNotGrouped", [this] {
+        return double(
+            res_.groupCounts[size_t(GroupClass::CandidateNotGrouped)]);
+    });
+    g.addFormula("core.notCandidate", [this] {
+        return double(
+            res_.groupCounts[size_t(GroupClass::NotCandidate)]);
+    });
+    g.addFormula("detect.dependentPairs", [this] {
+        return double(detector_->dependentPairs());
+    }, "MOP pointers from dependent pairs");
+    g.addFormula("detect.independentPairs", [this] {
+        return double(detector_->independentPairs());
+    });
+    g.addFormula("detect.cycleRejects", [this] {
+        return double(detector_->cycleRejects());
+    }, "pairings forgone by the cycle heuristic");
+    g.addFormula("detect.budgetRejects", [this] {
+        return double(detector_->budgetRejects());
+    }, "pairings exceeding CAM source comparators");
+    g.addFormula("detect.ctrlRejects", [this] {
+        return double(detector_->ctrlRejects());
+    }, "pairings across unencodable control flow");
+    g.addFormula("form.groupsFormed", [this] {
+        return double(formation_->groupsFormed());
+    }, "MOPs actually formed at the queue stage");
+    g.addFormula("form.pendingExpired", [this] {
+        return double(formation_->pendingExpired());
+    }, "heads whose tail missed the insert window");
+    g.addFormula("form.verifyFails", [this] {
+        return double(formation_->verifyFails());
+    }, "pointers rejected by control-flow check");
+    g.addFormula("form.demotions", [this] {
+        return double(formation_->demotions());
+    }, "tails demoted to solo entries");
+    g.addFormula("ptrcache.size",
+                 [this] { return double(ptrCache_.size()); },
+                 "pointers resident with IL1 lines");
+    g.addFormula("ptrcache.filterDeletions", [this] {
+        return double(ptrCache_.filterDeletions());
+    }, "last-arriving-operand deletions");
+    g.addFormula("ptrcache.lineEvictions", [this] {
+        return double(ptrCache_.lineEvictions());
+    });
+    sched_->addStats(g);
+    mem_.addStats(g);
+    bpred_.addStats(g);
+}
+
+} // namespace mop::pipeline

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The out-of-order processor core of Figure 2: a 4-wide, 13-stage
+ * pipeline (Fetch Decode Rename Rename Queue Sched Disp Disp RF RF Exe
+ * WB Commit) with a 128-entry ROB, speculative scheduling with
+ * selective replay, and optional macro-op scheduling.
+ *
+ * The core is trace-driven: a TraceSource supplies the executed
+ * micro-op stream (synthetic workload or functional interpreter).
+ * Branch mispredictions therefore stall fetch from the mispredicted
+ * branch until it resolves plus a redirect penalty, rather than
+ * fetching wrong-path instructions; the penalty matches Table 1's
+ * >= 14-cycle recovery. MOP-specific squash behaviour (Section 5.3.2)
+ * is exercised directly by the scheduler unit tests.
+ *
+ * Frontend model: fetch applies instruction-cache latency, branch
+ * prediction (combined bimodal/gshare + BTB + RAS) and the
+ * stop-at-first-taken-branch rule, then micro-ops travel through a
+ * fixed frontend delay (5 stages, plus 0-2 extra MOP formation
+ * stages) to the queue stage. The queue stage performs MOP formation
+ * (dependence translation into the MOP-ID name space, pending-bit
+ * insertion) and inserts into the scheduler; the MOP detector observes
+ * the same in-order stream and writes pointers into the IL1-coupled
+ * pointer cache after its detection latency.
+ *
+ * A dataflow-order invariant is checked at every completion when
+ * enabled: each micro-op must begin execution no earlier than all of
+ * its true register producers complete — i.e. the MOP dependence
+ * abstraction never violates the original dataflow (Section 3.1).
+ */
+
+#ifndef MOP_PIPELINE_OOO_CORE_HH
+#define MOP_PIPELINE_OOO_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/bpred.hh"
+#include "core/mop_detector.hh"
+#include "core/mop_formation.hh"
+#include "core/mop_pointer.hh"
+#include "mem/cache.hh"
+#include "sched/scheduler.hh"
+#include "trace/source.hh"
+
+namespace mop::pipeline
+{
+
+struct CoreParams
+{
+    int fetchWidth = 4;
+    int renameWidth = 4;   ///< queue-insert width
+    int commitWidth = 4;
+    int robSize = 128;
+
+    /** Fetch-to-queue depth: Fetch Decode Rename Rename Queue. */
+    int frontendDepth = 5;
+    /** Extra MOP formation stages (0, 1 or 2; Section 6.2). */
+    int extraFormationStages = 0;
+    /** Cycles from branch resolution to first refetched instruction. */
+    int mispredictRedirect = 3;
+    /** Frontend bubble for decode-resolved misfetches (BTB misses). */
+    int btbMissPenalty = 3;
+
+    sched::SchedParams sched;
+    core::DetectorParams detector;
+    bool mopEnabled = false;
+    bool lastArrivalFilter = true;
+
+    mem::HierarchyParams mem;
+    bpred::BpredParams bpred;
+
+    bool checkInvariants = true;
+    uint64_t maxCycles = 2'000'000'000ULL;
+};
+
+/** Figure 13 commit-time classification. */
+enum class GroupClass : uint8_t
+{
+    NotCandidate,
+    CandidateNotGrouped,
+    IndependentMop,
+    MopNonValueGen,
+    MopValueGen,
+    kCount,
+};
+
+struct SimResult
+{
+    uint64_t cycles = 0;
+    uint64_t insts = 0;       ///< committed instructions (first µops)
+    uint64_t uops = 0;        ///< committed micro-ops
+    double ipc = 0;
+
+    /** Committed-instruction counts per Figure 13 class. */
+    std::array<uint64_t, size_t(GroupClass::kCount)> groupCounts{};
+    uint64_t iqEntriesInserted = 0;  ///< scheduler entries consumed
+    uint64_t uopsInserted = 0;
+    uint64_t replays = 0;
+    uint64_t mispredicts = 0;
+    uint64_t filterDeletions = 0;
+    double avgIqOccupancy = 0;
+
+    double groupedFrac() const;
+};
+
+class OooCore
+{
+  public:
+    OooCore(const CoreParams &params, trace::TraceSource &source);
+    ~OooCore();
+
+    /** Run until @p max_insts instructions commit (or trace end /
+     *  cycle guard), then drain the pipeline. */
+    SimResult run(uint64_t max_insts);
+
+    /** Single-cycle step; returns false when fully drained. */
+    bool step();
+
+    const SimResult &result() const { return res_; }
+    const sched::Scheduler &scheduler() const { return *sched_; }
+    const core::MopFormation &formation() const { return *formation_; }
+    const core::MopDetector &detector() const { return *detector_; }
+    const core::MopPointerCache &pointerCache() const { return ptrCache_; }
+    const mem::MemoryHierarchy &memory() const { return mem_; }
+    const bpred::BranchPredictor &predictor() const { return bpred_; }
+    uint64_t cycles() const { return now_; }
+
+    void addStats(stats::StatGroup &g) const;
+
+  private:
+    struct InFlight
+    {
+        isa::MicroOp u;
+        uint64_t dynId = 0;
+        sched::Cycle queueReadyAt = 0;
+    };
+
+    struct RobEntry
+    {
+        isa::MicroOp u;
+        uint64_t dynId = 0;
+        bool completed = false;
+        sched::Cycle completeCycle = 0;
+        sched::Cycle execStart = 0;
+        std::array<int64_t, 2> srcProducer = {-1, -1};  ///< dyn ids
+        bool grouped = false;
+        bool independent = false;
+        bool isHead = false;
+    };
+
+    void doFetch();
+    void doQueueInsert();
+    void doCommit();
+    void handleCompletion(const sched::ExecEvent &ev);
+    void checkInvariant(const RobEntry &rob, const sched::ExecEvent &ev);
+    RobEntry *robByDynId(uint64_t dyn_id);
+
+    CoreParams params_;
+    trace::TraceSource &src_;
+
+    mem::MemoryHierarchy mem_;
+    bpred::BranchPredictor bpred_;
+    core::MopPointerCache ptrCache_;
+    std::unique_ptr<core::MopDetector> detector_;
+    std::unique_ptr<core::MopFormation> formation_;
+    std::unique_ptr<sched::Scheduler> sched_;
+
+    sched::Cycle now_ = 0;
+    uint64_t nextDynId_ = 0;
+    bool traceDone_ = false;
+
+    // Fetch state.
+    sched::Cycle fetchStallUntil_ = 0;
+    bool waitingBranch_ = false;
+    uint64_t waitingBranchDynId_ = 0;
+    uint64_t lastFetchLine_ = ~0ULL;
+    bool havePending_ = false;
+    isa::MicroOp pendingFetch_;
+
+    std::deque<InFlight> frontend_;
+    std::deque<RobEntry> rob_;
+
+    /** Last completed-cycle ring for dataflow invariant checks. */
+    static constexpr size_t kProdRing = 8192;
+    std::vector<std::pair<uint64_t, sched::Cycle>> prodComplete_;
+    /** Last-writer dyn id per logical register (queue order). */
+    std::array<int64_t, isa::kNumLogicalRegs> lastWriter_;
+
+    std::vector<sched::ExecEvent> completedScratch_;
+    std::vector<sched::MopIssue> mopScratch_;
+
+    SimResult res_;
+    uint64_t targetInsts_ = 0;
+};
+
+} // namespace mop::pipeline
+
+#endif // MOP_PIPELINE_OOO_CORE_HH

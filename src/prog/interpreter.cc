@@ -1,0 +1,209 @@
+#include "prog/interpreter.hh"
+
+#include <stdexcept>
+
+namespace mop::prog
+{
+
+Interpreter::Interpreter(Program prog, uint64_t max_insns)
+    : prog_(std::move(prog)), maxInsns_(max_insns),
+      mem_(prog_.dataImage)
+{
+}
+
+int64_t
+Interpreter::mem(uint64_t addr) const
+{
+    auto it = mem_.find(addr & ~7ULL);
+    return it == mem_.end() ? 0 : it->second;
+}
+
+void
+Interpreter::writeReg(int r, int64_t v)
+{
+    if (r != 31 && r >= 0)
+        regs_[size_t(r)] = v;
+}
+
+bool
+Interpreter::next(isa::MicroOp &out)
+{
+    if (pendingStoreData_) {
+        pendingStoreData_ = false;
+        out = pendingUop_;
+        out.seq = seq_++;
+        return true;
+    }
+    if (halted_ || insts_ >= maxInsns_ ||
+        size_t(index_) >= prog_.code.size()) {
+        halted_ = true;
+        return false;
+    }
+
+    const AsmInsn &ins = prog_.code[size_t(index_)];
+    int cur = index_;
+    ++insts_;
+
+    isa::MicroOp u;
+    u.pc = prog_.pcOf(cur);
+    u.op = opClassOf(ins.kind);
+    u.firstUop = true;
+
+    auto ra = [&]() { return reg(ins.ra); };
+    auto rb = [&]() { return reg(ins.rb); };
+
+    int next_index = cur + 1;
+    switch (ins.kind) {
+      case Mnemonic::Add: writeReg(ins.rd, ra() + rb()); break;
+      case Mnemonic::Sub: writeReg(ins.rd, ra() - rb()); break;
+      case Mnemonic::And: writeReg(ins.rd, ra() & rb()); break;
+      case Mnemonic::Or:  writeReg(ins.rd, ra() | rb()); break;
+      case Mnemonic::Xor: writeReg(ins.rd, ra() ^ rb()); break;
+      case Mnemonic::Sll:
+        writeReg(ins.rd, ra() << (rb() & 63));
+        break;
+      case Mnemonic::Srl:
+        writeReg(ins.rd, int64_t(uint64_t(ra()) >> (rb() & 63)));
+        break;
+      case Mnemonic::Sra: writeReg(ins.rd, ra() >> (rb() & 63)); break;
+      case Mnemonic::Slt: writeReg(ins.rd, ra() < rb() ? 1 : 0); break;
+      case Mnemonic::Not: writeReg(ins.rd, ~ra()); break;
+      case Mnemonic::Mul: writeReg(ins.rd, ra() * rb()); break;
+      case Mnemonic::Div:
+        writeReg(ins.rd, rb() == 0 ? 0 : ra() / rb());
+        break;
+      case Mnemonic::Addi: writeReg(ins.rd, ra() + ins.imm); break;
+      case Mnemonic::Andi: writeReg(ins.rd, ra() & ins.imm); break;
+      case Mnemonic::Ori:  writeReg(ins.rd, ra() | ins.imm); break;
+      case Mnemonic::Xori: writeReg(ins.rd, ra() ^ ins.imm); break;
+      case Mnemonic::Slli: writeReg(ins.rd, ra() << (ins.imm & 63)); break;
+      case Mnemonic::Srli:
+        writeReg(ins.rd, int64_t(uint64_t(ra()) >> (ins.imm & 63)));
+        break;
+      case Mnemonic::Slti: writeReg(ins.rd, ra() < ins.imm ? 1 : 0); break;
+      case Mnemonic::Li:
+      case Mnemonic::La:  writeReg(ins.rd, ins.imm); break;
+      case Mnemonic::Lw: {
+        uint64_t addr = uint64_t(ra() + ins.imm) & ~7ULL;
+        writeReg(ins.rd, mem(addr));
+        u.memAddr = addr;
+        break;
+      }
+      case Mnemonic::Sw: {
+        uint64_t addr = uint64_t(rb() + ins.imm) & ~7ULL;
+        mem_[addr] = ra();
+        u.memAddr = addr;
+        break;
+      }
+      case Mnemonic::Beq: u.taken = ra() == rb(); break;
+      case Mnemonic::Bne: u.taken = ra() != rb(); break;
+      case Mnemonic::Blt: u.taken = ra() < rb(); break;
+      case Mnemonic::Bge: u.taken = ra() >= rb(); break;
+      case Mnemonic::J:   u.taken = true; break;
+      case Mnemonic::Jal:
+        writeReg(30, int64_t(prog_.pcOf(cur + 1)));
+        u.taken = true;
+        break;
+      case Mnemonic::Jr: {
+        uint64_t pc = uint64_t(ra());
+        if (pc < Program::kCodeBase ||
+            (pc - Program::kCodeBase) / 4 >= prog_.code.size() ||
+            (pc & 3) != 0) {
+            throw std::runtime_error("jr to invalid pc");
+        }
+        u.taken = true;
+        next_index = int((pc - Program::kCodeBase) / 4);
+        u.target = pc;
+        break;
+      }
+      case Mnemonic::Nop:
+        break;
+      case Mnemonic::Halt:
+        halted_ = true;
+        return false;
+    }
+
+    if (u.isControl()) {
+        if (ins.kind != Mnemonic::Jr) {
+            u.target = prog_.pcOf(ins.target);
+            if (u.taken)
+                next_index = ins.target;
+        }
+    }
+    index_ = next_index;
+
+    // Register operands for the timing model.
+    switch (ins.kind) {
+      case Mnemonic::Sw:
+        // Split into addr-gen (base reg) + store-data (data reg).
+        u.op = isa::OpClass::StoreAddr;
+        u.src = {int16_t(ins.rb), isa::kNoReg};
+        pendingUop_ = isa::MicroOp{};
+        pendingUop_.pc = u.pc;
+        pendingUop_.op = isa::OpClass::StoreData;
+        pendingUop_.src = {int16_t(ins.ra), isa::kNoReg};
+        pendingUop_.memAddr = u.memAddr;
+        pendingUop_.firstUop = false;
+        pendingStoreData_ = true;
+        break;
+      case Mnemonic::Li:
+      case Mnemonic::La:
+        u.dst = int16_t(ins.rd);
+        break;
+      case Mnemonic::J:
+        break;
+      case Mnemonic::Jal:
+        u.dst = 30;
+        break;
+      case Mnemonic::Jr:
+        u.src = {int16_t(ins.ra), isa::kNoReg};
+        break;
+      case Mnemonic::Beq: case Mnemonic::Bne:
+      case Mnemonic::Blt: case Mnemonic::Bge:
+        u.src = {int16_t(ins.ra), int16_t(ins.rb)};
+        break;
+      default:
+        if (ins.rd >= 0)
+            u.dst = int16_t(ins.rd);
+        if (ins.ra >= 0)
+            u.src[0] = int16_t(ins.ra);
+        if (ins.rb >= 0)
+            u.src[1] = int16_t(ins.rb);
+        break;
+    }
+    // The architectural zero register is always ready; drop it from
+    // the dependence-tracking operand list.
+    for (auto &s : u.src)
+        if (s == isa::kZeroReg)
+            s = isa::kNoReg;
+    if (u.src[0] == isa::kNoReg && u.src[1] != isa::kNoReg)
+        std::swap(u.src[0], u.src[1]);
+    if (u.dst == isa::kZeroReg)
+        u.dst = isa::kNoReg;
+
+    u.seq = seq_++;
+    out = u;
+    return true;
+}
+
+void
+Interpreter::runToHalt()
+{
+    isa::MicroOp u;
+    while (next(u)) {
+    }
+}
+
+void
+Interpreter::reset()
+{
+    regs_.fill(0);
+    mem_ = prog_.dataImage;
+    index_ = 0;
+    halted_ = false;
+    insts_ = 0;
+    seq_ = 0;
+    pendingStoreData_ = false;
+}
+
+} // namespace mop::prog

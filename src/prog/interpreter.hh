@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional interpreter for the mini ISA, usable as a TraceSource.
+ *
+ * Each next() call retires one (micro-)op of the executed program and
+ * reports it with real addresses and branch outcomes, so the timing
+ * pipeline can be driven by genuinely executed code. Architectural
+ * state (registers, memory) is exposed for correctness cross-checks
+ * between scheduler configurations.
+ */
+
+#ifndef MOP_PROG_INTERPRETER_HH
+#define MOP_PROG_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "prog/program.hh"
+#include "trace/source.hh"
+
+namespace mop::prog
+{
+
+class Interpreter : public trace::TraceSource
+{
+  public:
+    explicit Interpreter(Program prog, uint64_t max_insns = 50'000'000);
+
+    bool next(isa::MicroOp &out) override;
+    void reset() override;
+
+    /** Execute functionally until halt (or the instruction cap). */
+    void runToHalt();
+
+    bool halted() const { return halted_; }
+    uint64_t instsExecuted() const { return insts_; }
+
+    int64_t reg(int i) const { return (i == 31) ? 0 : regs_[size_t(i)]; }
+    int64_t mem(uint64_t addr) const;
+    const std::map<uint64_t, int64_t> &memory() const { return mem_; }
+    const std::array<int64_t, 32> &registers() const { return regs_; }
+
+  private:
+    /** Execute the instruction at index_; returns emitted micro-op(s). */
+    void step();
+    void writeReg(int r, int64_t v);
+
+    Program prog_;
+    uint64_t maxInsns_;
+
+    std::array<int64_t, 32> regs_{};
+    std::map<uint64_t, int64_t> mem_;
+    int index_ = 0;             ///< next instruction index
+    bool halted_ = false;
+    uint64_t insts_ = 0;
+    uint64_t seq_ = 0;
+
+    bool pendingStoreData_ = false;
+    isa::MicroOp pendingUop_;
+};
+
+} // namespace mop::prog
+
+#endif // MOP_PROG_INTERPRETER_HH

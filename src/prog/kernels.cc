@@ -1,0 +1,270 @@
+#include "prog/kernels.hh"
+
+#include <stdexcept>
+
+namespace mop::prog
+{
+
+namespace
+{
+
+// Serial dependence chain: ideal macro-op fodder (every add depends on
+// the previous one). Result: r1 = fib(24) mod 2^64.
+const char *kFib = R"(
+        li   r1, 1          # fib(1)
+        li   r2, 1          # fib(0)
+        li   r3, 22         # remaining iterations
+loop:   add  r4, r1, r2
+        add  r2, r1, r31    # r2 = old r1
+        add  r1, r4, r31    # r1 = new fib
+        addi r3, r3, -1
+        bne  r3, r31, loop
+        halt
+)";
+
+// Dot product of two 64-element vectors; loads feed a multiply-add.
+const char *kDotprod = R"(
+        .word va 3 1 4 1 5 9 2 6 5 3 5 8 9 7 9 3 2 3 8 4 6 2 6 4 3 3 8 3 2 7 9 5 0 2 8 8 4 1 9 7 1 6 9 3 9 9 3 7 5 1 0 5 8 2 0 9 7 4 9 4 4 5 9 2
+        .word vb 2 7 1 8 2 8 1 8 2 8 4 5 9 0 4 5 2 3 5 3 6 0 2 8 7 4 7 1 3 5 2 6 6 2 4 9 7 7 5 7 2 4 7 0 9 3 6 9 9 5 9 5 7 4 9 6 9 6 7 6 2 7 7 2
+        la   r1, va
+        la   r2, vb
+        li   r3, 64         # count
+        li   r4, 0          # acc
+loop:   lw   r5, 0(r1)
+        lw   r6, 0(r2)
+        mul  r7, r5, r6
+        add  r4, r4, r7
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, -1
+        bne  r3, r31, loop
+        halt
+)";
+
+// Pointer chase: each load's address depends on the previous load.
+const char *kChase = R"(
+        .data nodes 128
+        la   r1, nodes
+        li   r2, 63         # build a ring of 64 nodes (stride 16 bytes)
+        add  r3, r1, r31
+build:  addi r4, r3, 16
+        sw   r4, 0(r3)
+        add  r3, r4, r31
+        addi r2, r2, -1
+        bne  r2, r31, build
+        sw   r1, 0(r3)      # close the ring
+        li   r5, 256        # traversal steps
+        add  r6, r1, r31
+walk:   lw   r6, 0(r6)
+        addi r5, r5, -1
+        bne  r5, r31, walk
+        sub  r7, r6, r1     # offset of final node
+        halt
+)";
+
+// ALU-dense mixing loop (gzip/bzip-like): long runs of single-cycle
+// dependent ops with a couple of independent streams.
+const char *kHash = R"(
+        li   r1, 88172645
+        li   r2, 362436069
+        li   r3, 521288629
+        li   r4, 400        # iterations
+loop:   slli r5, r1, 13
+        xor  r1, r1, r5
+        srli r5, r1, 7
+        xor  r1, r1, r5
+        slli r5, r1, 17
+        xor  r1, r1, r5
+        add  r2, r2, r1
+        xor  r3, r3, r2
+        addi r4, r4, -1
+        bne  r4, r31, loop
+        halt
+)";
+
+// In-place insertion sort over 32 words; data-dependent branches.
+const char *kSort = R"(
+        .word arr 93 4 61 17 40 85 2 77 31 55 12 99 8 70 23 66 45 3 88 29 51 14 97 6 72 38 59 20 83 26 64 11
+        la   r1, arr
+        li   r2, 1          # i
+loop_i: slti r3, r2, 32
+        beq  r3, r31, done
+        slli r4, r2, 3
+        add  r4, r1, r4
+        lw   r5, 0(r4)      # key
+        add  r6, r2, r31    # j = i
+loop_j: beq  r6, r31, ins
+        addi r7, r6, -1
+        slli r8, r7, 3
+        add  r8, r1, r8
+        lw   r9, 0(r8)
+        blt  r9, r5, ins    # arr[j-1] < key -> insert here
+        slli r10, r6, 3
+        add  r10, r1, r10
+        sw   r9, 0(r10)
+        add  r6, r7, r31
+        j    loop_j
+ins:    slli r10, r6, 3
+        add  r10, r1, r10
+        sw   r5, 0(r10)
+        addi r2, r2, 1
+        j    loop_i
+done:   halt
+)";
+
+// Call-heavy kernel: computes sum of squares via a helper function.
+const char *kCalls = R"(
+        li   r1, 0          # acc
+        li   r2, 48         # n
+loop:   add  r3, r2, r31    # arg
+        jal  square
+        add  r1, r1, r4
+        addi r2, r2, -1
+        bne  r2, r31, loop
+        halt
+square: mul  r4, r3, r3
+        jr   r30
+)";
+
+// Two independent accumulator streams plus immediates: generates
+// independent-MOP opportunities (identical/no source operands).
+const char *kStreams = R"(
+        li   r1, 0
+        li   r2, 0
+        li   r3, 300
+loop:   li   r4, 5
+        li   r5, 9
+        add  r1, r1, r4
+        add  r2, r2, r5
+        xor  r6, r1, r2
+        addi r3, r3, -1
+        bne  r3, r31, loop
+        halt
+)";
+
+// 8x8 integer matrix multiply: nested loops, load-heavy inner
+// product with an accumulator chain.
+const char *kMatmul = R"(
+        .data ma 64
+        .data mb 64
+        .data mc 64
+        la   r1, ma
+        la   r2, mb
+        li   r3, 0          # fill a and b with i*7+3 / i*13+1
+fill:   slti r4, r3, 64
+        beq  r4, r31, mul
+        li   r5, 7
+        mul  r6, r3, r5
+        addi r6, r6, 3
+        slli r7, r3, 3
+        add  r8, r1, r7
+        sw   r6, 0(r8)
+        li   r5, 13
+        mul  r6, r3, r5
+        addi r6, r6, 1
+        add  r8, r2, r7
+        sw   r6, 0(r8)
+        addi r3, r3, 1
+        j    fill
+mul:    la   r9, mc
+        li   r10, 0         # i
+loop_i: slti r4, r10, 8
+        beq  r4, r31, done
+        li   r11, 0         # j
+loop_j: slti r4, r11, 8
+        beq  r4, r31, next_i
+        li   r12, 0         # k
+        li   r13, 0         # acc
+loop_k: slti r4, r12, 8
+        beq  r4, r31, store
+        slli r5, r10, 3
+        add  r5, r5, r12
+        slli r5, r5, 3
+        add  r5, r1, r5
+        lw   r6, 0(r5)      # a[i][k]
+        slli r5, r12, 3
+        add  r5, r5, r11
+        slli r5, r5, 3
+        add  r5, r2, r5
+        lw   r7, 0(r5)      # b[k][j]
+        mul  r8, r6, r7
+        add  r13, r13, r8
+        addi r12, r12, 1
+        j    loop_k
+store:  slli r5, r10, 3
+        add  r5, r5, r11
+        slli r5, r5, 3
+        add  r5, r9, r5
+        sw   r13, 0(r5)
+        addi r11, r11, 1
+        j    loop_j
+next_i: addi r10, r10, 1
+        j    loop_i
+done:   halt
+)";
+
+// Bitwise CRC over 64 words: dense shift/xor chains with a
+// data-dependent branch per bit -- a scheduler stress test.
+const char *kCrc = R"(
+        .word poly 3988292384
+        .data buf 64
+        la   r1, buf
+        li   r2, 0          # fill buffer
+cfill:  slti r3, r2, 64
+        beq  r3, r31, crc
+        li   r4, 2654435761
+        mul  r5, r2, r4
+        slli r6, r2, 3
+        add  r6, r1, r6
+        sw   r5, 0(r6)
+        addi r2, r2, 1
+        j    cfill
+crc:    la   r7, poly
+        lw   r7, 0(r7)
+        li   r8, 4294967295 # crc
+        li   r2, 0
+cword:  slti r3, r2, 64
+        beq  r3, r31, cdone
+        slli r6, r2, 3
+        add  r6, r1, r6
+        lw   r9, 0(r6)
+        xor  r8, r8, r9
+        li   r10, 8         # bits
+cbit:   andi r11, r8, 1
+        srli r8, r8, 1
+        beq  r11, r31, cnox
+        xor  r8, r8, r7
+cnox:   addi r10, r10, -1
+        bne  r10, r31, cbit
+        addi r2, r2, 1
+        j    cword
+cdone:  halt
+)";
+
+} // namespace
+
+const std::vector<std::string> &
+kernelNames()
+{
+    static const std::vector<std::string> names = {
+        "fib",  "dotprod", "chase",  "hash", "sort",
+        "calls", "streams", "matmul", "crc"};
+    return names;
+}
+
+std::string
+kernelSource(const std::string &name)
+{
+    if (name == "fib") return kFib;
+    if (name == "dotprod") return kDotprod;
+    if (name == "chase") return kChase;
+    if (name == "hash") return kHash;
+    if (name == "sort") return kSort;
+    if (name == "calls") return kCalls;
+    if (name == "streams") return kStreams;
+    if (name == "matmul") return kMatmul;
+    if (name == "crc") return kCrc;
+    throw std::invalid_argument("unknown kernel: " + name);
+}
+
+} // namespace mop::prog

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * A library of small assembly kernels used by examples and tests.
+ *
+ * Each kernel is a self-contained program that halts, with results left
+ * in registers/memory so tests can verify architectural equivalence
+ * across scheduler configurations.
+ */
+
+#ifndef MOP_PROG_KERNELS_HH
+#define MOP_PROG_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+namespace mop::prog
+{
+
+/** Names of the available kernels. */
+const std::vector<std::string> &kernelNames();
+
+/** Assembly source of a named kernel. Throws on unknown name. */
+std::string kernelSource(const std::string &name);
+
+} // namespace mop::prog
+
+#endif // MOP_PROG_KERNELS_HH

@@ -1,0 +1,286 @@
+#include "prog/program.hh"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mop::prog
+{
+
+namespace
+{
+
+struct Tok
+{
+    std::vector<std::string> words;
+    std::string label;
+};
+
+/** Split one source line into label / mnemonic / operand tokens. */
+Tok
+tokenize(const std::string &line)
+{
+    Tok t;
+    std::string s = line;
+    if (auto hash = s.find('#'); hash != std::string::npos)
+        s = s.substr(0, hash);
+
+    std::string word;
+    auto flush = [&]() {
+        if (!word.empty()) {
+            t.words.push_back(word);
+            word.clear();
+        }
+    };
+    for (char c : s) {
+        if (c == ':') {
+            if (!t.words.empty() || word.empty())
+                throw std::runtime_error("misplaced label");
+            t.label = word;
+            word.clear();
+        } else if (std::isspace(uint8_t(c)) || c == ',') {
+            flush();
+        } else {
+            word += c;
+        }
+    }
+    flush();
+    return t;
+}
+
+int
+parseReg(const std::string &s)
+{
+    if (s.size() < 2 || (s[0] != 'r' && s[0] != 'R'))
+        throw std::runtime_error("expected register, got '" + s + "'");
+    int n = std::stoi(s.substr(1));
+    if (n < 0 || n > 31)
+        throw std::runtime_error("register out of range: " + s);
+    return n;
+}
+
+/** Parse "imm(rN)" memory operands. */
+void
+parseMemOperand(const std::string &s, int64_t &imm, int &base)
+{
+    auto open = s.find('(');
+    auto close = s.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        throw std::runtime_error("expected imm(reg), got '" + s + "'");
+    }
+    std::string imm_s = s.substr(0, open);
+    imm = imm_s.empty() ? 0 : std::stoll(imm_s);
+    base = parseReg(s.substr(open + 1, close - open - 1));
+}
+
+const std::unordered_map<std::string, Mnemonic> &
+mnemonicTable()
+{
+    static const std::unordered_map<std::string, Mnemonic> table = {
+        {"add", Mnemonic::Add},   {"sub", Mnemonic::Sub},
+        {"and", Mnemonic::And},   {"or", Mnemonic::Or},
+        {"xor", Mnemonic::Xor},   {"sll", Mnemonic::Sll},
+        {"srl", Mnemonic::Srl},   {"sra", Mnemonic::Sra},
+        {"slt", Mnemonic::Slt},   {"not", Mnemonic::Not},
+        {"addi", Mnemonic::Addi}, {"andi", Mnemonic::Andi},
+        {"ori", Mnemonic::Ori},   {"xori", Mnemonic::Xori},
+        {"slli", Mnemonic::Slli}, {"srli", Mnemonic::Srli},
+        {"slti", Mnemonic::Slti}, {"li", Mnemonic::Li},
+        {"la", Mnemonic::La},     {"mul", Mnemonic::Mul},
+        {"div", Mnemonic::Div},   {"lw", Mnemonic::Lw},
+        {"sw", Mnemonic::Sw},     {"beq", Mnemonic::Beq},
+        {"bne", Mnemonic::Bne},   {"blt", Mnemonic::Blt},
+        {"bge", Mnemonic::Bge},   {"j", Mnemonic::J},
+        {"jal", Mnemonic::Jal},   {"jr", Mnemonic::Jr},
+        {"nop", Mnemonic::Nop},   {"halt", Mnemonic::Halt},
+    };
+    return table;
+}
+
+bool
+isBranch(Mnemonic m)
+{
+    return m == Mnemonic::Beq || m == Mnemonic::Bne ||
+           m == Mnemonic::Blt || m == Mnemonic::Bge;
+}
+
+} // namespace
+
+isa::OpClass
+opClassOf(Mnemonic m)
+{
+    using isa::OpClass;
+    switch (m) {
+      case Mnemonic::Mul: return OpClass::IntMult;
+      case Mnemonic::Div: return OpClass::IntDiv;
+      case Mnemonic::Lw: return OpClass::Load;
+      case Mnemonic::Sw: return OpClass::StoreAddr;
+      case Mnemonic::Beq:
+      case Mnemonic::Bne:
+      case Mnemonic::Blt:
+      case Mnemonic::Bge: return OpClass::Branch;
+      case Mnemonic::J:
+      case Mnemonic::Jal: return OpClass::Jump;
+      case Mnemonic::Jr: return OpClass::JumpInd;
+      case Mnemonic::Nop:
+      case Mnemonic::Halt: return OpClass::Nop;
+      default: return OpClass::IntAlu;
+    }
+}
+
+Program
+assemble(const std::string &source)
+{
+    Program prog;
+    std::unordered_map<std::string, int> labels;
+
+    // Pass 1: collect labels and data symbols, count instructions.
+    std::vector<std::pair<int, Tok>> lines;  // (line no, tokens)
+    {
+        std::istringstream in(source);
+        std::string line;
+        int line_no = 0;
+        int insn_idx = 0;
+        uint64_t data_cursor = Program::kDataBase;
+        while (std::getline(in, line)) {
+            ++line_no;
+            Tok t;
+            try {
+                t = tokenize(line);
+            } catch (const std::exception &e) {
+                throw std::runtime_error("line " + std::to_string(line_no) +
+                                         ": " + e.what());
+            }
+            if (!t.label.empty())
+                labels[t.label] = insn_idx;
+            if (t.words.empty())
+                continue;
+            if (t.words[0] == ".data" || t.words[0] == ".word") {
+                if (t.words.size() < 3)
+                    throw std::runtime_error(
+                        "line " + std::to_string(line_no) +
+                        ": directive needs a name and a size/values");
+                const std::string &name = t.words[1];
+                prog.symbols[name] = data_cursor;
+                if (t.words[0] == ".data") {
+                    uint64_t words = std::stoull(t.words[2]);
+                    data_cursor += words * 8;
+                } else {
+                    for (size_t i = 2; i < t.words.size(); ++i) {
+                        prog.dataImage[data_cursor] =
+                            std::stoll(t.words[i]);
+                        data_cursor += 8;
+                    }
+                }
+                continue;
+            }
+            lines.emplace_back(line_no, t);
+            ++insn_idx;
+        }
+    }
+
+    // Pass 2: encode instructions.
+    for (auto &[line_no, t] : lines) {
+        auto fail = [&](const std::string &msg) -> void {
+            throw std::runtime_error("line " + std::to_string(line_no) +
+                                     ": " + msg);
+        };
+        auto it = mnemonicTable().find(t.words[0]);
+        if (it == mnemonicTable().end())
+            fail("unknown mnemonic '" + t.words[0] + "'");
+
+        AsmInsn ins;
+        ins.kind = it->second;
+        ins.line = line_no;
+        auto need = [&](size_t n) {
+            if (t.words.size() != n + 1)
+                fail("expected " + std::to_string(n) + " operands");
+        };
+        auto label_of = [&](const std::string &s) {
+            auto l = labels.find(s);
+            if (l == labels.end())
+                fail("unknown label '" + s + "'");
+            return l->second;
+        };
+
+        switch (ins.kind) {
+          case Mnemonic::Add: case Mnemonic::Sub: case Mnemonic::And:
+          case Mnemonic::Or: case Mnemonic::Xor: case Mnemonic::Sll:
+          case Mnemonic::Srl: case Mnemonic::Sra: case Mnemonic::Slt:
+          case Mnemonic::Mul: case Mnemonic::Div:
+            need(3);
+            ins.rd = parseReg(t.words[1]);
+            ins.ra = parseReg(t.words[2]);
+            ins.rb = parseReg(t.words[3]);
+            break;
+          case Mnemonic::Not:
+            need(2);
+            ins.rd = parseReg(t.words[1]);
+            ins.ra = parseReg(t.words[2]);
+            break;
+          case Mnemonic::Addi: case Mnemonic::Andi: case Mnemonic::Ori:
+          case Mnemonic::Xori: case Mnemonic::Slli: case Mnemonic::Srli:
+          case Mnemonic::Slti:
+            need(3);
+            ins.rd = parseReg(t.words[1]);
+            ins.ra = parseReg(t.words[2]);
+            ins.imm = std::stoll(t.words[3]);
+            break;
+          case Mnemonic::Li:
+            need(2);
+            ins.rd = parseReg(t.words[1]);
+            ins.imm = std::stoll(t.words[2]);
+            break;
+          case Mnemonic::La: {
+            need(2);
+            ins.rd = parseReg(t.words[1]);
+            auto s = prog.symbols.find(t.words[2]);
+            if (s == prog.symbols.end())
+                fail("unknown symbol '" + t.words[2] + "'");
+            ins.imm = int64_t(s->second);
+            break;
+          }
+          case Mnemonic::Lw:
+            need(2);
+            ins.rd = parseReg(t.words[1]);
+            parseMemOperand(t.words[2], ins.imm, ins.ra);
+            break;
+          case Mnemonic::Sw:
+            need(2);
+            ins.ra = parseReg(t.words[1]);  // data register
+            parseMemOperand(t.words[2], ins.imm, ins.rb);  // base
+            break;
+          case Mnemonic::Beq: case Mnemonic::Bne:
+          case Mnemonic::Blt: case Mnemonic::Bge:
+            need(3);
+            ins.ra = parseReg(t.words[1]);
+            ins.rb = parseReg(t.words[2]);
+            ins.target = label_of(t.words[3]);
+            break;
+          case Mnemonic::J: case Mnemonic::Jal:
+            need(1);
+            ins.target = label_of(t.words[1]);
+            if (ins.kind == Mnemonic::Jal)
+                ins.rd = 30;
+            break;
+          case Mnemonic::Jr:
+            need(1);
+            ins.ra = parseReg(t.words[1]);
+            break;
+          case Mnemonic::Nop: case Mnemonic::Halt:
+            need(0);
+            break;
+        }
+        if (isBranch(ins.kind) || ins.kind == Mnemonic::J ||
+            ins.kind == Mnemonic::Jal) {
+            if (ins.target < 0)
+                fail("control op without target");
+        }
+        prog.code.push_back(ins);
+    }
+    return prog;
+}
+
+} // namespace mop::prog

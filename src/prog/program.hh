@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A small functional RISC ISA with a textual assembler.
+ *
+ * The timing models in this repository are trace-driven; this module
+ * provides *executed* instruction streams with real register values,
+ * memory addresses and branch outcomes, so that tests can check that
+ * macro-op scheduling preserves architectural behaviour and examples
+ * can run recognizable kernels.
+ *
+ * Syntax (one instruction per line, '#' comments, trailing labels):
+ *
+ *   loop:  add   r1, r2, r3      # r1 = r2 + r3
+ *          addi  r1, r2, 42
+ *          li    r1, 7
+ *          la    r1, table       # address of a .data symbol
+ *          mul/div/and/or/xor/sll/srl/slt ...
+ *          not   r1, r2
+ *          lw    r1, 8(r2)
+ *          sw    r1, 0(r2)
+ *          beq   r1, r2, loop    (also bne, blt, bge)
+ *          j     label
+ *          jal   label           # link register r30
+ *          jr    r30
+ *          nop
+ *          halt
+ *
+ *   .data  name  <words>         # reserve zeroed 8-byte words
+ *   .word  name  v0 v1 ...       # initialized words
+ *
+ * Register r31 always reads zero; writes to it are discarded.
+ */
+
+#ifndef MOP_PROG_PROGRAM_HH
+#define MOP_PROG_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/uop.hh"
+
+namespace mop::prog
+{
+
+/** Assembly-level operation kinds. */
+enum class Mnemonic : uint8_t
+{
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Not,
+    Addi, Andi, Ori, Xori, Slli, Srli, Slti,
+    Li, La, Mul, Div,
+    Lw, Sw,
+    Beq, Bne, Blt, Bge,
+    J, Jal, Jr,
+    Nop, Halt,
+};
+
+/** One assembled instruction. */
+struct AsmInsn
+{
+    Mnemonic kind = Mnemonic::Nop;
+    int rd = -1;
+    int ra = -1;
+    int rb = -1;
+    int64_t imm = 0;
+    int target = -1;   ///< instruction index for branch/jump targets
+    int line = 0;      ///< source line (diagnostics)
+};
+
+/** An assembled program: code plus initialized data image. */
+struct Program
+{
+    std::vector<AsmInsn> code;
+    /** Initial memory image: word address -> value. */
+    std::map<uint64_t, int64_t> dataImage;
+    /** Data symbols: name -> byte address. */
+    std::map<std::string, uint64_t> symbols;
+
+    static constexpr uint64_t kCodeBase = 0x400000;
+    static constexpr uint64_t kDataBase = 0x10000000;
+
+    uint64_t pcOf(int index) const { return kCodeBase + 4 * uint64_t(index); }
+};
+
+/**
+ * Assemble source text into a Program.
+ * @throws std::runtime_error with a line number on any syntax error.
+ */
+Program assemble(const std::string &source);
+
+/** Map a mnemonic to the timing-model op class. */
+isa::OpClass opClassOf(Mnemonic m);
+
+} // namespace mop::prog
+
+#endif // MOP_PROG_PROGRAM_HH

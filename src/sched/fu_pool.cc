@@ -1,0 +1,63 @@
+#include "sched/fu_pool.hh"
+
+#include <cassert>
+
+namespace mop::sched
+{
+
+FuPool::FuPool(const std::array<int, isa::kNumFuKinds> &counts)
+    : counts_(counts)
+{
+    for (size_t k = 0; k < isa::kNumFuKinds; ++k)
+        busyUntil_[k].assign(size_t(counts[k]), 0);
+}
+
+int
+FuPool::freeUnits(size_t kind, Cycle c) const
+{
+    int n = 0;
+    for (Cycle b : busyUntil_[kind])
+        if (b <= c)
+            ++n;
+    return n;
+}
+
+int
+FuPool::reservedAt(size_t kind, Cycle c) const
+{
+    const auto &slot = reserved_[kind][c % kRing];
+    return slot.first == c ? slot.second : 0;
+}
+
+bool
+FuPool::available(isa::OpClass op, Cycle c) const
+{
+    auto kind = size_t(isa::opFuKind(op));
+    if (kind >= isa::kNumFuKinds)
+        return true;  // no FU needed
+    return freeUnits(kind, c) - reservedAt(kind, c) > 0;
+}
+
+void
+FuPool::reserve(isa::OpClass op, Cycle c)
+{
+    auto kind = size_t(isa::opFuKind(op));
+    if (kind >= isa::kNumFuKinds)
+        return;
+    assert(available(op, c));
+    auto &slot = reserved_[kind][c % kRing];
+    if (slot.first != c)
+        slot = {c, 0};
+    ++slot.second;
+    if (isa::opUnpipelined(op)) {
+        for (auto &b : busyUntil_[kind]) {
+            if (b <= c) {
+                b = c + Cycle(isa::opLatency(op));
+                return;
+            }
+        }
+        assert(false && "unpipelined reserve with no free unit");
+    }
+}
+
+} // namespace mop::sched

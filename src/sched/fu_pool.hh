@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Functional-unit pool: tracks per-kind unit availability per cycle.
+ *
+ * Pipelined units accept a new op every cycle (initiation interval 1);
+ * unpipelined units (divides) stay busy for their full latency.
+ * Reservations are made at select time, possibly for a future cycle
+ * (the second op of a macro-op executes one cycle after the first).
+ * Because every op traverses a fixed dispatch depth, FU contention at
+ * select time is equivalent to contention at execute.
+ */
+
+#ifndef MOP_SCHED_FU_POOL_HH
+#define MOP_SCHED_FU_POOL_HH
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "sched/types.hh"
+
+namespace mop::sched
+{
+
+class FuPool
+{
+  public:
+    explicit FuPool(const std::array<int, isa::kNumFuKinds> &counts);
+
+    /** Can an op of this class be accepted at cycle @p c? */
+    bool available(isa::OpClass op, Cycle c) const;
+
+    /** Reserve a unit for an op of this class starting at cycle @p c.
+     *  Must be preceded by a successful available() check. */
+    void reserve(isa::OpClass op, Cycle c);
+
+  private:
+    static constexpr size_t kRing = 64;  ///< reservation horizon
+
+    int freeUnits(size_t kind, Cycle c) const;
+    int reservedAt(size_t kind, Cycle c) const;
+
+    std::array<int, isa::kNumFuKinds> counts_;
+    /** Per-unit busy-until (exclusive) for unpipelined occupancy. */
+    std::array<std::vector<Cycle>, isa::kNumFuKinds> busyUntil_;
+    /** Stamped ring of initiation counts per cycle. */
+    std::array<std::array<std::pair<Cycle, int>, kRing>,
+               isa::kNumFuKinds> reserved_{};
+};
+
+} // namespace mop::sched
+
+#endif // MOP_SCHED_FU_POOL_HH

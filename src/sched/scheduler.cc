@@ -1,0 +1,781 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mop::sched
+{
+
+namespace
+{
+
+/** Debug: trace one tag's lifecycle via MOP_TRACE_TAG. */
+Tag
+traceTag()
+{
+    static Tag t = [] {
+        const char *e = std::getenv("MOP_TRACE_TAG");
+        return e ? Tag(std::atoi(e)) : Tag(-2);
+    }();
+    return t;
+}
+
+/** Source budget per issue-queue entry for each wakeup style. */
+int
+maxSrcsFor(WakeupStyle s)
+{
+    return s == WakeupStyle::Cam2 ? 2 : kMaxEntrySrcs;
+}
+
+} // namespace
+
+Scheduler::Scheduler(const SchedParams &params)
+    : params_(params), fu_(params.fuCounts)
+{
+    assert(!(params_.mopEnabled &&
+             (params_.policy == SchedPolicy::SelectFreeSquashDep ||
+              params_.policy == SchedPolicy::SelectFreeScoreboard)) &&
+           "macro-op scheduling is built on the 2-cycle policy");
+
+    int n = params_.numEntries > 0 ? params_.numEntries : 512;
+    entries_.resize(size_t(n));
+    freeList_.reserve(size_t(n));
+    for (int i = n - 1; i >= 0; --i)
+        freeList_.push_back(i);
+}
+
+bool
+Scheduler::isSelectFree() const
+{
+    return params_.policy == SchedPolicy::SelectFreeSquashDep ||
+           params_.policy == SchedPolicy::SelectFreeScoreboard;
+}
+
+int
+Scheduler::execLatency(const SchedOp &op)
+{
+    return isa::opLatency(op.op);
+}
+
+int
+Scheduler::schedDepthVal() const
+{
+    if (params_.schedDepth > 0)
+        return params_.schedDepth;
+    return params_.policy == SchedPolicy::TwoCycle ? 2 : 1;
+}
+
+int
+Scheduler::schedLatency(const Entry &e) const
+{
+    // An N-op MOP is a non-pipelined N-cycle unit with one broadcast:
+    // consumers of the last op see back-to-back timing as long as the
+    // scheduling-loop depth does not exceed the MOP size.
+    if (e.numOps > 1)
+        return std::max(e.numOps, schedDepthVal());
+    const SchedOp &op = e.ops[0];
+    int lat = execLatency(op);
+    if (op.op == isa::OpClass::Load)
+        lat += params_.dl1HitLatency;  // speculative hit assumption
+    return std::max(lat, schedDepthVal());
+}
+
+void
+Scheduler::ensureTag(Tag t)
+{
+    if (t < 0)
+        return;
+    if (size_t(t) >= tagReady_.size()) {
+        size_t n = size_t(t) + size_t(t) / 2 + 64;
+        tagReady_.resize(n, 0);
+        tagValueReady_.resize(n, kNoCycle);
+        tagReadyAt_.resize(n, kNoCycle);
+    }
+}
+
+bool
+Scheduler::tagIsReady(Tag t) const
+{
+    return t >= 0 && size_t(t) < tagReady_.size() && tagReady_[size_t(t)];
+}
+
+bool
+Scheduler::canInsert(int needed) const
+{
+    return int(freeList_.size()) >= needed;
+}
+
+int
+Scheduler::allocEntry()
+{
+    if (freeList_.empty())
+        throw std::logic_error(
+            "issue-queue overflow: insert() without canInsert()");
+    int idx = freeList_.back();
+    freeList_.pop_back();
+    ++occupied_;
+    return idx;
+}
+
+void
+Scheduler::freeEntry(int idx)
+{
+    Entry &e = entries_[size_t(idx)];
+    assert(e.valid);
+    if (e.dstTag == traceTag())
+        std::fprintf(stderr, "[tag] freeEntry entry=%d numOps=%d outBcast=%d\n",
+                     idx, e.numOps, e.outBcast);
+    cancelBcast(idx);
+    e.valid = false;
+    ++e.gen;
+    --occupied_;
+    freeList_.push_back(idx);
+}
+
+int &
+Scheduler::slotDebt(Cycle c)
+{
+    auto &slot = slotDebt_[c % kRing];
+    if (slot.first != c)
+        slot = {c, 0};
+    return slot.second;
+}
+
+int
+Scheduler::insert(const SchedOp &op, Cycle now, bool expect_tail)
+{
+    ensureTag(op.dst);
+    ensureTag(op.src[0]);
+    ensureTag(op.src[1]);
+
+    int idx = allocEntry();
+    Entry &e = entries_[size_t(idx)];
+    uint32_t gen = e.gen;
+    e = Entry{};
+    e.gen = gen;
+    e.valid = true;
+    e.pending = expect_tail;
+    e.numOps = 1;
+    e.ops[0] = op;
+    e.dstTag = op.dst;
+    e.minSeq = e.maxSeq = op.seq;
+    e.age = nextAge_++;
+    e.minIssue = now + 1;
+    e.outBcast = -1;
+
+    for (Tag t : op.src) {
+        if (t == kNoTag)
+            continue;
+        bool dup = false;
+        for (int s = 0; s < e.numSrcs; ++s)
+            dup = dup || e.srcTags[size_t(s)] == t;
+        if (dup)
+            continue;
+        int s = e.numSrcs++;
+        e.srcTags[size_t(s)] = t;
+        e.srcReady[size_t(s)] = tagIsReady(t);
+        e.srcReadyAt[size_t(s)] =
+            e.srcReady[size_t(s)] ? tagReadyAt_[size_t(t)] : kNoCycle;
+        e.srcFromTail[size_t(s)] = false;
+    }
+    ++insertedOps_;
+    ++insertedEntries_;
+    if (op.dst == traceTag())
+        std::fprintf(stderr, "[tag] %lu: insert seq=%lu entry=%d expect_tail=%d\n",
+                     (unsigned long)now, (unsigned long)op.seq, idx, expect_tail);
+    if (debugTrace_)
+        std::fprintf(stderr,
+                     "[sched] %lu: insert seq=%lu dst=%d srcs=%d,%d "
+                     "ready=%d,%d\n",
+                     (unsigned long)now, (unsigned long)op.seq, op.dst,
+                     e.numSrcs > 0 ? e.srcTags[0] : -99,
+                     e.numSrcs > 1 ? e.srcTags[1] : -99,
+                     e.numSrcs > 0 ? int(e.srcReady[0]) : -1,
+                     e.numSrcs > 1 ? int(e.srcReady[1]) : -1);
+
+    if (!e.pending && entryFullyReady(e)) {
+        e.readyAt = now + 1;
+        if (isSelectFree() && !e.collided)
+            scheduleBcast(idx, e.readyAt + Cycle(schedLatency(e)), true);
+    }
+    return idx;
+}
+
+bool
+Scheduler::appendTail(int idx, const SchedOp &tail, Cycle now,
+                      bool more_coming)
+{
+    Entry &e = entries_[size_t(idx)];
+    if (!e.valid || !e.pending || e.issued) {
+        if (debugTrace_)
+            std::fprintf(stderr,
+                         "[sched] %lu: appendTail to bad entry %d "
+                         "(valid=%d pending=%d issued=%d seq=%lu)\n",
+                         (unsigned long)now, idx, e.valid, e.pending,
+                         e.issued, (unsigned long)tail.seq);
+        return false;
+    }
+    if (e.numOps >= std::min(params_.maxMopSize, kMaxMopOps))
+        return false;
+    ensureTag(tail.src[0]);
+    ensureTag(tail.src[1]);
+
+    int budget = maxSrcsFor(params_.style);
+    // Dry-run the source union first so failure leaves the entry intact.
+    std::array<Tag, 2> fresh = {kNoTag, kNoTag};
+    int n_fresh = 0;
+    for (Tag t : tail.src) {
+        if (t == kNoTag || t == e.dstTag)  // internal head->tail edge
+            continue;
+        bool dup = false;
+        for (int s = 0; s < e.numSrcs; ++s)
+            dup = dup || e.srcTags[size_t(s)] == t;
+        for (int f = 0; f < n_fresh; ++f)
+            dup = dup || fresh[size_t(f)] == t;
+        if (!dup)
+            fresh[size_t(n_fresh++)] = t;
+    }
+    if (e.numSrcs + n_fresh > budget)
+        return false;
+
+    for (int f = 0; f < n_fresh; ++f) {
+        Tag t = fresh[size_t(f)];
+        int s = e.numSrcs++;
+        e.srcTags[size_t(s)] = t;
+        e.srcReady[size_t(s)] = tagIsReady(t);
+        e.srcReadyAt[size_t(s)] =
+            e.srcReady[size_t(s)] ? tagReadyAt_[size_t(t)] : kNoCycle;
+        e.srcFromTail[size_t(s)] = true;
+    }
+    if (e.dstTag == traceTag() || tail.dst == traceTag())
+        std::fprintf(stderr, "[tag] %lu: appendTail seq=%lu entry=%d more=%d\n",
+                     (unsigned long)now, (unsigned long)tail.seq, idx, more_coming);
+    e.ops[size_t(e.numOps)] = tail;
+    ++e.numOps;
+    e.maxSeq = tail.seq;
+    e.pending = more_coming;
+    e.minIssue = std::max(e.minIssue, now + 1);
+    ++insertedOps_;
+    if (!e.pending && entryFullyReady(e))
+        e.readyAt = now + 1;
+    return true;
+}
+
+void
+Scheduler::clearPending(int idx)
+{
+    Entry &e = entries_[size_t(idx)];
+    assert(e.valid);
+    if (e.dstTag == traceTag())
+        std::fprintf(stderr, "[tag] clearPending entry=%d numOps=%d\n",
+                     idx, e.numOps);
+    e.pending = false;
+    if (entryFullyReady(e) && e.readyAt == kNoCycle)
+        e.readyAt = e.minIssue;
+}
+
+bool
+Scheduler::entryFullyReady(const Entry &e) const
+{
+    for (int s = 0; s < e.numSrcs; ++s)
+        if (!e.srcReady[size_t(s)])
+            return false;
+    return true;
+}
+
+void
+Scheduler::scheduleBcast(int entry_idx, Cycle fire, bool speculative)
+{
+    Entry &e = entries_[size_t(entry_idx)];
+    if (e.dstTag == kNoTag)
+        return;
+    int id;
+    if (!bcastFree_.empty()) {
+        id = bcastFree_.back();
+        bcastFree_.pop_back();
+    } else {
+        id = int(bcastPool_.size());
+        bcastPool_.emplace_back();
+    }
+    bcastPool_[size_t(id)] =
+        Broadcast{e.dstTag, entry_idx, e.gen, false, speculative};
+    bcastRing_[fire % kRing].push_back(id);
+    e.outBcast = id;
+    if (e.dstTag == traceTag())
+        std::fprintf(stderr, "[tag] bcast scheduled fire=%lu spec=%d\n",
+                     (unsigned long)fire, speculative);
+    if (debugTrace_) {
+        std::fprintf(stderr, "[sched] bcast tag=%d entry=%d fire=%lu%s\n",
+                     e.dstTag, entry_idx, (unsigned long)fire,
+                     speculative ? " (spec)" : "");
+    }
+}
+
+void
+Scheduler::cancelBcast(int entry_idx)
+{
+    Entry &e = entries_[size_t(entry_idx)];
+    if (e.dstTag == traceTag() && e.outBcast >= 0)
+        std::fprintf(stderr, "[tag] bcast CANCELED entry=%d\n", entry_idx);
+    if (e.outBcast >= 0) {
+        bcastPool_[size_t(e.outBcast)].canceled = true;
+        e.outBcast = -1;
+    }
+}
+
+void
+Scheduler::onEntryBecameReady(int idx, Cycle now)
+{
+    Entry &e = entries_[size_t(idx)];
+    e.readyAt = now;
+    if (debugTrace_)
+        std::fprintf(stderr, "[sched] %lu: becameReady seq=%lu nsrc=%d\n",
+                     (unsigned long)now, (unsigned long)e.ops[0].seq,
+                     e.numSrcs);
+    if (isSelectFree() && !e.collided && !e.issued && e.outBcast < 0) {
+        // Speculate selection at the earliest cycle the entry can
+        // actually request (a replayed entry is held back by its
+        // replay penalty; broadcasting earlier would wake consumers
+        // with no collision to recall them).
+        Cycle earliest = std::max(now, e.minIssue);
+        scheduleBcast(idx, earliest + Cycle(schedLatency(e)), true);
+    }
+}
+
+void
+Scheduler::deliverBcasts(Cycle now)
+{
+    auto &ring = bcastRing_[now % kRing];
+    for (size_t r = 0; r < ring.size(); ++r) {
+        int id = ring[r];
+        // Copy, not a reference: waking an entry can schedule a new
+        // broadcast, growing the pool and invalidating references.
+        Broadcast b = bcastPool_[size_t(id)];
+        if (!b.canceled) {
+            // The producing entry's broadcast has left the bus.
+            if (b.entry >= 0) {
+                Entry &src = entries_[size_t(b.entry)];
+                if (src.gen == b.gen && src.outBcast == id)
+                    src.outBcast = -1;
+            }
+            ensureTag(b.tag);
+            if (b.tag == traceTag())
+                std::fprintf(stderr, "[tag] %lu: DELIVERED\n",
+                             (unsigned long)now);
+            tagReady_[size_t(b.tag)] = 1;
+            tagReadyAt_[size_t(b.tag)] = now;
+            if (debugTrace_)
+                std::fprintf(stderr, "[sched] %lu: deliver tag=%d\n",
+                             (unsigned long)now, b.tag);
+            for (size_t i = 0; i < entries_.size(); ++i) {
+                Entry &e = entries_[i];
+                if (!e.valid)
+                    continue;
+                bool changed = false;
+                for (int s = 0; s < e.numSrcs; ++s) {
+                    if (e.srcTags[size_t(s)] == b.tag &&
+                        !e.srcReady[size_t(s)]) {
+                        e.srcReady[size_t(s)] = true;
+                        e.srcReadyAt[size_t(s)] = now;
+                        changed = true;
+                    }
+                }
+                if (changed && !e.pending && !e.issued &&
+                    entryFullyReady(e)) {
+                    onEntryBecameReady(int(i), now);
+                }
+            }
+        } else if (b.entry >= 0) {
+            Entry &src = entries_[size_t(b.entry)];
+            if (src.gen == b.gen && src.outBcast == id)
+                src.outBcast = -1;
+        }
+        bcastFree_.push_back(id);
+    }
+    ring.clear();
+}
+
+void
+Scheduler::invalidateEntry(int idx, Cycle now)
+{
+    Entry &e = entries_[size_t(idx)];
+    assert(e.valid && e.issued);
+    if (debugTrace_)
+        std::fprintf(stderr, "[sched] %lu: invalidate seq=%lu\n",
+                     (unsigned long)now, (unsigned long)e.ops[0].seq);
+    e.issued = false;
+    ++e.gen;  // cancels in-flight completion/discovery/kill events
+    e.completedOps = 0;
+    e.minIssue = now + Cycle(params_.replayPenalty);
+    cancelBcast(idx);
+    if (e.dstTag != kNoTag)
+        tagValueReady_[size_t(e.dstTag)] = kNoCycle;
+}
+
+void
+Scheduler::recallTag(Tag tag, Cycle now)
+{
+    if (tag == kNoTag)
+        return;
+    ensureTag(tag);
+    if (tag == traceTag())
+        std::fprintf(stderr, "[tag] %lu: RECALLED\n", (unsigned long)now);
+    tagReady_[size_t(tag)] = 0;
+    tagReadyAt_[size_t(tag)] = kNoCycle;
+    tagValueReady_[size_t(tag)] = kNoCycle;
+    if (debugTrace_)
+        std::fprintf(stderr, "[sched] %lu: recall tag=%d\n",
+                     (unsigned long)now, tag);
+
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
+        if (!e.valid)
+            continue;
+        bool cleared = false;
+        for (int s = 0; s < e.numSrcs; ++s) {
+            if (e.srcTags[size_t(s)] == tag && e.srcReady[size_t(s)]) {
+                e.srcReady[size_t(s)] = false;
+                e.srcReadyAt[size_t(s)] = kNoCycle;
+                cleared = true;
+            }
+        }
+        if (!cleared)
+            continue;
+        if (e.issued) {
+            // Selectively replay the mis-scheduled consumer and undo
+            // the wakeups it caused in turn.
+            ++replays_;
+            invalidateEntry(int(i), now);
+            recallTag(e.dstTag, now);
+        } else if (e.outBcast >= 0) {
+            // Un-issued consumer with a speculative (select-free)
+            // broadcast outstanding: recall it transitively.
+            cancelBcast(int(i));
+            e.readyAt = kNoCycle;
+            recallTag(e.dstTag, now);
+        } else {
+            e.readyAt = kNoCycle;
+        }
+    }
+}
+
+void
+Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
+{
+    Entry &e = entries_[size_t(idx)];
+    e.issued = true;
+    e.issueCycle = now;
+    e.completedOps = 0;
+    if (debugTrace_)
+        std::fprintf(stderr, "[sched] %lu: issue seq=%lu tag=%d\n",
+                     (unsigned long)now, (unsigned long)e.ops[0].seq,
+                     e.dstTag);
+    ++issuedEntries_;
+    issuedOps_ += uint64_t(e.numOps);
+    lastProgress_ = now;
+
+    fu_.reserve(e.ops[0].op, now);
+    for (int k = 1; k < e.numOps; ++k) {
+        fu_.reserve(e.ops[size_t(k)].op, now + Cycle(k));
+        ++slotDebt(now + Cycle(k));  // the MOP sequences through its slot
+    }
+
+    // Broadcast scheduling. Select-free entries that were never
+    // collision victims already broadcast speculatively at ready time
+    // with identical timing; everything else broadcasts issue-gated.
+    if (e.outBcast < 0)
+        scheduleBcast(idx, now + Cycle(schedLatency(e)), false);
+
+    bool pileup = false;
+    if (params_.policy == SchedPolicy::SelectFreeScoreboard) {
+        // Scoreboard check: a mis-woken consumer flows to RF and is
+        // killed there if any source value is not actually available.
+        Cycle exec_start = now + Cycle(params_.dispatchDepth);
+        for (int s = 0; s < e.numSrcs; ++s) {
+            Tag t = e.srcTags[size_t(s)];
+            if (t == kNoTag)
+                continue;
+            Cycle vr = tagValueReady_[size_t(t)];
+            if (vr == kNoCycle || vr > exec_start)
+                pileup = true;
+        }
+    }
+    if (pileup) {
+        ++pileupKills_;
+        // The op occupies its slot/FU down to RF, then is invalidated.
+        recallRing_[(now + Cycle(params_.dispatchDepth)) % kRing]
+            .push_back(RecallEv{idx, e.gen});
+        return;
+    }
+
+    // Per-op execution timing.
+    for (int o = 0; o < e.numOps; ++o) {
+        const SchedOp &op = e.ops[size_t(o)];
+        Cycle exec_start = now + Cycle(params_.dispatchDepth) + Cycle(o);
+        Cycle complete = exec_start + Cycle(execLatency(op));
+        bool was_miss = false;
+        if (op.op == isa::OpClass::Load) {
+            int mem_lat =
+                loadLatency_ ? loadLatency_(op.seq) : params_.dl1HitLatency;
+            was_miss = mem_lat > params_.dl1HitLatency;
+            complete += Cycle(mem_lat);
+            if (was_miss) {
+                // Mis-scheduling discovered when addr-gen completes.
+                Cycle discover = exec_start + 1;
+                Cycle corrected =
+                    std::max(complete - Cycle(params_.dispatchDepth),
+                             discover + 1);
+                missRing_[discover % kRing].push_back(
+                    MissDiscoveryEv{idx, e.gen, corrected});
+            }
+        }
+        e.opComplete[size_t(o)] = complete;
+        ExecEvent ev;
+        ev.seq = op.seq;
+        ev.issued = now;
+        ev.execStart = exec_start;
+        ev.complete = complete;
+        ev.isLoad = op.op == isa::OpClass::Load;
+        ev.wasMiss = was_miss;
+        compRing_[complete % kRing].push_back(
+            CompletionEv{idx, e.gen, o, ev});
+    }
+    if (e.dstTag != kNoTag) {
+        tagValueReady_[size_t(e.dstTag)] =
+            e.opComplete[size_t(e.numOps - 1)];
+    }
+
+    if (e.numOps > 1 && mop_issues) {
+        Cycle max_head = 0, max_tail = 0;
+        bool has_tail_src = false;
+        for (int s = 0; s < e.numSrcs; ++s) {
+            Cycle r = e.srcReadyAt[size_t(s)];
+            if (r == kNoCycle)
+                r = 0;  // ready since before insertion
+            if (e.srcFromTail[size_t(s)]) {
+                has_tail_src = true;
+                max_tail = std::max(max_tail, r);
+            } else {
+                max_head = std::max(max_head, r);
+            }
+        }
+        MopIssue mi;
+        mi.headSeq = e.ops[0].seq;
+        mi.tailSeq = e.ops[size_t(e.numOps - 1)].seq;
+        mi.numOps = e.numOps;
+        mi.tailLastArriving = has_tail_src && max_tail > max_head;
+        mop_issues->push_back(mi);
+    }
+}
+
+void
+Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
+{
+    readyScratch_.clear();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (e.valid && !e.pending && !e.issued && e.minIssue <= now &&
+            entryFullyReady(e)) {
+            readyScratch_.push_back(int(i));
+        }
+    }
+    std::sort(readyScratch_.begin(), readyScratch_.end(),
+              [this](int a, int b) {
+                  return entries_[size_t(a)].age < entries_[size_t(b)].age;
+              });
+
+    int width = params_.issueWidth - slotDebt(now);
+    for (int idx : readyScratch_) {
+        Entry &e = entries_[size_t(idx)];
+        bool fu_ok = fu_.available(e.ops[0].op, now) &&
+                     (e.numOps < 2 || fu_.available(e.ops[1].op, now + 1));
+        if (width > 0 && fu_ok) {
+            issueEntry(idx, now, mop_issues);
+            --width;
+            continue;
+        }
+        // Selection loss. Under select-free policies this is a
+        // collision: the entry's speculative wakeup was premature.
+        if (isSelectFree() && !e.collided) {
+            ++collisions_;
+            e.collided = true;
+            if (params_.policy == SchedPolicy::SelectFreeSquashDep) {
+                // The squash-dep mechanism detects the victim in the
+                // select stage and selectively squashes dependents one
+                // cycle later; the victim re-broadcasts at real issue.
+                recallRing_[(now + 1) % kRing].push_back(
+                    RecallEv{idx, e.gen});
+            }
+        }
+    }
+}
+
+void
+Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
+                std::vector<MopIssue> *mop_issues)
+{
+    occAvg_.sample(double(occupied_));
+
+    deliverBcasts(now);
+
+    // Load-miss discoveries: recall the speculative hit-time wakeup and
+    // schedule the corrected one.
+    {
+        auto &ring = missRing_[now % kRing];
+        for (const auto &ev : ring) {
+            Entry &e = entries_[size_t(ev.entry)];
+            if (!e.valid || e.gen != ev.gen || !e.issued)
+                continue;
+            cancelBcast(ev.entry);  // if the spec wakeup has not fired
+            recallTag(e.dstTag, now);
+            tagValueReady_[size_t(e.dstTag)] =
+                e.opComplete[size_t(e.numOps - 1)];
+            scheduleBcast(ev.entry, ev.correctedBcast, false);
+        }
+        ring.clear();
+    }
+
+    doSelect(now, mop_issues);
+
+    // Recall events land here, after this cycle's select (mis-woken
+    // dependents may have consumed issue slots this cycle; that is the
+    // modeled cost). Under the scoreboard policy these are pileup
+    // victims reaching RF; under squash-dep they repair a collision
+    // victim's premature wakeup tree.
+    {
+        auto &ring = recallRing_[now % kRing];
+        for (const auto &ev : ring) {
+            Entry &e = entries_[size_t(ev.entry)];
+            if (!e.valid || e.gen != ev.gen)
+                continue;
+            if (params_.policy == SchedPolicy::SelectFreeScoreboard) {
+                if (e.issued)
+                    invalidateEntry(ev.entry, now);
+                continue;
+            }
+            // Squash-dep: undo the speculative wakeup tree. If the
+            // victim managed to issue in the meantime, re-broadcast
+            // with its true issue timing instead of invalidating it.
+            cancelBcast(ev.entry);
+            bool was_issued = e.issued;
+            recallTag(e.dstTag, now);
+            if (was_issued && e.dstTag != kNoTag) {
+                tagValueReady_[size_t(e.dstTag)] =
+                    e.opComplete[size_t(e.numOps - 1)];
+                scheduleBcast(ev.entry,
+                              e.issueCycle + Cycle(schedLatency(e)),
+                              false);
+            }
+        }
+        ring.clear();
+    }
+
+    // Completions: free entries and report executed ops.
+    {
+        auto &ring = compRing_[now % kRing];
+        bool any = false;
+        for (const auto &ev : ring) {
+            Entry &e = entries_[size_t(ev.entry)];
+            if (!e.valid || e.gen != ev.gen || !e.issued ||
+                ev.opIdx >= e.numOps) {
+                continue;
+            }
+            completed.push_back(ev.ev);
+            any = true;
+            if (++e.completedOps == e.numOps)
+                freeEntry(ev.entry);
+        }
+        ring.clear();
+        if (any)
+            lastProgress_ = now;
+    }
+
+    if (occupied_ > 0 && now > lastProgress_ &&
+        now - lastProgress_ > params_.watchdogCycles) {
+        std::ostringstream ss;
+        ss << "scheduler deadlock: " << occupied_
+           << " entries stuck, no issue since cycle " << lastProgress_
+           << " (now " << now << ")";
+        for (const auto &e : entries_) {
+            if (!e.valid)
+                continue;
+            ss << "\n  entry seq=" << e.ops[0].seq
+               << (e.numOps == 2 ? "+" : "")
+               << (e.numOps == 2 ? std::to_string(e.ops[1].seq) : "")
+               << " op=" << isa::opClassName(e.ops[0].op)
+               << " pending=" << e.pending << " issued=" << e.issued
+               << " minIssue=" << e.minIssue << " srcs=[";
+            for (int s = 0; s < e.numSrcs; ++s) {
+                ss << e.srcTags[size_t(s)] << ":"
+                   << (e.srcReady[size_t(s)] ? "R" : "w")
+                   << (tagIsReady(e.srcTags[size_t(s)]) ? "/TR" : "/tw")
+                   << " ";
+            }
+            ss << "]";
+        }
+        throw DeadlockError(ss.str());
+    }
+}
+
+void
+Scheduler::squashAfter(uint64_t seq)
+{
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
+        if (!e.valid)
+            continue;
+        if (e.minSeq > seq) {
+            freeEntry(int(i));
+            continue;
+        }
+        if (e.numOps > 1 && e.maxSeq > seq) {
+            // Squashed MOP suffix: surviving prefix stays; source
+            // operands contributed by squashed ops are forced ready
+            // (Section 5.3.2).
+            int keep = 1;
+            while (keep < e.numOps && e.ops[size_t(keep)].seq <= seq)
+                ++keep;
+            e.numOps = keep;
+            e.maxSeq = e.ops[size_t(keep - 1)].seq;
+            for (int s = 0; s < e.numSrcs; ++s) {
+                if (e.srcFromTail[size_t(s)]) {
+                    e.srcReady[size_t(s)] = true;
+                    e.srcReadyAt[size_t(s)] = 0;
+                }
+            }
+            if (e.pending)
+                e.pending = false;
+        }
+        if (e.pending && e.maxSeq <= seq) {
+            // The expected tail will never arrive.
+            e.pending = false;
+        }
+    }
+}
+
+void
+Scheduler::addStats(stats::StatGroup &g) const
+{
+    g.addFormula("sched.issuedOps",
+                 [this] { return double(issuedOps_); }, "ops issued");
+    g.addFormula("sched.issuedEntries",
+                 [this] { return double(issuedEntries_); },
+                 "entries issued");
+    g.addFormula("sched.replays",
+                 [this] { return double(replays_); },
+                 "selective-replay invalidations");
+    g.addFormula("sched.collisions",
+                 [this] { return double(collisions_); },
+                 "select-free collision victims");
+    g.addFormula("sched.pileupKills",
+                 [this] { return double(pileupKills_); },
+                 "scoreboard pileup victims");
+    g.addFormula("sched.avgOccupancy",
+                 [this] { return occAvg_.mean(); },
+                 "mean issue-queue entries occupied");
+}
+
+} // namespace mop::sched

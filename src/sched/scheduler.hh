@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The out-of-order instruction scheduler: issue queue, wakeup, select,
+ * speculative load scheduling with selective replay, and the four
+ * scheduling-loop organizations the paper evaluates (Section 6.2):
+ *
+ *  - Atomic ("base"): ideally pipelined scheduling logic; dependent
+ *    single-cycle operations issue in consecutive cycles.
+ *  - TwoCycle: pipelined wakeup and select; the scheduler-visible
+ *    latency of every dependence edge is at least two cycles.
+ *  - SelectFreeSquashDep / SelectFreeScoreboard: Brown et al.'s
+ *    select-free scheduling; wakeup is speculative (performed at
+ *    ready time, before selection) and collisions are repaired by
+ *    dependent-squashing or by a register scoreboard at RF.
+ *
+ * Macro-op support: an issue-queue entry can hold two single-cycle
+ * operations that behave as one non-pipelined two-cycle unit: one
+ * source-operand union, one tag broadcast, one select; the second op
+ * executes one cycle after the first through the same issue slot
+ * (Sections 3 and 5.3.1 of the paper). MOP entries require the
+ * TwoCycle policy.
+ *
+ * Timing model. An entry selected at cycle s begins execution at
+ * s + dispatchDepth (the Disp/Disp/RF/RF stages of Figure 2) and its
+ * value is available at execStart + latency. Consumers woken by a
+ * broadcast delivered at cycle w can be selected at w. The broadcast
+ * for an entry issued at s is delivered at s + L where L is the
+ * scheduler-visible latency of the policy; this reproduces exactly the
+ * wakeup/select timings of Figure 5.
+ *
+ * Loads are scheduled speculatively assuming a DL1 hit. On a miss,
+ * discovered when address generation completes, the speculative
+ * broadcast is recalled: ready bits set by it are cleared transitively
+ * and consumers that already issued inside the load shadow are
+ * selectively invalidated and replayed with a penalty (Table 1's
+ * "speculative scheduling with selective replay, 2-cycle penalty").
+ */
+
+#ifndef MOP_SCHED_SCHEDULER_HH
+#define MOP_SCHED_SCHEDULER_HH
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/fu_pool.hh"
+#include "sched/types.hh"
+#include "stats/stats.hh"
+
+namespace mop::sched
+{
+
+/** Thrown by the forward-progress watchdog (e.g. MOP-induced cycles). */
+class DeadlockError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Reported at select time for each issued MOP entry (Section 5.4.2). */
+struct MopIssue
+{
+    uint64_t headSeq = 0;
+    uint64_t tailSeq = 0;  ///< last op of the MOP
+    int numOps = 2;
+    /** The operand that triggered issue belongs to the tail only:
+     *  grouping delayed consumers of the head (Figure 12b). */
+    bool tailLastArriving = false;
+};
+
+class Scheduler
+{
+  public:
+    /** Returns the memory latency (beyond address generation) of the
+     *  load with dynamic id @p seq; > dl1HitLatency means a miss. */
+    using LoadLatencyFn = std::function<int(uint64_t seq)>;
+
+    explicit Scheduler(const SchedParams &params);
+
+    void setLoadLatencyFn(LoadLatencyFn fn) { loadLatency_ = std::move(fn); }
+
+    /** True if @p needed more entries can be inserted this cycle. */
+    bool canInsert(int needed = 1) const;
+
+    /**
+     * Insert a single op (or a MOP head) during cycle @p now; it is
+     * selectable from now+1. If @p expect_tail, the entry is marked
+     * pending and will not request selection until the tail arrives
+     * (Figure 11's insertion policy).
+     * @return the entry index.
+     */
+    int insert(const SchedOp &op, Cycle now, bool expect_tail = false);
+
+    /** Join the next MOP op to a pending entry. Sources are unioned;
+     *  internal edges (sources naming the MOP's own tag) are elided.
+     *  With @p more_coming the entry stays pending for a further link
+     *  (MOP sizes > 2, Section 4.3). Returns false if the union
+     *  exceeds the wakeup style's source budget or the entry is full
+     *  (caller bug: detection must prevent this). */
+    bool appendTail(int entry, const SchedOp &tail, Cycle now,
+                    bool more_coming = false);
+
+    /** The expected tail never arrived; the head becomes a plain op. */
+    void clearPending(int entry);
+
+    /**
+     * Advance one cycle. Delivers wakeups, selects and issues, applies
+     * recalls/replays, and reports per-op completions in @p completed
+     * (entries are freed as their ops complete).
+     */
+    void tick(Cycle now, std::vector<ExecEvent> &completed,
+              std::vector<MopIssue> *mop_issues = nullptr);
+
+    /** Squash every op younger than @p seq (exclusive). MOP entries
+     *  split by the squash point keep their head; tail-contributed
+     *  source operands are forced ready (Section 5.3.2). */
+    void squashAfter(uint64_t seq);
+
+    // --- introspection -------------------------------------------------
+    int occupancy() const { return occupied_; }
+    int capacity() const { return int(entries_.size()); }
+    bool tagIsReady(Tag t) const;
+
+    uint64_t issuedOps() const { return issuedOps_; }
+    uint64_t issuedEntries() const { return issuedEntries_; }
+    uint64_t insertedOps() const { return insertedOps_; }
+    uint64_t insertedEntries() const { return insertedEntries_; }
+    uint64_t replayInvalidations() const { return replays_; }
+    uint64_t collisions() const { return collisions_; }
+    uint64_t pileupKills() const { return pileupKills_; }
+    const stats::Average &occupancyAvg() const { return occAvg_; }
+
+    void addStats(stats::StatGroup &g) const;
+
+    const SchedParams &params() const { return params_; }
+
+    /** Emit a per-event trace to stderr (debugging aid). A single
+     *  tag's lifecycle can also be traced by setting the
+     *  MOP_TRACE_TAG environment variable to its numeric value. */
+    void setDebugTrace(bool on) { debugTrace_ = on; }
+
+  private:
+    struct Broadcast
+    {
+        Tag tag = kNoTag;
+        int entry = -1;
+        uint32_t gen = 0;
+        bool canceled = false;
+        bool speculative = false;  ///< select-free pre-issue broadcast
+    };
+
+    struct Entry
+    {
+        bool valid = false;
+        bool pending = false;   ///< waiting for MOP tail insertion
+        bool issued = false;
+        int numOps = 0;
+        std::array<SchedOp, kMaxMopOps> ops;
+        Tag dstTag = kNoTag;
+
+        int numSrcs = 0;
+        std::array<Tag, kMaxEntrySrcs> srcTags{};
+        std::array<bool, kMaxEntrySrcs> srcReady{};
+        std::array<bool, kMaxEntrySrcs> srcFromTail{};
+        std::array<Cycle, kMaxEntrySrcs> srcReadyAt{};
+
+        uint64_t minSeq = 0;
+        uint64_t maxSeq = 0;
+        uint64_t age = 0;       ///< allocation order (select priority)
+        Cycle minIssue = 0;
+        uint32_t gen = 0;       ///< cancels stale events on bump
+        Cycle readyAt = kNoCycle;
+        int outBcast = -1;      ///< outstanding broadcast pool index
+        bool collided = false;  ///< select-free: lost a select once
+        Cycle issueCycle = 0;
+        int completedOps = 0;
+        std::array<Cycle, kMaxMopOps> opComplete{};  ///< value-ready per op
+    };
+
+    struct CompletionEv
+    {
+        int entry;
+        uint32_t gen;
+        int opIdx;
+        ExecEvent ev;
+    };
+
+    struct MissDiscoveryEv
+    {
+        int entry;
+        uint32_t gen;
+        Cycle correctedBcast;  ///< when the corrected wakeup fires
+    };
+
+    struct RecallEv
+    {
+        int entry;
+        uint32_t gen;
+    };
+
+    static constexpr size_t kRing = 512;
+
+    bool entryFullyReady(const Entry &e) const;
+    /** Effective wakeup+select pipeline depth. */
+    int schedDepthVal() const;
+    /** Scheduler-visible latency of an entry (Figure 5 timings). */
+    int schedLatency(const Entry &e) const;
+    /** Execution latency of one op (loads: addr-gen only). */
+    static int execLatency(const SchedOp &op);
+    bool isSelectFree() const;
+
+    int allocEntry();
+    void freeEntry(int idx);
+    void scheduleBcast(int entry, Cycle fire, bool speculative);
+    void cancelBcast(int entry);
+    void deliverBcasts(Cycle now);
+    void onEntryBecameReady(int idx, Cycle now);
+    /** Transitively undo wakeups caused by @p tag; invalidate issued
+     *  consumers (selective replay). */
+    void recallTag(Tag tag, Cycle now);
+    void invalidateEntry(int idx, Cycle now);
+    void doSelect(Cycle now, std::vector<MopIssue> *mop_issues);
+    void issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues);
+    void ensureTag(Tag t);
+    int &slotDebt(Cycle c);
+
+    SchedParams params_;
+    FuPool fu_;
+    LoadLatencyFn loadLatency_;
+
+    std::vector<Entry> entries_;
+    std::vector<int> freeList_;
+    int occupied_ = 0;
+    uint64_t nextAge_ = 0;
+
+    /** tag -> architecturally-ready flag (may be unset by recalls). */
+    std::vector<uint8_t> tagReady_;
+    /** tag -> cycle the value is really available (scoreboard check). */
+    std::vector<Cycle> tagValueReady_;
+    /** tag -> cycle readiness was (re)asserted. */
+    std::vector<Cycle> tagReadyAt_;
+
+    std::vector<Broadcast> bcastPool_;
+    std::vector<int> bcastFree_;
+    std::array<std::vector<int>, kRing> bcastRing_;
+    std::array<std::vector<CompletionEv>, kRing> compRing_;
+    std::array<std::vector<MissDiscoveryEv>, kRing> missRing_;
+    std::array<std::vector<RecallEv>, kRing> recallRing_;
+    std::array<std::pair<Cycle, int>, kRing> slotDebt_{};
+
+    Cycle lastProgress_ = 0;
+
+    // Stats.
+    uint64_t issuedOps_ = 0;
+    uint64_t issuedEntries_ = 0;
+    uint64_t replays_ = 0;
+    uint64_t collisions_ = 0;
+    uint64_t pileupKills_ = 0;
+    uint64_t insertedOps_ = 0;
+    uint64_t insertedEntries_ = 0;
+    stats::Average occAvg_;
+
+    // Scratch (avoid per-tick allocation).
+    std::vector<int> readyScratch_;
+
+    bool debugTrace_ = false;
+};
+
+} // namespace mop::sched
+
+#endif // MOP_SCHED_SCHEDULER_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Common types for the scheduling substrate.
+ */
+
+#ifndef MOP_SCHED_TYPES_HH
+#define MOP_SCHED_TYPES_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "isa/uop.hh"
+
+namespace mop::sched
+{
+
+using Cycle = uint64_t;
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/**
+ * Dependence-tracking tag. In conventional configurations this is a
+ * physical-register-like identifier, one per destination; in macro-op
+ * configurations it is a MOP ID (one per MOP, shared by both grouped
+ * instructions; Section 5.2.2 of the paper).
+ */
+using Tag = int32_t;
+constexpr Tag kNoTag = -1;
+
+/** Scheduling-loop organization (Section 6.2 configurations). */
+enum class SchedPolicy : uint8_t
+{
+    /** "Base": ideally pipelined scheduling logic, conceptually atomic
+     *  wakeup+select with one extra pipeline stage. Dependent
+     *  single-cycle ops issue back-to-back. */
+    Atomic,
+    /** Pipelined wakeup and select: minimum scheduler-visible
+     *  dependence-edge latency of two cycles. Macro-op scheduling is
+     *  built on top of this policy. */
+    TwoCycle,
+    /** Select-free (Brown et al. [8]), squash-dep variant: collision
+     *  victims' speculative wakeups are recalled ideally, so no pileup
+     *  victims exist. */
+    SelectFreeSquashDep,
+    /** Select-free, scoreboard variant: mis-woken dependents issue and
+     *  are caught by a register scoreboard in the RF stage, then
+     *  selectively replayed. */
+    SelectFreeScoreboard,
+};
+
+/** Wakeup-array flavour; constrains MOP source-operand counts. */
+enum class WakeupStyle : uint8_t
+{
+    Cam2,     ///< CAM with two tag comparators per entry
+    WiredOr,  ///< dependence bit-vectors; three sources per MOP entry
+};
+
+/** Maximum ops one issue-queue entry can hold (MOP size cap). The
+ *  paper evaluates pairs and leaves larger MOPs as future work
+ *  (Section 4.3); this implementation supports up to 4. */
+constexpr int kMaxMopOps = 4;
+
+/** Maximum source tags one issue-queue entry can track (wired-OR
+ *  style; the CAM style is limited to 2 by its comparators). */
+constexpr int kMaxEntrySrcs = 4;
+
+/** One op slot inside an issue-queue entry (a MOP holds two). */
+struct SchedOp
+{
+    uint64_t seq = 0;       ///< dynamic µop id, pipeline's handle
+    isa::OpClass op = isa::OpClass::IntAlu;
+    Tag dst = kNoTag;       ///< producing tag (shared for MOP pairs)
+    std::array<Tag, 2> src = {kNoTag, kNoTag};
+};
+
+/** Per-µop execution report delivered by the scheduler each cycle. */
+struct ExecEvent
+{
+    uint64_t seq = 0;
+    Cycle issued = 0;      ///< select cycle
+    Cycle execStart = 0;   ///< first execution cycle
+    Cycle complete = 0;    ///< value available at start of this cycle
+    bool isLoad = false;
+    bool wasMiss = false;
+};
+
+struct SchedParams
+{
+    SchedPolicy policy = SchedPolicy::Atomic;
+    WakeupStyle style = WakeupStyle::Cam2;
+    bool mopEnabled = false;
+
+    /** Wakeup+select pipeline depth: the minimum scheduler-visible
+     *  dependence-edge latency. 0 = derive from the policy (1 for
+     *  Atomic/select-free, 2 for TwoCycle). A MOP of N ops covers an
+     *  N-deep scheduling loop (Section 4.3's future work). */
+    int schedDepth = 0;
+
+    /** Maximum instructions per MOP entry (2..kMaxMopOps). */
+    int maxMopSize = 2;
+
+    int numEntries = 32;   ///< 0 = unrestricted
+    int issueWidth = 4;
+    /** Cycles from select to first execution cycle (Disp Disp RF RF). */
+    int dispatchDepth = 4;
+    /** Assumed (speculative) DL1 hit latency for load consumers. */
+    int dl1HitLatency = 2;
+    /** Extra issue delay applied to selectively replayed ops. */
+    int replayPenalty = 2;
+
+    /** Functional-unit counts, Table 1. */
+    std::array<int, isa::kNumFuKinds> fuCounts = {4, 2, 2, 2, 2};
+
+    /** Forward-progress watchdog (cycles without issue/commit). */
+    uint64_t watchdogCycles = 100000;
+};
+
+} // namespace mop::sched
+
+#endif // MOP_SCHED_TYPES_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Wired-OR-style wakeup array (Goshima et al. [12], Section 2.2).
+ *
+ * Dependences are tracked as bit vectors in the issue-queue-entry name
+ * space rather than as physical-register tags: entry e's dependence
+ * vector has bit p set iff e consumes the value produced by the
+ * instruction occupying entry p. When an instruction issues it asserts
+ * the wakeup line of its own entry; an entry is ready when the lines of
+ * all its dependence bits are asserted. Because a vector can mark any
+ * number of bits, this style does not limit the number of source
+ * operands per entry — which is why MOP entries under wired-OR wakeup
+ * may carry three source dependences while the 2-comparator CAM style
+ * restricts grouping (Section 3.1).
+ *
+ * This class is a faithful structural model of that array. The main
+ * Scheduler uses an equivalent tag-based implementation for speed; the
+ * test suite (wired_or_test.cpp) checks the two produce identical
+ * wakeup behaviour on randomized dependence graphs.
+ */
+
+#ifndef MOP_SCHED_WIRED_OR_HH
+#define MOP_SCHED_WIRED_OR_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mop::sched
+{
+
+class WiredOrMatrix
+{
+  public:
+    explicit WiredOrMatrix(int num_entries)
+        : n_(num_entries),
+          words_((size_t(num_entries) + 63) / 64),
+          dep_(size_t(num_entries) * words_, 0),
+          lines_(words_, 0),
+          allocated_(size_t(num_entries), false)
+    {
+    }
+
+    int numEntries() const { return n_; }
+
+    /** Claim entry @p e for a new instruction: its dependence vector is
+     *  cleared and its wakeup line deasserted. */
+    void
+    allocate(int e)
+    {
+        assert(!allocated_[size_t(e)]);
+        allocated_[size_t(e)] = true;
+        for (size_t w = 0; w < words_; ++w)
+            dep_[size_t(e) * words_ + w] = 0;
+        lines_[size_t(e) / 64] &= ~(uint64_t(1) << (e % 64));
+    }
+
+    void
+    release(int e)
+    {
+        assert(allocated_[size_t(e)]);
+        allocated_[size_t(e)] = false;
+    }
+
+    /** Mark that entry @p e depends on the producer in entry @p p.
+     *  Extra bits may be set freely — a MOP entry simply marks the
+     *  union of both instructions' dependences. */
+    void
+    setDependence(int e, int p)
+    {
+        dep_[size_t(e) * words_ + size_t(p) / 64] |=
+            uint64_t(1) << (p % 64);
+    }
+
+    /** The producer in entry @p p issued: assert its wakeup line. */
+    void
+    assertLine(int p)
+    {
+        lines_[size_t(p) / 64] |= uint64_t(1) << (p % 64);
+    }
+
+    /** Recall a speculative wakeup (replay support). */
+    void
+    deassertLine(int p)
+    {
+        lines_[size_t(p) / 64] &= ~(uint64_t(1) << (p % 64));
+    }
+
+    bool
+    lineAsserted(int p) const
+    {
+        return lines_[size_t(p) / 64] >> (p % 64) & 1;
+    }
+
+    /** Ready = every marked dependence bit's line is asserted. */
+    bool
+    ready(int e) const
+    {
+        for (size_t w = 0; w < words_; ++w)
+            if (dep_[size_t(e) * words_ + w] & ~lines_[w])
+                return false;
+        return true;
+    }
+
+    /** Number of dependence bits set for entry @p e. */
+    int
+    popcount(int e) const
+    {
+        int n = 0;
+        for (size_t w = 0; w < words_; ++w)
+            n += __builtin_popcountll(dep_[size_t(e) * words_ + w]);
+        return n;
+    }
+
+  private:
+    int n_;
+    size_t words_;
+    std::vector<uint64_t> dep_;    ///< row-major dependence matrix
+    std::vector<uint64_t> lines_;  ///< asserted wakeup lines
+    std::vector<bool> allocated_;
+};
+
+} // namespace mop::sched
+
+#endif // MOP_SCHED_WIRED_OR_HH

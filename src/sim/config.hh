@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simulator configuration presets: the Table 1 machine and the
+ * scheduler configurations of Section 6.2, plus a convenience runner
+ * used by examples, tests and the per-figure benchmark harnesses.
+ */
+
+#ifndef MOP_SIM_CONFIG_HH
+#define MOP_SIM_CONFIG_HH
+
+#include <string>
+
+#include "pipeline/ooo_core.hh"
+
+namespace mop::sim
+{
+
+/** The scheduler configurations evaluated in Section 6. */
+enum class Machine : uint8_t
+{
+    Base,                  ///< ideally pipelined (atomic) scheduling
+    TwoCycle,              ///< pipelined 2-cycle scheduling
+    MopCam,                ///< macro-op, CAM wakeup (2 comparators)
+    MopWiredOr,            ///< macro-op, wired-OR wakeup (3 sources)
+    SelectFreeSquashDep,   ///< Brown et al., squash-dep
+    SelectFreeScoreboard,  ///< Brown et al., scoreboard
+};
+
+const char *machineName(Machine m);
+
+struct RunConfig
+{
+    Machine machine = Machine::Base;
+    /** Issue-queue entries; 0 = unrestricted (Table 2 / Figure 14). */
+    int iqEntries = 32;
+    /** Extra MOP formation pipeline stages (Figure 15: 0, 1 or 2). */
+    int extraStages = 0;
+    /** MOP detection latency in cycles (Section 6.2 ablation). */
+    int detectLatency = 3;
+    bool lastArrivalFilter = true;   ///< Section 5.4.2
+    bool independentMops = true;     ///< Section 5.4.1
+    bool cycleHeuristic = true;      ///< false = precise (Section 5.1.1)
+    /** Maximum instructions per MOP (Section 4.3 future work). */
+    int mopSize = 2;
+    /** Wakeup+select pipeline depth override (0 = policy default);
+     *  e.g. 3-cycle scheduling with 3-op MOPs. */
+    int schedDepth = 0;
+    bool checkInvariants = true;
+};
+
+/** Build the Table 1 machine for one scheduler configuration. */
+pipeline::CoreParams makeCoreParams(const RunConfig &cfg);
+
+/** Run @p insts instructions of a SPEC CINT2000-like workload. */
+pipeline::SimResult runBenchmark(const std::string &bench,
+                                 const RunConfig &cfg, uint64_t insts);
+
+/** Per-run instruction budget for harnesses; reads MOP_INSTS from the
+ *  environment (default @p fallback). */
+uint64_t benchInsts(uint64_t fallback = 300000);
+
+/** Reference values transcribed from the paper, used by harnesses and
+ *  EXPERIMENTS.md to print paper-vs-measured columns. */
+struct PaperRef
+{
+    double baseIpc32 = 0;         ///< Table 2, 32-entry issue queue
+    double baseIpcUnrestricted = 0;  ///< Table 2, unrestricted
+    double valueGenPct = 0;       ///< Figure 6 "% total insts" label
+    double avgInsts8x = 0;        ///< Figure 7 "avg # insts in 8x MOP"
+};
+
+PaperRef paperRef(const std::string &bench);
+
+} // namespace mop::sim
+
+#endif // MOP_SIM_CONFIG_HH

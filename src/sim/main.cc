@@ -1,0 +1,157 @@
+/**
+ * @file
+ * mopsim — command-line driver for the macro-op scheduling simulator.
+ *
+ * Examples:
+ *   mopsim --bench gzip --machine mop-wiredor --insts 500000 --stats
+ *   mopsim --kernel hash --machine 2-cycle
+ *   mopsim --bench gap --machine base --iq 0      # unrestricted queue
+ *   mopsim --list
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "prog/interpreter.hh"
+#include "prog/kernels.hh"
+#include "sim/config.hh"
+#include "stats/stats.hh"
+#include "trace/profiles.hh"
+
+namespace
+{
+
+using namespace mop;
+
+void
+usage()
+{
+    std::cout <<
+        "mopsim — macro-op scheduling simulator (Kim & Lipasti, "
+        "MICRO-36)\n\n"
+        "  --bench <name>     SPEC CINT2000-like synthetic workload\n"
+        "  --kernel <name>    assembly kernel (functional execution)\n"
+        "  --machine <m>      base | 2-cycle | mop-2src | mop-wiredor |\n"
+        "                     sf-squash-dep | sf-scoreboard\n"
+        "  --iq <n>           issue-queue entries (0 = unrestricted)\n"
+        "  --insts <n>        instructions to simulate\n"
+        "  --extra-stages <n> extra MOP formation stages (0-2)\n"
+        "  --detect-delay <n> MOP detection latency in cycles\n"
+        "  --no-filter        disable the last-arriving-operand filter\n"
+        "  --no-independent   disable independent MOPs\n"
+        "  --precise-cycles   precise cycle detection (no heuristic)\n"
+        "  --mop-size <n>     max instructions per MOP (2-4)\n"
+        "  --sched-depth <n>  wakeup+select pipeline depth override\n"
+        "  --stats            dump the full statistics report\n"
+        "  --list             list workloads, kernels and machines\n";
+}
+
+bool
+parseMachine(const std::string &s, sim::Machine &m)
+{
+    if (s == "base") m = sim::Machine::Base;
+    else if (s == "2-cycle") m = sim::Machine::TwoCycle;
+    else if (s == "mop-2src") m = sim::Machine::MopCam;
+    else if (s == "mop-wiredor") m = sim::Machine::MopWiredOr;
+    else if (s == "sf-squash-dep") m = sim::Machine::SelectFreeSquashDep;
+    else if (s == "sf-scoreboard") m = sim::Machine::SelectFreeScoreboard;
+    else return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench, kernel;
+    sim::RunConfig cfg;
+    uint64_t insts = 300000;
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << a << "\n";
+                exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--bench") bench = next();
+        else if (a == "--kernel") kernel = next();
+        else if (a == "--machine") {
+            if (!parseMachine(next(), cfg.machine)) {
+                std::cerr << "unknown machine\n";
+                return 2;
+            }
+        } else if (a == "--iq") cfg.iqEntries = std::stoi(next());
+        else if (a == "--insts") insts = std::stoull(next());
+        else if (a == "--extra-stages") cfg.extraStages = std::stoi(next());
+        else if (a == "--detect-delay") cfg.detectLatency = std::stoi(next());
+        else if (a == "--no-filter") cfg.lastArrivalFilter = false;
+        else if (a == "--no-independent") cfg.independentMops = false;
+        else if (a == "--precise-cycles") cfg.cycleHeuristic = false;
+        else if (a == "--mop-size") cfg.mopSize = std::stoi(next());
+        else if (a == "--sched-depth") cfg.schedDepth = std::stoi(next());
+        else if (a == "--stats") dump_stats = true;
+        else if (a == "--list") {
+            std::cout << "workloads:";
+            for (const auto &b : trace::specCint2000())
+                std::cout << " " << b;
+            std::cout << "\nkernels:";
+            for (const auto &k : prog::kernelNames())
+                std::cout << " " << k;
+            std::cout << "\nmachines: base 2-cycle mop-2src mop-wiredor"
+                         " sf-squash-dep sf-scoreboard\n";
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option " << a << "\n";
+            usage();
+            return 2;
+        }
+    }
+    if (bench.empty() == kernel.empty()) {
+        std::cerr << "pick exactly one of --bench / --kernel\n";
+        usage();
+        return 2;
+    }
+
+    try {
+        std::unique_ptr<trace::TraceSource> src;
+        if (!bench.empty()) {
+            src = std::make_unique<trace::SyntheticSource>(
+                trace::profileFor(bench));
+        } else {
+            src = std::make_unique<prog::Interpreter>(
+                prog::assemble(prog::kernelSource(kernel)));
+        }
+        pipeline::OooCore core(sim::makeCoreParams(cfg), *src);
+        pipeline::SimResult r = core.run(insts);
+
+        std::cout << (bench.empty() ? kernel : bench) << " on "
+                  << sim::machineName(cfg.machine) << " (iq="
+                  << (cfg.iqEntries ? std::to_string(cfg.iqEntries)
+                                    : std::string("unrestricted"))
+                  << ")\n"
+                  << "  insts   " << r.insts << "\n"
+                  << "  cycles  " << r.cycles << "\n"
+                  << "  IPC     " << r.ipc << "\n"
+                  << "  grouped " << 100.0 * r.groupedFrac() << "%\n"
+                  << "  replays " << r.replays << "\n"
+                  << "  mispred " << r.mispredicts << "\n";
+        if (dump_stats) {
+            stats::StatGroup g("sim");
+            core.addStats(g);
+            g.print(std::cout);
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

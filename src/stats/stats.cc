@@ -1,0 +1,116 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+
+namespace mop::stats
+{
+
+Histogram::Histogram(int64_t lo, int64_t hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    assert(hi > lo && buckets > 0);
+    bucketSize_ = (hi - lo + int64_t(buckets) - 1) / int64_t(buckets);
+    if (bucketSize_ <= 0)
+        bucketSize_ = 1;
+}
+
+void
+Histogram::sample(int64_t v, uint64_t weight)
+{
+    total_ += weight;
+    sum_ += double(v) * double(weight);
+    if (v < lo_) {
+        underflow_ += weight;
+    } else if (v >= hi_) {
+        overflow_ += weight;
+    } else {
+        counts_[size_t((v - lo_) / bucketSize_)] += weight;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+    sum_ = 0;
+}
+
+uint64_t
+Histogram::countInRange(int64_t a, int64_t b) const
+{
+    // Only exact when [a, b] aligns to bucket boundaries; callers that
+    // need per-value precision should use bucket size 1.
+    uint64_t n = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        int64_t b_lo = lo_ + int64_t(i) * bucketSize_;
+        int64_t b_hi = b_lo + bucketSize_ - 1;
+        if (b_lo >= a && b_hi <= b)
+            n += counts_[i];
+    }
+    if (a <= lo_ - 1)
+        n += underflow_;
+    return n;
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *c,
+                      const std::string &desc)
+{
+    entries_.push_back({name, desc,
+                        [c]() { return double(c->value()); }, true});
+}
+
+void
+StatGroup::addAverage(const std::string &name, const Average *a,
+                      const std::string &desc)
+{
+    entries_.push_back({name, desc, [a]() { return a->mean(); }, false});
+}
+
+void
+StatGroup::addFormula(const std::string &name, std::function<double()> f,
+                      const std::string &desc)
+{
+    entries_.push_back({name, desc, std::move(f), false});
+}
+
+void
+StatGroup::addChild(const StatGroup *g)
+{
+    children_.push_back(g);
+}
+
+void
+StatGroup::print(std::ostream &os, const std::string &prefix) const
+{
+    std::string path = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &e : entries_) {
+        os << std::left << std::setw(44) << (path + "." + e.name) << " ";
+        if (e.integral) {
+            os << std::right << std::setw(14) << uint64_t(e.eval());
+        } else {
+            os << std::right << std::setw(14) << std::fixed
+               << std::setprecision(4) << e.eval();
+        }
+        if (!e.desc.empty())
+            os << "   # " << e.desc;
+        os << "\n";
+    }
+    for (const auto *c : children_)
+        c->print(os, path);
+}
+
+void
+StatGroup::printCsv(std::ostream &os, const std::string &prefix) const
+{
+    std::string path = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &e : entries_)
+        os << path << "." << e.name << "," << e.eval() << "\n";
+    for (const auto *c : children_)
+        c->printCsv(os, path);
+}
+
+} // namespace mop::stats

@@ -1,0 +1,43 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+
+namespace mop::stats
+{
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(columns_.size(), 0);
+    for (size_t i = 0; i < columns_.size(); ++i)
+        widths[i] = columns_[i].size();
+    for (const auto &row : rows_)
+        for (size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+
+    os << "\n=== " << title_ << " ===\n";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+        os << std::left << std::setw(int(widths[i])) << columns_[i];
+        os << (i + 1 < columns_.size() ? "  " : "");
+    }
+    os << "\n" << std::string(total, '-') << "\n";
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            // Right-align numeric-looking cells, left-align labels.
+            bool numeric = i > 0;
+            os << (numeric ? std::right : std::left)
+               << std::setw(int(widths[i])) << row[i]
+               << (i + 1 < row.size() ? "  " : "");
+        }
+        os << "\n";
+    }
+    if (!footnote_.empty())
+        os << footnote_ << "\n";
+    os << std::flush;
+}
+
+} // namespace mop::stats

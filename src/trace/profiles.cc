@@ -1,0 +1,257 @@
+#include "trace/profiles.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mop::trace
+{
+
+std::array<double, 16>
+makeDistancePmf(double decay, double tail_mass)
+{
+    std::array<double, 16> pmf{};
+    double head = 0;
+    for (int d = 1; d <= 7; ++d) {
+        pmf[size_t(d)] = std::pow(decay, d - 1);
+        head += pmf[size_t(d)];
+    }
+    for (int d = 1; d <= 7; ++d)
+        pmf[size_t(d)] *= (1.0 - tail_mass) / head;
+    for (int d = 8; d <= 15; ++d)
+        pmf[size_t(d)] = tail_mass / 8.0;
+    return pmf;
+}
+
+const std::vector<std::string> &
+specCint2000()
+{
+    static const std::vector<std::string> names = {
+        "bzip", "crafty", "eon", "gap", "gcc", "gzip",
+        "mcf", "parser", "perl", "twolf", "vortex", "vpr"};
+    return names;
+}
+
+WorkloadProfile
+profileFor(const std::string &name)
+{
+    WorkloadProfile p;
+    p.name = name;
+
+    if (name == "bzip") {
+        // 49.2% value-gen candidates; compression: regular loops,
+        // moderate dependence distances, streaming memory.
+        p.seed = 0xb21;
+        p.valueGenTarget = 0.492;
+        p.numBlocks = 300;
+        p.avgBlockLen = 10.0;
+        p.loadFrac = 0.27; p.storeFrac = 0.13;
+        p.mulFrac = 0.02; p.divFrac = 0.004;
+        p.depDistPmf = makeDistancePmf(0.4, 0.08);
+        p.twoSrcFrac = 0.35; p.deadFrac = 0.06;
+        p.randomBranchFrac = 0.045;
+        p.inductionRegs = 5;
+        p.hotFrac = 0.5;
+        p.inductionChainLen = 4;
+        p.accumFrac = 0.28;
+        p.takenBias = 0.95; p.takenBias = 0.95;
+        p.memFootprintKB = 192;
+    } else if (name == "crafty") {
+        // 50.9%; chess: heavy bit logic, larger code, predictable.
+        p.seed = 0xc4a;
+        p.valueGenTarget = 0.509;
+        p.numBlocks = 700;
+        p.avgBlockLen = 6.0;
+        p.loadFrac = 0.24; p.storeFrac = 0.10;
+        p.mulFrac = 0.04; p.divFrac = 0.008;
+        p.depDistPmf = makeDistancePmf(0.6, 0.12);
+        p.twoSrcFrac = 0.40; p.deadFrac = 0.07;
+        p.randomBranchFrac = 0.055;
+        p.inductionRegs = 1;
+        p.hotFrac = 0.5;
+        p.inductionChainLen = 1;
+        p.accumFrac = 0.15;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 256;
+    } else if (name == "eon") {
+        // 27.8% value-gen candidates only: C++ ray tracer, FP-heavy,
+        // long dependence edges, very predictable branches.
+        p.seed = 0xe09;
+        p.valueGenTarget = 0.278;
+        p.numBlocks = 500;
+        p.avgBlockLen = 14.0;
+        p.loadFrac = 0.30; p.storeFrac = 0.17;
+        p.mulFrac = 0.03; p.divFrac = 0.004; p.fpFrac = 0.08;
+        p.depDistPmf = makeDistancePmf(0.55, 0.24);
+        p.twoSrcFrac = 0.35; p.deadFrac = 0.05;
+        p.randomBranchFrac = 0.015;
+        p.inductionRegs = 6;
+        p.inductionChainLen = 3;
+        p.accumFrac = 0.1;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 8;
+        p.hotFrac = 0.4;
+    } else if (name == "gap") {
+        // 48.7%; group theory interpreter: very short dependence edges
+        // (87% of pairs within 8 insts) -> worst case for 2-cycle.
+        p.seed = 0x9a9;
+        p.valueGenTarget = 0.487;
+        p.numBlocks = 250;
+        p.avgBlockLen = 8.0;
+        p.loadFrac = 0.25; p.storeFrac = 0.12;
+        p.mulFrac = 0.02; p.divFrac = 0.003;
+        p.depDistPmf = makeDistancePmf(0.242, 0.04);
+        p.twoSrcFrac = 0.5; p.deadFrac = 0.04;
+        p.randomBranchFrac = 0.015;
+        p.inductionRegs = 1;
+        p.inductionChainLen = 1;
+        p.accumFrac = 0.4;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 256;
+        p.hotFrac = 0.9;
+    } else if (name == "gcc") {
+        // 37.4%; compiler: big static code (IL1 misses), mixed edges.
+        p.seed = 0x6cc;
+        p.valueGenTarget = 0.374;
+        p.numBlocks = 4000;
+        p.avgBlockLen = 8.0;
+        p.loadFrac = 0.27; p.storeFrac = 0.14;
+        p.mulFrac = 0.01; p.divFrac = 0.002;
+        p.depDistPmf = makeDistancePmf(0.6, 0.12);
+        p.twoSrcFrac = 0.35; p.deadFrac = 0.09;
+        p.randomBranchFrac = 0.025;
+        p.inductionRegs = 2;
+        p.hotFrac = 0.5;
+        p.inductionChainLen = 1;
+        p.accumFrac = 0.16;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 384;
+    } else if (name == "gzip") {
+        // 56.3%; highest ALU density, short edges, small hot loops.
+        p.seed = 0x671;
+        p.valueGenTarget = 0.563;
+        p.numBlocks = 200;
+        p.avgBlockLen = 11.0;
+        p.loadFrac = 0.21; p.storeFrac = 0.09;
+        p.mulFrac = 0.01; p.divFrac = 0.002;
+        p.depDistPmf = makeDistancePmf(0.846, 0.06);
+        p.twoSrcFrac = 0.38; p.deadFrac = 0.05;
+        p.randomBranchFrac = 0.025;
+        p.inductionRegs = 3;
+        p.hotFrac = 0.5;
+        p.inductionChainLen = 4;
+        p.accumFrac = 0.34;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 128;
+    } else if (name == "mcf") {
+        // 40.2%; minimum-cost flow: pointer chasing over a data set far
+        // bigger than L2 -> IPC collapses to ~0.34 (Table 2).
+        p.seed = 0x3cf;
+        p.valueGenTarget = 0.402;
+        p.numBlocks = 150;
+        p.avgBlockLen = 16.0;
+        p.loadFrac = 0.30; p.storeFrac = 0.09;
+        p.mulFrac = 0.01; p.divFrac = 0.002;
+        p.depDistPmf = makeDistancePmf(0.25, 0.1);
+        p.twoSrcFrac = 0.35; p.deadFrac = 0.05;
+        p.randomBranchFrac = 0.04;
+        p.inductionRegs = 4;
+        p.inductionChainLen = 5;
+        p.accumFrac = 0.25;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 32768;
+        p.pointerChaseFrac = 0.55;
+        p.loadChainFrac = 0.65;
+        p.hotFrac = 0.25;
+    } else if (name == "parser") {
+        // 47.5%; word parser: branchy, short edges, modest IPC 1.06.
+        p.seed = 0xa45;
+        p.valueGenTarget = 0.475;
+        p.numBlocks = 800;
+        p.avgBlockLen = 12.0;
+        p.loadFrac = 0.24; p.storeFrac = 0.10;
+        p.mulFrac = 0.01; p.divFrac = 0.002;
+        p.depDistPmf = makeDistancePmf(0.336, 0.08);
+        p.twoSrcFrac = 0.38; p.deadFrac = 0.05;
+        p.randomBranchFrac = 0.055;
+        p.inductionRegs = 1;
+        p.hotFrac = 0.5;
+        p.inductionChainLen = 3;
+        p.accumFrac = 0.35;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 192;
+    } else if (name == "perl") {
+        // 42.7%; interpreter: large code, branchy, mixed edges.
+        p.seed = 0x9e1;
+        p.valueGenTarget = 0.427;
+        p.numBlocks = 1500;
+        p.avgBlockLen = 7.5;
+        p.loadFrac = 0.26; p.storeFrac = 0.13;
+        p.mulFrac = 0.01; p.divFrac = 0.002;
+        p.depDistPmf = makeDistancePmf(0.4, 0.1);
+        p.twoSrcFrac = 0.35; p.deadFrac = 0.07;
+        p.randomBranchFrac = 0.045;
+        p.inductionRegs = 2;
+        p.hotFrac = 0.5;
+        p.inductionChainLen = 2;
+        p.accumFrac = 0.18;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 192;
+    } else if (name == "twolf") {
+        // 47.7%; place & route: short edges, hard branches.
+        p.seed = 0x201f;
+        p.valueGenTarget = 0.477;
+        p.numBlocks = 400;
+        p.avgBlockLen = 10.0;
+        p.loadFrac = 0.23; p.storeFrac = 0.09;
+        p.mulFrac = 0.03; p.divFrac = 0.006;
+        p.depDistPmf = makeDistancePmf(0.692, 0.08);
+        p.twoSrcFrac = 0.38; p.deadFrac = 0.05;
+        p.randomBranchFrac = 0.05;
+        p.inductionRegs = 3;
+        p.hotFrac = 0.5;
+        p.inductionChainLen = 3;
+        p.accumFrac = 0.3;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 256;
+    } else if (name == "vortex") {
+        // 37.6%; OO database: long dependence edges (only ~54% of pairs
+        // within 8), store-heavy, predictable -> 2-cycle barely hurts.
+        p.seed = 0x0b7;
+        p.valueGenTarget = 0.376;
+        p.numBlocks = 2500;
+        p.avgBlockLen = 6.0;
+        p.loadFrac = 0.28; p.storeFrac = 0.17;
+        p.mulFrac = 0.01; p.divFrac = 0.002;
+        p.depDistPmf = makeDistancePmf(0.4, 0.3);
+        p.twoSrcFrac = 0.30; p.deadFrac = 0.08;
+        p.randomBranchFrac = 0.03;
+        p.inductionRegs = 1;
+        p.hotFrac = 0.75;
+        p.inductionChainLen = 1;
+        p.accumFrac = 0.45;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 8;
+    } else if (name == "vpr") {
+        // 44.7%; FPGA place & route: short-ish edges, some FP.
+        p.seed = 0x0e4;
+        p.valueGenTarget = 0.447;
+        p.numBlocks = 500;
+        p.avgBlockLen = 16.0;
+        p.loadFrac = 0.25; p.storeFrac = 0.10;
+        p.mulFrac = 0.02; p.divFrac = 0.004; p.fpFrac = 0.02;
+        p.depDistPmf = makeDistancePmf(0.692, 0.08);
+        p.twoSrcFrac = 0.38; p.deadFrac = 0.05;
+        p.randomBranchFrac = 0.045;
+        p.inductionRegs = 2;
+        p.hotFrac = 0.5;
+        p.inductionChainLen = 5;
+        p.accumFrac = 0.15;
+        p.takenBias = 0.95;
+        p.memFootprintKB = 48;
+    } else {
+        throw std::invalid_argument("unknown workload profile: " + name);
+    }
+    return p;
+}
+
+} // namespace mop::trace

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-benchmark workload profiles standing in for SPEC CINT2000.
+ *
+ * Each profile is calibrated against the paper's machine-independent
+ * program characterization: the fraction of committed instructions that
+ * are value-generating MOP candidates (the "% total insts" labels of
+ * Figure 6), the dependence-edge distance distribution (Figure 6 bars:
+ * gap ~87% of candidate pairs within 8 instructions, vortex only ~54%),
+ * and Table 2 base IPCs (e.g. mcf's 0.34 comes from a huge pointer-chasing
+ * data footprint; gcc's 1.24 partly from instruction-cache misses).
+ */
+
+#ifndef MOP_TRACE_PROFILES_HH
+#define MOP_TRACE_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace mop::trace
+{
+
+/** The benchmark list of Table 2, in the paper's order. */
+const std::vector<std::string> &specCint2000();
+
+/** Profile for one of the names in specCint2000(). Throws on unknown. */
+WorkloadProfile profileFor(const std::string &name);
+
+/**
+ * Build a dependence-distance PMF: geometric decay with rate @p decay
+ * plus a uniform far tail of total mass @p tailMass spread over
+ * distances 8..15. Small decay = tight chains (gap); large tailMass =
+ * long edges (vortex).
+ */
+std::array<double, 16> makeDistancePmf(double decay, double tailMass);
+
+} // namespace mop::trace
+
+#endif // MOP_TRACE_PROFILES_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Trace-source abstraction: anything that can feed a dynamic micro-op
+ * stream to the pipeline (synthetic workloads, the functional ISA
+ * interpreter, or literal vectors in tests).
+ */
+
+#ifndef MOP_TRACE_SOURCE_HH
+#define MOP_TRACE_SOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/uop.hh"
+
+namespace mop::trace
+{
+
+/** Pull-model producer of dynamic micro-ops in program order. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next micro-op. Returns false at end of stream. */
+    virtual bool next(isa::MicroOp &out) = 0;
+
+    /** Restart the stream from the beginning (deterministic replay). */
+    virtual void reset() = 0;
+};
+
+/** Replays a fixed vector of micro-ops; used heavily in unit tests. */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<isa::MicroOp> uops)
+        : uops_(std::move(uops))
+    {
+    }
+
+    bool
+    next(isa::MicroOp &out) override
+    {
+        if (pos_ >= uops_.size())
+            return false;
+        out = uops_[pos_++];
+        out.seq = pos_ - 1;
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::vector<isa::MicroOp> uops_;
+    size_t pos_ = 0;
+};
+
+/** Caps another source at a maximum number of micro-ops. */
+class LimitSource : public TraceSource
+{
+  public:
+    LimitSource(TraceSource &inner, uint64_t max_uops)
+        : inner_(inner), max_(max_uops)
+    {
+    }
+
+    bool
+    next(isa::MicroOp &out) override
+    {
+        if (count_ >= max_)
+            return false;
+        if (!inner_.next(out))
+            return false;
+        ++count_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_.reset();
+        count_ = 0;
+    }
+
+  private:
+    TraceSource &inner_;
+    uint64_t max_;
+    uint64_t count_ = 0;
+};
+
+} // namespace mop::trace
+
+#endif // MOP_TRACE_SOURCE_HH

@@ -1,0 +1,480 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mop::trace
+{
+
+namespace
+{
+
+/** Registers round-robin-allocated as ordinary destinations. */
+constexpr int16_t kFirstDest = 1;
+constexpr int16_t kLastDest = 18;
+/** Per-block induction registers (loop counters / accumulators). */
+constexpr int16_t kFirstInduction = 19;
+constexpr int16_t kNumInduction = 6;
+/** Sink registers: written, (almost) never read -> dead values. */
+constexpr int16_t kFirstSink = 25;
+constexpr int16_t kLastSink = 28;
+/** Long-lived base registers (stack/global pointers). */
+constexpr int16_t kBaseReg0 = 29;
+constexpr int16_t kBaseReg1 = 30;
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SyntheticSource::SyntheticSource(const WorkloadProfile &profile)
+    : profile_(profile), walkRng_(profile.seed * 77777 + 3)
+{
+    buildProgram();
+    if (profile_.valueGenTarget > 0)
+        calibrate();
+    memCounters_.assign(prog_.code.size(), 0);
+    reset();
+}
+
+void
+SyntheticSource::calibrate()
+{
+    using isa::OpClass;
+    // The dynamic walk concentrates in hot loops whose mix deviates
+    // from the static sampling probabilities. Crucially, the walk path
+    // does not depend on non-control op classes, so one trial walk
+    // gives exact per-static-op visit counts, and converting
+    // individual ops in place moves the dynamic mix by a computable
+    // amount. Convert ALU ops to loads/stores (or vice versa) until
+    // the dynamic value-generating-candidate fraction matches the
+    // profile's Figure 6 target.
+    memCounters_.assign(prog_.code.size(), 0);
+    reset();
+    std::vector<uint64_t> visits(prog_.code.size(), 0);
+    uint64_t insts = 0;
+    int64_t alu_count = 0;
+    {
+        isa::MicroOp u;
+        for (int i = 0; i < 120000; ++i) {
+            next(u);
+            if (!u.firstUop || u.op == OpClass::Nop)
+                continue;
+            ++insts;
+            size_t idx = size_t((u.pc - StaticProgram::kCodeBase) / 4);
+            ++visits[idx];
+            alu_count += u.op == OpClass::IntAlu;
+        }
+    }
+    int64_t target = int64_t(profile_.valueGenTarget * double(insts));
+    int64_t delta = alu_count - target;
+    int64_t tol = int64_t(insts / 200);  // 0.5%
+
+    std::mt19937_64 crng(profile_.seed ^ 0x5eedcafeULL);
+    std::uniform_real_distribution<> uni(0, 1);
+    std::vector<size_t> order(prog_.code.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::shuffle(order.begin(), order.end(), crng);
+
+    auto assign_mem = [&](StaticOp &op) {
+        bool hot = uni(crng) < profile_.hotFrac;
+        if (hot) {
+            op.regionBase = StaticProgram::kDataBase;
+            op.regionSize = uint64_t(profile_.hotRegionKB) * 1024;
+            op.stride = 8;
+        } else {
+            op.regionBase = StaticProgram::kDataBase + 0x100000;
+            op.regionSize = uint64_t(profile_.memFootprintKB) * 1024;
+            uint32_t strides[] = {8, 16, 64, 128};
+            op.stride = strides[crng() % 4];
+        }
+        op.randomAddr = (op.op == OpClass::Load) &&
+                        uni(crng) < profile_.pointerChaseFrac;
+    };
+
+    double store_share =
+        profile_.storeFrac /
+        std::max(1e-9, profile_.loadFrac + profile_.storeFrac);
+
+    for (size_t i : order) {
+        if (std::abs(delta) <= tol)
+            break;
+        StaticOp &op = prog_.code[i];
+        int64_t v = int64_t(visits[i]);
+        if (v == 0 || op.pinned)
+            continue;
+        // Convert whenever it strictly shrinks the residual error,
+        // even if one hot op overshoots (better than being stuck).
+        if (delta > 0 && op.op == OpClass::IntAlu &&
+            std::abs(delta - v) < std::abs(delta)) {
+            // Demote an ALU op to a memory op.
+            if (uni(crng) < store_share) {
+                op.op = OpClass::StoreAddr;
+                if (op.src[0] == isa::kNoReg)
+                    op.src[0] = (crng() & 1) ? kBaseReg0 : kBaseReg1;
+                if (op.src[1] == isa::kNoReg)
+                    op.src[1] = op.src[0];
+                op.dst = isa::kNoReg;
+            } else {
+                op.op = OpClass::Load;
+                if (op.src[0] == isa::kNoReg)
+                    op.src[0] = (crng() & 1) ? kBaseReg0 : kBaseReg1;
+                op.src[1] = isa::kNoReg;
+            }
+            assign_mem(op);
+            delta -= v;
+        } else if (delta < 0 && std::abs(delta + v) < std::abs(delta) &&
+                   (op.op == OpClass::Load ||
+                    op.op == OpClass::StoreAddr)) {
+            // Promote a memory op to a single-cycle ALU op.
+            if (op.op == OpClass::StoreAddr) {
+                op.dst = destCursor_;
+                destCursor_ = (destCursor_ == kLastDest)
+                                  ? kFirstDest
+                                  : int16_t(destCursor_ + 1);
+            }
+            op.op = OpClass::IntAlu;
+            op.regionBase = op.regionSize = 0;
+            op.stride = 0;
+            op.randomAddr = false;
+            delta += v;
+        }
+    }
+}
+
+int
+SyntheticSource::sampleSourceReg(std::mt19937_64 &rng,
+                                 const std::vector<int16_t> &producers)
+{
+    // Sample a dependence distance in "value producers ago" and return
+    // that producer's destination register; fall back to a long-lived
+    // base register when history is too short.
+    double r = std::uniform_real_distribution<>(0, 1)(rng);
+    double acc = 0;
+    size_t d = 1;
+    for (size_t i = 1; i < profile_.depDistPmf.size(); ++i) {
+        acc += profile_.depDistPmf[i];
+        if (r < acc) {
+            d = i;
+            break;
+        }
+        d = i;
+    }
+    if (producers.size() < d)
+        return (rng() & 1) ? kBaseReg0 : kBaseReg1;
+    return producers[producers.size() - d];
+}
+
+StaticOp
+SyntheticSource::makeNonControlOp(std::mt19937_64 &rng,
+                                  std::vector<int16_t> &producers)
+{
+    using isa::OpClass;
+    std::uniform_real_distribution<> uni(0, 1);
+
+    auto next_dest = [&]() {
+        int16_t r = destCursor_;
+        destCursor_ = (destCursor_ == kLastDest) ? kFirstDest
+                                                 : int16_t(destCursor_ + 1);
+        return r;
+    };
+    auto next_sink = [&]() {
+        int16_t r = sinkCursor_;
+        sinkCursor_ = (sinkCursor_ == kLastSink) ? kFirstSink
+                                                 : int16_t(sinkCursor_ + 1);
+        return r;
+    };
+
+    StaticOp op;
+    double r = uni(rng);
+    const WorkloadProfile &p = profile_;
+
+    if (r < p.nopFrac) {
+        op.op = OpClass::Nop;
+        return op;
+    }
+    r -= p.nopFrac;
+
+    if (r < p.loadFrac) {
+        op.op = OpClass::Load;
+        op.dst = next_dest();
+        // Address register: pointer-chase chains use the previous
+        // load's result; otherwise half long-lived bases, half
+        // computed values.
+        if (lastLoadDst_ != isa::kNoReg && uni(rng) < p.loadChainFrac)
+            op.src[0] = lastLoadDst_;
+        else if (uni(rng) < 0.5)
+            op.src[0] = (rng() & 1) ? kBaseReg0 : kBaseReg1;
+        else
+            op.src[0] = int16_t(sampleSourceReg(rng, producers));
+        producers.push_back(op.dst);
+        lastLoadDst_ = op.dst;
+    } else if (r < p.loadFrac + p.storeFrac) {
+        op.op = OpClass::StoreAddr;  // expands to StoreAddr + StoreData
+        op.src[0] = (uni(rng) < 0.6)
+                        ? ((rng() & 1) ? kBaseReg0 : kBaseReg1)
+                        : int16_t(sampleSourceReg(rng, producers));
+        op.src[1] = int16_t(sampleSourceReg(rng, producers));  // data
+    } else if (r < p.loadFrac + p.storeFrac + p.mulFrac) {
+        op.op = OpClass::IntMult;
+        op.dst = next_dest();
+        op.src[0] = int16_t(sampleSourceReg(rng, producers));
+        op.src[1] = int16_t(sampleSourceReg(rng, producers));
+        producers.push_back(op.dst);
+    } else if (r < p.loadFrac + p.storeFrac + p.mulFrac + p.divFrac) {
+        op.op = OpClass::IntDiv;
+        op.dst = next_dest();
+        op.src[0] = int16_t(sampleSourceReg(rng, producers));
+        op.src[1] = int16_t(sampleSourceReg(rng, producers));
+        producers.push_back(op.dst);
+    } else if (r < p.loadFrac + p.storeFrac + p.mulFrac + p.divFrac +
+                       p.fpFrac) {
+        op.op = (uni(rng) < 0.7) ? OpClass::FpAlu : OpClass::FpMult;
+        // FP name space: cycle through r32..r56.
+        op.dst = fpCursor_;
+        fpCursor_ = (fpCursor_ == 56) ? int16_t(32) : int16_t(fpCursor_ + 1);
+        op.src[0] = int16_t(32 + (rng() % 25));
+        op.src[1] = int16_t(32 + (rng() % 25));
+    } else {
+        op.op = OpClass::IntAlu;
+        bool dead = uni(rng) < p.deadFrac;
+        op.dst = dead ? next_sink() : next_dest();
+        if (!dead && uni(rng) < p.accumFrac) {
+            // Accumulator/induction variable: reads its own register,
+            // forming a loop-carried serial chain when executed
+            // repeatedly.
+            op.src[0] = op.dst;
+            if (uni(rng) < p.twoSrcFrac)
+                op.src[1] = int16_t(sampleSourceReg(rng, producers));
+        } else {
+            double s = uni(rng);
+            int nsrc = (s < p.zeroSrcFrac) ? 0
+                       : (s < p.zeroSrcFrac + p.twoSrcFrac) ? 2
+                                                            : 1;
+            for (int i = 0; i < nsrc; ++i)
+                op.src[i] = int16_t(sampleSourceReg(rng, producers));
+        }
+        if (!dead)
+            producers.push_back(op.dst);
+    }
+
+    // Memory generator assignment.
+    if (op.op == OpClass::Load || op.op == OpClass::StoreAddr) {
+        bool hot = uni(rng) < p.hotFrac;
+        if (hot) {
+            op.regionBase = StaticProgram::kDataBase;
+            op.regionSize = uint64_t(p.hotRegionKB) * 1024;
+            op.stride = 8;
+        } else {
+            op.regionBase = StaticProgram::kDataBase + 0x100000;
+            op.regionSize = uint64_t(p.memFootprintKB) * 1024;
+            uint32_t strides[] = {8, 16, 64, 128};
+            op.stride = strides[rng() % 4];
+        }
+        op.randomAddr =
+            (op.op == OpClass::Load) && uni(rng) < p.pointerChaseFrac;
+    }
+    return op;
+}
+
+void
+SyntheticSource::buildProgram()
+{
+    prog_ = StaticProgram{};
+    destCursor_ = 1;
+    sinkCursor_ = 25;
+    fpCursor_ = 32;
+    lastLoadDst_ = isa::kNoReg;
+    std::mt19937_64 rng(profile_.seed);
+    std::uniform_real_distribution<> uni(0, 1);
+    const WorkloadProfile &p = profile_;
+
+    std::vector<int16_t> producers;
+    // Seed history with base registers so early sources resolve.
+    producers.push_back(kBaseReg0);
+    producers.push_back(kBaseReg1);
+
+    int b_count = std::max(2, p.numBlocks);
+    prog_.blockStart.reserve(b_count);
+
+    for (int b = 0; b < b_count; ++b) {
+        prog_.blockStart.push_back(int(prog_.code.size()));
+        int pool = std::clamp(profile_.inductionRegs, 1, int(kNumInduction));
+        int16_t ind_reg = int16_t(kFirstInduction + b % pool);
+        // Loop-carried recurrence first: inductionChainLen serial
+        // single-cycle ops from the induction register back to itself
+        // (x = f(g(h(x)))). Its length is the dependence height per
+        // loop iteration. The register pool and the tight back-edge
+        // span keep the recurrence genuinely loop-carried.
+        {
+            int chain = std::max(1, p.inductionChainLen);
+            int16_t prev = ind_reg;
+            for (int k = 0; k < chain; ++k) {
+                StaticOp ind;
+                ind.op = isa::OpClass::IntAlu;
+                bool last = k == chain - 1;
+                ind.dst = last ? ind_reg : destCursor_;
+                if (!last) {
+                    destCursor_ = (destCursor_ == kLastDest)
+                                      ? kFirstDest
+                                      : int16_t(destCursor_ + 1);
+                }
+                ind.src[0] = prev;
+                ind.pinned = true;
+                prev = ind.dst;
+                prog_.code.push_back(ind);
+                producers.push_back(ind.dst);
+            }
+        }
+        // Block length: 2 .. 2*avg (uniform-ish around the mean).
+        int body = std::max(
+            1, int(std::lround(uni(rng) * 2.0 *
+                               (p.avgBlockLen - 1 -
+                                std::max(1, p.inductionChainLen)))));
+        for (int i = 0; i < body; ++i) {
+            StaticOp op = makeNonControlOp(rng, producers);
+            prog_.code.push_back(op);
+        }
+
+        // Terminating control op.
+        StaticOp ctrl;
+        double cr = uni(rng);
+        if (cr < p.indirectFrac) {
+            ctrl.op = isa::OpClass::JumpInd;
+            ctrl.takenProb = 1.0;
+            ctrl.src[0] = int16_t(sampleSourceReg(rng, producers));
+            ctrl.targetBlock = -1;  // chosen dynamically
+        } else if (cr < p.indirectFrac + p.condBranchFrac) {
+            ctrl.op = isa::OpClass::Branch;
+            bool random_br = uni(rng) < p.randomBranchFrac;
+            if (random_br) {
+                ctrl.takenProb = 0.5;
+            } else {
+                // Biased around takenBias; some biased not-taken.
+                double bias = p.takenBias + 0.1 * (uni(rng) - 0.5);
+                ctrl.takenProb = (uni(rng) < 0.75)
+                                     ? bias
+                                     : 1.0 - bias;
+            }
+            // Loop branches test the induction variable.
+            ctrl.src[0] = ind_reg;
+            if (uni(rng) < 0.4)
+                ctrl.src[1] = int16_t(sampleSourceReg(rng, producers));
+        } else {
+            ctrl.op = isa::OpClass::Jump;
+            ctrl.takenProb = 1.0;
+        }
+        if (ctrl.targetBlock < 0 && ctrl.op != isa::OpClass::JumpInd) {
+            if (uni(rng) < p.backEdgeFrac && b > 0) {
+                // Tight loops: the body must fit the register
+                // round-robin window so accumulator self-edges stay
+                // loop-carried (real induction variables).
+                int lo = std::max(0, b - 3);
+                ctrl.targetBlock = lo + int(rng() % uint64_t(b - lo));
+            } else {
+                ctrl.targetBlock = (b + 1 + int(rng() % 31)) % b_count;
+            }
+        }
+        prog_.code.push_back(ctrl);
+    }
+
+    prog_.blockOfOp.resize(prog_.code.size());
+    for (int b = 0; b < b_count; ++b) {
+        int end = (b + 1 < b_count) ? prog_.blockStart[b + 1]
+                                    : int(prog_.code.size());
+        for (int i = prog_.blockStart[b]; i < end; ++i)
+            prog_.blockOfOp[i] = b;
+    }
+}
+
+bool
+SyntheticSource::next(isa::MicroOp &out)
+{
+    using isa::OpClass;
+
+    if (pendingStoreData_) {
+        pendingStoreData_ = false;
+        out = pendingUop_;
+        out.seq = seq_++;
+        return true;
+    }
+
+    const StaticOp &sop = prog_.code[size_t(ip_)];
+    int cur = ip_;
+
+    isa::MicroOp u;
+    u.pc = prog_.pcOf(cur);
+    u.op = sop.op;
+    u.dst = sop.dst;
+    u.src = sop.src;
+    u.firstUop = true;
+
+    if (sop.op == OpClass::Load || sop.op == OpClass::StoreAddr) {
+        uint64_t n = memCounters_[size_t(cur)]++;
+        uint64_t off;
+        if (sop.randomAddr)
+            off = (mix64(n ^ (uint64_t(cur) << 32)) * 8) % sop.regionSize;
+        else
+            off = (n * sop.stride) % sop.regionSize;
+        u.memAddr = sop.regionBase + (off & ~7ULL);
+    }
+
+    if (opIsControl(sop.op)) {
+        std::uniform_real_distribution<> uni(0, 1);
+        u.taken = uni(walkRng_) < sop.takenProb;
+        int target_block;
+        if (sop.op == OpClass::JumpInd) {
+            // Rotate among four pseudo-random targets per static op.
+            uint64_t sel = mix64(uint64_t(cur) * 31 +
+                                 (memCounters_[size_t(cur)]++ & 3));
+            target_block = int(sel % uint64_t(prog_.blockStart.size()));
+            u.taken = true;
+        } else {
+            target_block = sop.targetBlock;
+        }
+        int target_ip = prog_.blockStart[size_t(target_block)];
+        u.target = prog_.pcOf(target_ip);
+        ip_ = u.taken ? target_ip : cur + 1;
+    } else {
+        ip_ = cur + 1;
+    }
+    if (size_t(ip_) >= prog_.code.size())
+        ip_ = 0;
+
+    if (sop.op == OpClass::StoreAddr) {
+        // Second half of the store: the data move micro-op.
+        pendingUop_ = isa::MicroOp{};
+        pendingUop_.pc = u.pc;
+        pendingUop_.op = OpClass::StoreData;
+        pendingUop_.src = {sop.src[1], isa::kNoReg};
+        pendingUop_.memAddr = u.memAddr;
+        pendingUop_.firstUop = false;
+        pendingStoreData_ = true;
+        // The address-generation half carries only the base register.
+        u.src = {sop.src[0], isa::kNoReg};
+    }
+
+    u.seq = seq_++;
+    out = u;
+    return true;
+}
+
+void
+SyntheticSource::reset()
+{
+    walkRng_.seed(profile_.seed * 77777 + 3);
+    ip_ = 0;
+    seq_ = 0;
+    pendingStoreData_ = false;
+    std::fill(memCounters_.begin(), memCounters_.end(), 0);
+}
+
+} // namespace mop::trace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Synthetic workload generator.
+ *
+ * The paper evaluates on SPEC CINT2000 Alpha binaries, which we do not
+ * have. This generator is the documented substitute (see DESIGN.md): it
+ * builds a *static* program — basic blocks of RISC micro-ops with fixed
+ * register dataflow, memory-access generators and branch biases — and
+ * then walks its control-flow graph to produce a dynamic micro-op
+ * stream. Because the code is static, per-PC structures in the machine
+ * (MOP pointers in the instruction cache, branch predictor tables, BTB)
+ * behave as they do on real programs: detection results are reused every
+ * time a PC recurs, loops dominate, and working-set sizes control cache
+ * behaviour.
+ *
+ * Each SPEC CINT2000 benchmark is represented by a WorkloadProfile whose
+ * parameters are calibrated against the paper's own machine-independent
+ * program characterization (Figures 6 and 7) and Table 2 base IPCs.
+ */
+
+#ifndef MOP_TRACE_SYNTHETIC_HH
+#define MOP_TRACE_SYNTHETIC_HH
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace mop::trace
+{
+
+/** Tunable knobs describing one benchmark-like workload. */
+struct WorkloadProfile
+{
+    std::string name = "default";
+    uint64_t seed = 1;
+
+    /// Static code size in basic blocks; controls IL1 behaviour.
+    int numBlocks = 256;
+    /// Mean instructions per basic block (one control op per block).
+    double avgBlockLen = 8.0;
+
+    /// Instruction mix (fractions of non-control instructions; the
+    /// remainder is single-cycle integer ALU).
+    double loadFrac = 0.22;
+    double storeFrac = 0.10;
+    double mulFrac = 0.01;
+    double divFrac = 0.002;
+    double fpFrac = 0.0;
+    double nopFrac = 0.0;
+
+    /// Distance (in static value producers) PMF for source selection;
+    /// index 0 unused. Larger mass at small indices = tighter dependence
+    /// chains (gap-like); mass at large indices = vortex-like.
+    std::array<double, 16> depDistPmf = {
+        0, 0.30, 0.18, 0.12, 0.09, 0.07, 0.06, 0.05,
+        0.04, 0.03, 0.02, 0.01, 0.01, 0.01, 0.005, 0.005};
+
+    /// Fraction of ALU ops with two/zero source operands (the rest have
+    /// one). Zero-source ops (immediates) enable independent MOPs.
+    double twoSrcFrac = 0.35;
+    double zeroSrcFrac = 0.08;
+
+    /// Length of each block's loop-carried recurrence: the number of
+    /// serial single-cycle ops from reading the induction register to
+    /// rewriting it (x = f(g(h(x)))). This is the dependence height
+    /// per loop iteration -- the knob that makes a workload
+    /// scheduler-bound (gap) or wide (vortex/eon).
+    int inductionChainLen = 2;
+
+    /// Number of distinct induction registers blocks cycle through.
+    /// Small pools chain the recurrences of *consecutive* blocks into
+    /// one long serial spine (gap-like interpreters); larger pools
+    /// give each block of a loop its own parallel recurrence.
+    int inductionRegs = 3;
+
+    /// Fraction of ALU ops that read their own destination register
+    /// (accumulators/induction variables). Inside loops these create
+    /// loop-carried dependence chains -- the serial critical paths
+    /// that make pipelined 2-cycle scheduling expensive (Section 6.4:
+    /// gap's window fills with chains of dependent instructions).
+    double accumFrac = 0.2;
+
+    /// Fraction of ALU results written to sink registers never consumed
+    /// (dynamically dead values, Figure 6 category).
+    double deadFrac = 0.08;
+
+    /// Control behaviour.
+    double condBranchFrac = 0.85;   ///< of control ops (rest jump/ind)
+    double indirectFrac = 0.02;     ///< of control ops
+    double randomBranchFrac = 0.10; ///< branches with ~50/50 outcome
+    double takenBias = 0.85;        ///< taken prob of biased branches
+    double backEdgeFrac = 0.65;     ///< taken targets that are loops
+
+    /// Memory behaviour.
+    int memFootprintKB = 64;        ///< total data working set
+    double pointerChaseFrac = 0.0;  ///< loads with random addresses
+    /// Fraction of loads whose address register is the destination of
+    /// the previous load: serial load-to-load chains (mcf-like
+    /// pointer chasing defeats memory-level parallelism).
+    double loadChainFrac = 0.0;
+    int hotRegionKB = 4;            ///< stack-like high-locality region
+    double hotFrac = 0.5;           ///< accesses hitting the hot region
+
+    /// Target *dynamic* fraction of committed instructions that are
+    /// value-generating MOP candidates (the Figure 6 "% total insts"
+    /// label). When non-zero, program construction self-calibrates:
+    /// the dynamic walk concentrates in hot loops whose mix deviates
+    /// from the static sampling probabilities, so the builder measures
+    /// the walk and adjusts the static mix until the dynamic
+    /// fraction matches. 0 disables calibration.
+    double valueGenTarget = 0.0;
+};
+
+/** One instruction of the generated static program. */
+struct StaticOp
+{
+    isa::OpClass op = isa::OpClass::IntAlu;
+    int16_t dst = isa::kNoReg;
+    std::array<int16_t, 2> src = {isa::kNoReg, isa::kNoReg};
+
+    /// Part of a loop-carried recurrence: calibration must not
+    /// convert this op to another class.
+    bool pinned = false;
+
+    // Memory generator state (loads/stores).
+    uint64_t regionBase = 0;
+    uint64_t regionSize = 0;
+    uint32_t stride = 0;
+    bool randomAddr = false;
+
+    // Control behaviour (control ops).
+    double takenProb = 0.0;
+    int targetBlock = -1;
+};
+
+/** The generated static program: flattened code plus block boundaries. */
+struct StaticProgram
+{
+    std::vector<StaticOp> code;       ///< static ops in layout order
+    std::vector<int> blockStart;      ///< first op index of each block
+    std::vector<int> blockOfOp;       ///< op index -> block
+
+    static constexpr uint64_t kCodeBase = 0x400000;
+    static constexpr uint64_t kDataBase = 0x8000000;
+
+    uint64_t pcOf(int op_index) const { return kCodeBase + 4 * uint64_t(op_index); }
+};
+
+/**
+ * Builds a StaticProgram from a profile and produces the dynamic stream.
+ * Fully deterministic for a given profile (including seed).
+ */
+class SyntheticSource : public TraceSource
+{
+  public:
+    explicit SyntheticSource(const WorkloadProfile &profile);
+
+    bool next(isa::MicroOp &out) override;
+    void reset() override;
+
+    const StaticProgram &program() const { return prog_; }
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    void buildProgram();
+    /** Post-construction mix calibration (see valueGenTarget). */
+    void calibrate();
+    StaticOp makeNonControlOp(std::mt19937_64 &rng,
+                              std::vector<int16_t> &producers);
+    int sampleSourceReg(std::mt19937_64 &rng,
+                        const std::vector<int16_t> &producers);
+
+    WorkloadProfile profile_;
+    StaticProgram prog_;
+
+    // Static-codegen register cursors (round-robin allocation).
+    int16_t destCursor_ = 1;
+    int16_t sinkCursor_ = 25;
+    int16_t fpCursor_ = 32;
+    int16_t lastLoadDst_ = isa::kNoReg;  ///< load-chain threading
+
+    // Dynamic-walk state.
+    std::mt19937_64 walkRng_;
+    int ip_ = 0;              ///< static op index
+    uint64_t seq_ = 0;
+    bool pendingStoreData_ = false;
+    isa::MicroOp pendingUop_;
+    std::vector<uint64_t> memCounters_;  ///< per-static-op access counter
+};
+
+} // namespace mop::trace
+
+#endif // MOP_TRACE_SYNTHETIC_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the cache model and Table 1 memory hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache.hh"
+
+namespace
+{
+
+using namespace mop::mem;
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    Cache c({"c", 1024, 2, 64, 2});
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13f));  // same 64B line
+    EXPECT_FALSE(c.access(0x140)); // next line
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheTest, LruEviction)
+{
+    // 2-way, 64B lines, 8 sets (1024B). Set 0 holds lines 0 and 8.
+    Cache c({"c", 1024, 2, 64, 2});
+    auto addr = [](uint64_t line) { return line * 64; };
+    c.access(addr(0));
+    c.access(addr(8));
+    c.access(addr(0));   // touch 0: 8 becomes LRU
+    c.access(addr(16));  // evicts 8
+    EXPECT_TRUE(c.probe(addr(0)));
+    EXPECT_FALSE(c.probe(addr(8)));
+    EXPECT_TRUE(c.probe(addr(16)));
+}
+
+TEST(CacheTest, EvictCallbackReportsLineAddress)
+{
+    Cache c({"c", 1024, 2, 64, 2});
+    std::vector<uint64_t> evicted;
+    c.setEvictCallback([&](uint64_t a) { evicted.push_back(a); });
+    c.access(0);
+    c.access(8 * 64);
+    c.access(16 * 64);  // evicts line 0 (LRU in set 0)
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 0u);
+}
+
+TEST(CacheTest, Invalidate)
+{
+    Cache c({"c", 1024, 2, 64, 2});
+    c.access(0x200);
+    EXPECT_TRUE(c.probe(0x200));
+    c.invalidate(0x200);
+    EXPECT_FALSE(c.probe(0x200));
+}
+
+TEST(CacheTest, ProbeDoesNotAllocate)
+{
+    Cache c({"c", 1024, 2, 64, 2});
+    EXPECT_FALSE(c.probe(0x300));
+    EXPECT_FALSE(c.probe(0x300));
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(HierarchyTest, Table1Latencies)
+{
+    MemoryHierarchy m;  // defaults are the Table 1 configuration
+    // Cold: DL1 miss + L2 miss -> 2 + 8 + 100.
+    EXPECT_EQ(m.dataAccess(0x5000, false), 110);
+    // Now DL1 hit.
+    EXPECT_EQ(m.dataAccess(0x5000, false), 2);
+    // A DL1 conflict that still hits L2: same L2 line, different DL1
+    // line is not trivial to construct; instead check IL1 path.
+    EXPECT_EQ(m.instAccess(0x400000), 110);
+    EXPECT_EQ(m.instAccess(0x400000), 2);
+}
+
+TEST(HierarchyTest, L2HitAfterL1Eviction)
+{
+    MemoryHierarchy m;
+    // DL1: 16KB 4-way 64B lines -> 64 sets. Addresses 64*64 apart
+    // conflict in DL1 (4096B stride) but map to distinct L2 sets.
+    uint64_t base = 0x100000;
+    for (int i = 0; i < 5; ++i)
+        m.dataAccess(base + uint64_t(i) * 4096, false);
+    // base was evicted from DL1 (5 > 4 ways) but should hit in L2.
+    EXPECT_EQ(m.dataAccess(base, false), 2 + 8);
+}
+
+TEST(HierarchyTest, MissRateStats)
+{
+    MemoryHierarchy m;
+    m.dataAccess(0x0, false);
+    m.dataAccess(0x0, false);
+    EXPECT_DOUBLE_EQ(m.dl1().missRate(), 0.5);
+}
+
+} // namespace

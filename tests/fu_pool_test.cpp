@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Functional-unit pool tests: per-cycle initiation limits, future
+ * (MOP tail) reservations, and unpipelined divides.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/fu_pool.hh"
+
+namespace
+{
+
+using namespace mop::sched;
+using mop::isa::OpClass;
+
+std::array<int, mop::isa::kNumFuKinds>
+counts(int alu, int muldiv = 2, int fpalu = 2, int fpmd = 2, int mem = 2)
+{
+    return {alu, muldiv, fpalu, fpmd, mem};
+}
+
+TEST(FuPool, WidthPerCycle)
+{
+    FuPool fu(counts(2));
+    EXPECT_TRUE(fu.available(OpClass::IntAlu, 5));
+    fu.reserve(OpClass::IntAlu, 5);
+    EXPECT_TRUE(fu.available(OpClass::IntAlu, 5));
+    fu.reserve(OpClass::IntAlu, 5);
+    EXPECT_FALSE(fu.available(OpClass::IntAlu, 5));
+    EXPECT_TRUE(fu.available(OpClass::IntAlu, 6));  // pipelined
+}
+
+TEST(FuPool, FutureReservationDoesNotClobberPresent)
+{
+    FuPool fu(counts(1));
+    fu.reserve(OpClass::IntAlu, 7);  // MOP tail slot, one cycle ahead
+    EXPECT_TRUE(fu.available(OpClass::IntAlu, 6));
+    fu.reserve(OpClass::IntAlu, 6);
+    EXPECT_FALSE(fu.available(OpClass::IntAlu, 6));
+    EXPECT_FALSE(fu.available(OpClass::IntAlu, 7));
+}
+
+TEST(FuPool, UnpipelinedDivideOccupiesUnit)
+{
+    FuPool fu(counts(4, 1));
+    fu.reserve(OpClass::IntDiv, 10);
+    for (Cycle c = 10; c < 30; ++c)
+        EXPECT_FALSE(fu.available(OpClass::IntDiv, c)) << c;
+    EXPECT_TRUE(fu.available(OpClass::IntDiv, 30));
+}
+
+TEST(FuPool, KindsAreIndependent)
+{
+    FuPool fu(counts(1, 1, 1, 1, 1));
+    fu.reserve(OpClass::IntAlu, 3);
+    EXPECT_TRUE(fu.available(OpClass::Load, 3));
+    EXPECT_TRUE(fu.available(OpClass::IntMult, 3));
+    fu.reserve(OpClass::Load, 3);
+    EXPECT_FALSE(fu.available(OpClass::StoreData, 3));  // shares mem port
+}
+
+TEST(FuPool, ControlOpsUseIntAlu)
+{
+    FuPool fu(counts(1));
+    fu.reserve(OpClass::Branch, 2);
+    EXPECT_FALSE(fu.available(OpClass::IntAlu, 2));
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * MOP pointer cache tests: IL1-line coupling and the last-arriving
+ * operand exclusion mechanism (Sections 5.1.3 / 5.4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mop_pointer.hh"
+
+namespace
+{
+
+using namespace mop::core;
+
+MopPointer
+ptr(uint8_t offset, bool ctrl = false)
+{
+    MopPointer p;
+    p.offset = offset;
+    p.ctrl = ctrl;
+    p.tailPc = 0x400000 + offset * 4;
+    return p;
+}
+
+TEST(PointerCache, WriteAndLookup)
+{
+    MopPointerCache c;
+    EXPECT_FALSE(c.lookup(0x400000).valid());
+    c.write(0x400000, ptr(3, true));
+    MopPointer p = c.lookup(0x400000);
+    EXPECT_TRUE(p.valid());
+    EXPECT_EQ(p.offset, 3);
+    EXPECT_TRUE(p.ctrl);
+    EXPECT_EQ(c.writes(), 1u);
+}
+
+TEST(PointerCache, ZeroOffsetIsInvalidAndNotStored)
+{
+    MopPointerCache c;
+    c.write(0x400000, MopPointer{});
+    EXPECT_FALSE(c.lookup(0x400000).valid());
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(PointerCache, LineEvictionDropsPointersInLine)
+{
+    MopPointerCache c;
+    c.write(0x400000, ptr(1));
+    c.write(0x40003c, ptr(2));  // same 64B line
+    c.write(0x400040, ptr(3));  // next line
+    c.evictLine(0x400000, 64);
+    EXPECT_FALSE(c.lookup(0x400000).valid());
+    EXPECT_FALSE(c.lookup(0x40003c).valid());
+    EXPECT_TRUE(c.lookup(0x400040).valid());
+    EXPECT_EQ(c.lineEvictions(), 1u);
+}
+
+TEST(PointerCache, DeleteAndExcludeBlocksSamePairing)
+{
+    MopPointerCache c;
+    c.write(0x400000, ptr(3));
+    c.deleteAndExclude(0x400000);
+    EXPECT_FALSE(c.lookup(0x400000).valid());
+    EXPECT_TRUE(c.isExcluded(0x400000, 3));
+    EXPECT_FALSE(c.isExcluded(0x400000, 2));
+    // Re-detection of the same pair is rejected...
+    c.write(0x400000, ptr(3));
+    EXPECT_FALSE(c.lookup(0x400000).valid());
+    // ...but an alternative pair is accepted (Figure 12c).
+    c.write(0x400000, ptr(2));
+    EXPECT_TRUE(c.lookup(0x400000).valid());
+    EXPECT_EQ(c.filterDeletions(), 1u);
+}
+
+TEST(PointerCache, DeleteOfMissingPointerIsNoop)
+{
+    MopPointerCache c;
+    c.deleteAndExclude(0x400123);
+    EXPECT_EQ(c.filterDeletions(), 0u);
+}
+
+TEST(PointerCache, IndependentFlagRoundTrips)
+{
+    MopPointerCache c;
+    MopPointer p = ptr(1);
+    p.independent = true;
+    c.write(0x400100, p);
+    EXPECT_TRUE(c.lookup(0x400100).independent);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared test harness for driving the Scheduler cycle by cycle.
+ */
+
+#ifndef MOP_TESTS_SCHED_HARNESS_HH
+#define MOP_TESTS_SCHED_HARNESS_HH
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace mop::test
+{
+
+using sched::Cycle;
+using sched::ExecEvent;
+using sched::SchedOp;
+using sched::SchedParams;
+using sched::SchedPolicy;
+using sched::Tag;
+
+struct Harness
+{
+    sched::Scheduler s;
+    Cycle now = 0;
+    std::map<uint64_t, ExecEvent> done;
+    std::vector<sched::MopIssue> mops;
+    std::vector<ExecEvent> scratch;
+
+    explicit Harness(const SchedParams &p) : s(p) {}
+
+    static SchedParams
+    params(SchedPolicy pol, int entries = 64)
+    {
+        SchedParams p;
+        p.policy = pol;
+        p.numEntries = entries;
+        p.watchdogCycles = 50000;
+        if (pol == SchedPolicy::TwoCycle)
+            p.mopEnabled = true;
+        return p;
+    }
+
+    static SchedOp
+    op(uint64_t seq, isa::OpClass cls, Tag dst, Tag s0 = sched::kNoTag,
+       Tag s1 = sched::kNoTag)
+    {
+        SchedOp o;
+        o.seq = seq;
+        o.op = cls;
+        o.dst = dst;
+        o.src = {s0, s1};
+        return o;
+    }
+
+    static SchedOp
+    alu(uint64_t seq, Tag dst, Tag s0 = sched::kNoTag,
+        Tag s1 = sched::kNoTag)
+    {
+        return op(seq, isa::OpClass::IntAlu, dst, s0, s1);
+    }
+
+    void
+    tick()
+    {
+        scratch.clear();
+        s.tick(now, scratch, &mops);
+        for (const auto &ev : scratch)
+            done[ev.seq] = ev;
+        ++now;
+    }
+
+    /** Tick until the queue drains (or the cycle budget runs out). */
+    void
+    runUntilIdle(int max_cycles = 5000)
+    {
+        int spent = 0;
+        while (s.occupancy() > 0 && spent++ < max_cycles)
+            tick();
+        ASSERT_EQ(s.occupancy(), 0) << "queue failed to drain";
+    }
+
+    Cycle issuedAt(uint64_t seq) const { return done.at(seq).issued; }
+    Cycle completeAt(uint64_t seq) const { return done.at(seq).complete; }
+    Cycle execAt(uint64_t seq) const { return done.at(seq).execStart; }
+
+    /** Assert every (producer, consumer) pair respects dataflow. */
+    void
+    assertDataflow(
+        const std::vector<std::pair<uint64_t, uint64_t>> &edges) const
+    {
+        for (auto [p, c] : edges) {
+            ASSERT_TRUE(done.count(p)) << "producer " << p;
+            ASSERT_TRUE(done.count(c)) << "consumer " << c;
+            EXPECT_LE(done.at(p).complete, done.at(c).execStart)
+                << "edge " << p << " -> " << c;
+        }
+    }
+};
+
+} // namespace mop::test
+
+#endif // MOP_TESTS_SCHED_HARNESS_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Golden scheduling-timing tests reproducing the wakeup/select timings
+ * of Figures 4 and 5 of the paper, for 1-cycle (atomic/base), 2-cycle,
+ * and 2-cycle macro-op scheduling.
+ *
+ * Conventions: dispatchDepth D = 4 (Disp Disp RF RF); an op selected
+ * at cycle s begins execution at s + D and its value is ready at
+ * s + D + latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched_harness.hh"
+
+namespace
+{
+
+using namespace mop::test;
+using mop::isa::OpClass;
+namespace sched = mop::sched;
+
+TEST(Timing, AtomicBackToBack)
+{
+    // Base scheduling: dependent single-cycle ops issue consecutively.
+    Harness h(Harness::params(SchedPolicy::Atomic));
+    h.s.insert(Harness::alu(0, /*dst=*/0), h.now);
+    h.s.insert(Harness::alu(1, 1, /*src=*/0), h.now);
+    h.s.insert(Harness::alu(2, 2, 1), h.now);
+    h.runUntilIdle();
+    EXPECT_EQ(h.issuedAt(0), 1u);
+    EXPECT_EQ(h.issuedAt(1), 2u);  // back-to-back
+    EXPECT_EQ(h.issuedAt(2), 3u);
+    // Value timing: exec starts exactly when the producer finishes.
+    EXPECT_EQ(h.completeAt(0), h.execAt(1));
+    EXPECT_EQ(h.completeAt(1), h.execAt(2));
+}
+
+TEST(Timing, TwoCycleInsertsOneBubble)
+{
+    Harness h(Harness::params(SchedPolicy::TwoCycle));
+    h.s.insert(Harness::alu(0, 0), h.now);
+    h.s.insert(Harness::alu(1, 1, 0), h.now);
+    h.s.insert(Harness::alu(2, 2, 1), h.now);
+    h.runUntilIdle();
+    EXPECT_EQ(h.issuedAt(0), 1u);
+    EXPECT_EQ(h.issuedAt(1), 3u);  // minimum edge latency is 2
+    EXPECT_EQ(h.issuedAt(2), 5u);
+}
+
+TEST(Timing, TwoCycleDoesNotPenalizeMultiCycleOps)
+{
+    // A multiply (3 cycles) already covers the pipelined loop.
+    Harness a(Harness::params(SchedPolicy::Atomic));
+    Harness t(Harness::params(SchedPolicy::TwoCycle));
+    for (Harness *h : {&a, &t}) {
+        h->s.insert(Harness::op(0, OpClass::IntMult, 0), h->now);
+        h->s.insert(Harness::alu(1, 1, 0), h->now);
+        h->runUntilIdle();
+    }
+    EXPECT_EQ(a.issuedAt(1), a.issuedAt(0) + 3);
+    EXPECT_EQ(t.issuedAt(1), t.issuedAt(0) + 3);  // same timing
+}
+
+TEST(Timing, MopTailConsumerIsConsecutive)
+{
+    // Figure 5: MOP(1,3); instruction 4 depends on the tail and issues
+    // as if 1-cycle scheduling were performed.
+    Harness h(Harness::params(SchedPolicy::TwoCycle));
+    // MOP tag 0 covers both head (seq 0) and tail (seq 1).
+    int e = h.s.insert(Harness::alu(0, 0), h.now, /*expect_tail=*/true);
+    ASSERT_TRUE(h.s.appendTail(e, Harness::alu(1, 0, 0), h.now));
+    h.s.insert(Harness::alu(2, 1, 0), h.now);  // consumer
+    h.runUntilIdle();
+
+    Cycle mop = h.issuedAt(0);
+    EXPECT_EQ(h.issuedAt(1), mop);        // one select for the MOP
+    EXPECT_EQ(h.execAt(1), h.execAt(0) + 1);  // sequenced back-to-back
+    EXPECT_EQ(h.issuedAt(2), mop + 2);    // single 2-cycle broadcast
+    // Consumer executes exactly when the tail's value is ready:
+    // scheduled as if 1-cycle scheduling happened (Section 3.1).
+    EXPECT_EQ(h.execAt(2), h.completeAt(1));
+}
+
+TEST(Timing, MopHeadConsumerSeesTwoCycleTiming)
+{
+    Harness h(Harness::params(SchedPolicy::TwoCycle));
+    int e = h.s.insert(Harness::alu(0, 0), h.now, true);
+    ASSERT_TRUE(h.s.appendTail(e, Harness::alu(1, 0, 0), h.now));
+    h.s.insert(Harness::alu(2, 1, 0), h.now);  // reads head's value
+    h.runUntilIdle();
+    // Head consumer issues at MOP+2, one cycle later than atomic
+    // scheduling would allow (head value ready at exec+1).
+    EXPECT_EQ(h.issuedAt(2), h.issuedAt(0) + 2);
+    EXPECT_EQ(h.execAt(2), h.completeAt(0) + 1);
+}
+
+TEST(Timing, Figure5CompleteExample)
+{
+    // 1: add r1 <- ...   2: lw r4 <- 0(r1)
+    // 3: sub r5 <- r1    4: bez r5
+    auto build_conventional = [](Harness &h) {
+        h.s.insert(Harness::alu(1, 1), h.now);
+        h.s.insert(Harness::op(2, OpClass::Load, 4, 1), h.now);
+        h.s.insert(Harness::alu(3, 5, 1), h.now);
+        h.s.insert(Harness::op(4, OpClass::Branch, sched::kNoTag, 5),
+                   h.now);
+    };
+
+    Harness atomic(Harness::params(SchedPolicy::Atomic));
+    build_conventional(atomic);
+    atomic.runUntilIdle();
+    Cycle n = atomic.issuedAt(1);
+    EXPECT_EQ(atomic.issuedAt(2), n + 1);
+    EXPECT_EQ(atomic.issuedAt(3), n + 1);
+    EXPECT_EQ(atomic.issuedAt(4), n + 2);
+
+    Harness two(Harness::params(SchedPolicy::TwoCycle));
+    build_conventional(two);
+    two.runUntilIdle();
+    n = two.issuedAt(1);
+    EXPECT_EQ(two.issuedAt(2), n + 2);
+    EXPECT_EQ(two.issuedAt(3), n + 2);
+    EXPECT_EQ(two.issuedAt(4), n + 4);
+
+    // Macro-op: MOP(1,3) with shared tag; 2 and 4 wake from it.
+    Harness m(Harness::params(SchedPolicy::TwoCycle));
+    int e = m.s.insert(Harness::alu(1, 1), m.now, true);
+    ASSERT_TRUE(m.s.appendTail(e, Harness::alu(3, 1, 1), m.now));
+    m.s.insert(Harness::op(2, OpClass::Load, 4, 1), m.now);
+    m.s.insert(Harness::op(4, OpClass::Branch, sched::kNoTag, 1), m.now);
+    m.runUntilIdle();
+    n = m.issuedAt(1);
+    EXPECT_EQ(m.issuedAt(3), n);      // grouped
+    EXPECT_EQ(m.issuedAt(2), n + 2);  // head consumer: 2-cycle timing
+    EXPECT_EQ(m.issuedAt(4), n + 2);  // tail consumer: consecutive
+    // The branch reads the sub's output exactly when it is produced.
+    EXPECT_EQ(m.execAt(4), m.completeAt(3));
+}
+
+TEST(Timing, Figure4DependenceTreeDepth)
+{
+    // The gzip example of Figure 4: grouping shortens the critical
+    // path of a 16-instruction dependence tree from 17 cycles (2-cycle
+    // scheduling) to nearly the 9 cycles of 1-cycle scheduling.
+    // We model the depth-9 chain portion: alternating grouped pairs.
+    auto chain = [](Harness &h, bool mop) {
+        // 8 dependent single-cycle instructions.
+        if (!mop) {
+            for (uint64_t i = 0; i < 8; ++i) {
+                h.s.insert(Harness::alu(i, Tag(i),
+                                        i ? Tag(i - 1) : sched::kNoTag),
+                           h.now);
+            }
+            return;
+        }
+        // Grouped as 4 MOPs: (0,1) (2,3) (4,5) (6,7); MOP tags 0..3.
+        for (uint64_t g = 0; g < 4; ++g) {
+            Tag t = Tag(g);
+            Tag prev = g ? Tag(g - 1) : sched::kNoTag;
+            int e = h.s.insert(Harness::alu(2 * g, t, prev), h.now, true);
+            ASSERT_TRUE(h.s.appendTail(e, Harness::alu(2 * g + 1, t, t),
+                                       h.now));
+        }
+    };
+
+    Harness one(Harness::params(SchedPolicy::Atomic));
+    chain(one, false);
+    one.runUntilIdle();
+    Cycle depth1 = one.issuedAt(7) - one.issuedAt(0);
+
+    Harness two(Harness::params(SchedPolicy::TwoCycle));
+    chain(two, false);
+    two.runUntilIdle();
+    Cycle depth2 = two.issuedAt(7) - two.issuedAt(0);
+
+    Harness m(Harness::params(SchedPolicy::TwoCycle));
+    chain(m, true);
+    m.runUntilIdle();
+    Cycle depthm = m.execAt(7) - m.execAt(0);
+
+    EXPECT_EQ(depth1, 7u);   // back-to-back chain
+    EXPECT_EQ(depth2, 14u);  // doubled by the pipelined loop
+    EXPECT_EQ(depthm, 7u);   // grouping restores consecutive execution
+}
+
+TEST(Timing, LoadConsumerSpeculativeHitTiming)
+{
+    Harness h(Harness::params(SchedPolicy::Atomic));
+    h.s.setLoadLatencyFn([](uint64_t) { return 2; });  // DL1 hit
+    h.s.insert(Harness::op(0, OpClass::Load, 0), h.now);
+    h.s.insert(Harness::alu(1, 1, 0), h.now);
+    h.runUntilIdle();
+    // Load: addr-gen 1 + DL1 2 -> consumer issues 3 after the load and
+    // executes exactly when the value arrives.
+    EXPECT_EQ(h.issuedAt(1), h.issuedAt(0) + 3);
+    EXPECT_EQ(h.execAt(1), h.completeAt(0));
+}
+
+TEST(Timing, LastArrivingTailOperandReported)
+{
+    // Figure 12: the MOP's issue is triggered by the tail's operand.
+    Harness h(Harness::params(SchedPolicy::TwoCycle));
+    // Slow producer (a divide) feeding the tail only.
+    h.s.insert(Harness::op(10, OpClass::IntDiv, 5), h.now);
+    int e = h.s.insert(Harness::alu(0, 0), h.now, true);
+    ASSERT_TRUE(h.s.appendTail(e, Harness::alu(1, 0, 0, 5), h.now));
+    h.runUntilIdle();
+    ASSERT_EQ(h.mops.size(), 1u);
+    EXPECT_TRUE(h.mops[0].tailLastArriving);
+    EXPECT_EQ(h.mops[0].headSeq, 0u);
+
+    // Mirror case: last-arriving operand in the head -> not flagged.
+    Harness g(Harness::params(SchedPolicy::TwoCycle));
+    g.s.insert(Harness::op(10, OpClass::IntDiv, 5), g.now);
+    int e2 = g.s.insert(Harness::alu(0, 0, 5), g.now, true);
+    ASSERT_TRUE(g.s.appendTail(e2, Harness::alu(1, 0, 0), g.now));
+    g.runUntilIdle();
+    ASSERT_EQ(g.mops.size(), 1u);
+    EXPECT_FALSE(g.mops[0].tailLastArriving);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace mop::stats;
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(AverageStat, MeanMinMax)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1);
+    a.sample(3);
+    a.sample(8);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 8.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(AverageStat, NegativeValues)
+{
+    Average a;
+    a.sample(-5);
+    a.sample(5);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -5.0);
+}
+
+TEST(HistogramStat, BucketsAndOverflow)
+{
+    Histogram h(0, 10, 5);  // buckets of 2
+    for (int v = 0; v < 10; ++v)
+        h.sample(v);
+    h.sample(100);
+    h.sample(-1);
+    EXPECT_EQ(h.total(), 12u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 2u);  // 0,1
+    EXPECT_EQ(h.bucketCount(4), 2u);  // 8,9
+}
+
+TEST(HistogramStat, CountInRange)
+{
+    Histogram h(0, 16, 16);  // unit buckets
+    for (int v = 1; v <= 8; ++v)
+        h.sample(v, 2);
+    EXPECT_EQ(h.countInRange(1, 3), 6u);
+    EXPECT_EQ(h.countInRange(4, 7), 8u);
+}
+
+TEST(HistogramStat, WeightedMean)
+{
+    Histogram h(0, 100, 10);
+    h.sample(10, 3);
+    h.sample(50, 1);
+    EXPECT_DOUBLE_EQ(h.mean(), (30.0 + 50.0) / 4.0);
+}
+
+TEST(StatGroupTest, PrintContainsEntries)
+{
+    Counter c;
+    c += 7;
+    Average a;
+    a.sample(2.5);
+    StatGroup g("core");
+    g.addCounter("commits", &c, "committed");
+    g.addAverage("occ", &a);
+    g.addFormula("double", [&] { return double(c.value()) * 2; });
+
+    std::ostringstream os;
+    g.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("core.commits"), std::string::npos);
+    EXPECT_NE(s.find("7"), std::string::npos);
+    EXPECT_NE(s.find("core.occ"), std::string::npos);
+    EXPECT_NE(s.find("14.0"), std::string::npos);
+}
+
+TEST(StatGroupTest, NestedChildren)
+{
+    Counter c;
+    StatGroup parent("sim");
+    StatGroup child("sched");
+    child.addCounter("issued", &c);
+    parent.addChild(&child);
+    std::ostringstream os;
+    parent.print(os);
+    EXPECT_NE(os.str().find("sim.sched.issued"), std::string::npos);
+}
+
+TEST(StatGroupTest, CsvFormat)
+{
+    Counter c;
+    c += 3;
+    StatGroup g("x");
+    g.addCounter("n", &c);
+    std::ostringstream os;
+    g.printCsv(os);
+    EXPECT_EQ(os.str(), "x.n,3\n");
+}
+
+TEST(TableTest, AlignedOutput)
+{
+    Table t("Demo");
+    t.setColumns({"bench", "ipc"});
+    t.addRow({"gzip", Table::fmt(1.234)});
+    t.addRow({"mcf", Table::pct(0.5)});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("1.234"), std::string::npos);
+    EXPECT_NE(s.find("50.0%"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for op classes and MOP-candidate predicates (Section 4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/uop.hh"
+
+namespace
+{
+
+using namespace mop::isa;
+
+TEST(OpClassTest, Table1Latencies)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1);
+    EXPECT_EQ(opLatency(OpClass::FpAlu), 2);
+    EXPECT_EQ(opLatency(OpClass::IntMult), 3);
+    EXPECT_EQ(opLatency(OpClass::IntDiv), 20);
+    EXPECT_EQ(opLatency(OpClass::FpMult), 4);
+    EXPECT_EQ(opLatency(OpClass::FpDiv), 24);
+    EXPECT_EQ(opLatency(OpClass::StoreAddr), 1);
+    EXPECT_EQ(opLatency(OpClass::Branch), 1);
+}
+
+TEST(OpClassTest, FunctionalUnits)
+{
+    EXPECT_EQ(opFuKind(OpClass::IntAlu), FuKind::IntAluFu);
+    EXPECT_EQ(opFuKind(OpClass::Branch), FuKind::IntAluFu);
+    EXPECT_EQ(opFuKind(OpClass::StoreAddr), FuKind::IntAluFu);
+    EXPECT_EQ(opFuKind(OpClass::Load), FuKind::MemPort);
+    EXPECT_EQ(opFuKind(OpClass::StoreData), FuKind::MemPort);
+    EXPECT_EQ(opFuKind(OpClass::IntDiv), FuKind::IntMultDiv);
+}
+
+TEST(OpClassTest, DividesAreUnpipelined)
+{
+    EXPECT_TRUE(opUnpipelined(OpClass::IntDiv));
+    EXPECT_TRUE(opUnpipelined(OpClass::FpDiv));
+    EXPECT_FALSE(opUnpipelined(OpClass::IntMult));
+    EXPECT_FALSE(opUnpipelined(OpClass::IntAlu));
+}
+
+TEST(OpClassTest, MopCandidatesAreSingleCycleOps)
+{
+    // Section 4.1: single-cycle ALU, store address generation, control.
+    EXPECT_TRUE(opIsMopCandidate(OpClass::IntAlu));
+    EXPECT_TRUE(opIsMopCandidate(OpClass::StoreAddr));
+    EXPECT_TRUE(opIsMopCandidate(OpClass::Branch));
+    EXPECT_TRUE(opIsMopCandidate(OpClass::Jump));
+    // Multi-cycle ops do not need 1-cycle scheduling.
+    EXPECT_FALSE(opIsMopCandidate(OpClass::Load));
+    EXPECT_FALSE(opIsMopCandidate(OpClass::IntMult));
+    EXPECT_FALSE(opIsMopCandidate(OpClass::IntDiv));
+    EXPECT_FALSE(opIsMopCandidate(OpClass::FpAlu));
+    // Store data is the non-candidate half of a store.
+    EXPECT_FALSE(opIsMopCandidate(OpClass::StoreData));
+    // Indirect control breaks MOP pointer encoding.
+    EXPECT_FALSE(opIsMopCandidate(OpClass::JumpInd));
+}
+
+TEST(MicroOpTest, SourceCounting)
+{
+    MicroOp u;
+    EXPECT_EQ(u.numSrcs(), 0);
+    u.src[0] = 3;
+    EXPECT_EQ(u.numSrcs(), 1);
+    u.src[1] = 4;
+    EXPECT_EQ(u.numSrcs(), 2);
+}
+
+TEST(MicroOpTest, ValueGenCandidate)
+{
+    MicroOp alu;
+    alu.op = OpClass::IntAlu;
+    alu.dst = 5;
+    EXPECT_TRUE(alu.isValueGenCandidate());
+
+    MicroOp br;
+    br.op = OpClass::Branch;
+    EXPECT_TRUE(br.isMopCandidate());
+    EXPECT_FALSE(br.isValueGenCandidate());  // no destination
+
+    MicroOp ld;
+    ld.op = OpClass::Load;
+    ld.dst = 5;
+    EXPECT_FALSE(ld.isValueGenCandidate());  // not a candidate at all
+}
+
+TEST(MicroOpTest, ToStringContainsFields)
+{
+    MicroOp u;
+    u.seq = 42;
+    u.op = OpClass::IntAlu;
+    u.dst = 7;
+    u.src[0] = 3;
+    std::string s = u.toString();
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("IntAlu"), std::string::npos);
+    EXPECT_NE(s.find("r7"), std::string::npos);
+}
+
+} // namespace
