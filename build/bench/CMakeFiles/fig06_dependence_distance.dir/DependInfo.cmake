@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_dependence_distance.cc" "bench/CMakeFiles/fig06_dependence_distance.dir/fig06_dependence_distance.cc.o" "gcc" "bench/CMakeFiles/fig06_dependence_distance.dir/fig06_dependence_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mop_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/mop_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mop_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/mop_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mop_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mop_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/mop_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mop_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mop_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

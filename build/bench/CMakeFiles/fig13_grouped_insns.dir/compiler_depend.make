@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_grouped_insns.
+# This may be replaced when dependencies are built.
