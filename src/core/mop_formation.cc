@@ -76,6 +76,20 @@ MopFormation::process(const isa::MicroOp &u, uint64_t dyn_id)
         MopPointer ptr = cache_.lookup(u.pc);
         bool eligible = ptr.valid() && u.isMopCandidate() &&
                         (ptr.independent || u.isValueGenCandidate());
+        if (eligible && inj_ &&
+            inj_->fire(verify::FaultKind::CorruptMop)) {
+            // Pointer-storage corruption: either the pointer is lost
+            // (forced dissolution; the pair issues as two plain ops)
+            // or it names the wrong tail. A wrong tail must be caught
+            // by the pending-tail PC verification or the group-window
+            // expiry -- both end in clearPending(), never a bad fuse.
+            if (inj_->pick(2) == 0) {
+                eligible = false;
+            } else {
+                ptr.offset = uint8_t(1 + inj_->pick(7));
+                ptr.tailPc ^= 0x40;
+            }
+        }
         if (eligible) {
             uint64_t tail_id = dyn_id + ptr.offset;
             for (const auto &p : pending_)

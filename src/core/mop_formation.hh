@@ -27,6 +27,7 @@
 #include "core/mop_pointer.hh"
 #include "isa/uop.hh"
 #include "sched/types.hh"
+#include "verify/fault_injector.hh"
 
 namespace mop::core
 {
@@ -96,6 +97,10 @@ class MopFormation
 
     bool groupingEnabled() const { return enabled_; }
 
+    /** Attach a fault injector (corrupt-mop opportunity site; see
+     *  verify/fault_injector.hh). Not owned. */
+    void setFaultInjector(verify::FaultInjector *inj) { inj_ = inj; }
+
   private:
     struct PendingHead
     {
@@ -113,6 +118,7 @@ class MopFormation
 
     bool enabled_;
     MopPointerCache &cache_;
+    verify::FaultInjector *inj_ = nullptr;  ///< not owned
     int maxMopSize_;
     sched::Tag next_ = 0;
     std::array<sched::Tag, isa::kNumLogicalRegs> table_;

@@ -1,6 +1,6 @@
 #include "pipeline/ooo_core.hh"
 
-#include <cassert>
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -30,9 +30,27 @@ OooCore::OooCore(const CoreParams &params, trace::TraceSource &source)
     sched_ = std::make_unique<sched::Scheduler>(sp);
     sched_->setLoadLatencyFn([this](uint64_t seq) {
         RobEntry *re = robByDynId(seq);
-        assert(re && re->u.isLoad());
-        return mem_.dataAccess(re->u.memAddr, false);
+        integrity_.require(re && re->u.isLoad(),
+                           verify::IntegrityChecker::Check::RobOrder,
+                           "load-latency query for dyn id " +
+                               std::to_string(seq) +
+                               " that is not a ROB-resident load");
+        int lat = mem_.dataAccess(re->u.memAddr, false);
+        if (inj_) {
+            int f = inj_->loadFaultLatency(now_,
+                                           params_.sched.dl1HitLatency);
+            if (f > 0)
+                lat = std::max(lat, f);
+        }
+        return lat;
     });
+
+    if (params_.faults.any()) {
+        inj_ = std::make_unique<verify::FaultInjector>(params_.faults);
+        sched_->setFaultInjector(inj_.get());
+        formation_->setFaultInjector(inj_.get());
+    }
+    sched_->setEventRing(&ring_);
 
     if (params_.mopEnabled) {
         // MOP pointers live alongside IL1 lines (Section 5.1.3).
@@ -67,11 +85,11 @@ OooCore::checkInvariant(const RobEntry &re, const sched::ExecEvent &ev)
             continue;  // producer too old to matter (long committed)
         if (slot.second > ev.execStart) {
             std::ostringstream ss;
-            ss << "dataflow violation: uop " << ev.seq
-               << " began execution at cycle " << ev.execStart
-               << " but producer " << p << " completed at cycle "
-               << slot.second;
-            throw std::logic_error(ss.str());
+            ss << "uop " << ev.seq << " began execution at cycle "
+               << ev.execStart << " but producer " << p
+               << " completed at cycle " << slot.second;
+            integrity_.fail(verify::IntegrityChecker::Check::Dataflow,
+                            ss.str());
         }
     }
 }
@@ -80,13 +98,15 @@ void
 OooCore::handleCompletion(const sched::ExecEvent &ev)
 {
     RobEntry *re = robByDynId(ev.seq);
-    assert(re && "completion for unknown rob entry");
+    integrity_.require(re != nullptr,
+                       verify::IntegrityChecker::Check::RobOrder,
+                       "completion for dyn id " + std::to_string(ev.seq) +
+                           " with no ROB entry");
     re->completed = true;
     re->completeCycle = ev.complete;
     re->execStart = ev.execStart;
     prodComplete_[ev.seq % kProdRing] = {ev.seq, ev.complete};
-    if (params_.checkInvariants)
-        checkInvariant(*re, ev);
+    checkInvariant(*re, ev);
 
     if (waitingBranch_ && ev.seq == waitingBranchDynId_) {
         // Mispredicted branch resolved: redirect fetch.
@@ -104,6 +124,32 @@ OooCore::doCommit()
     while (n < params_.commitWidth && !rob_.empty() &&
            rob_.front().completed) {
         RobEntry &re = rob_.front();
+        integrity_.require(re.dynId == nextCommitDynId_,
+                           verify::IntegrityChecker::Check::RobOrder,
+                           "committing dyn id " + std::to_string(re.dynId) +
+                               " but expected " +
+                               std::to_string(nextCommitDynId_) +
+                               " (ROB out of program order)");
+        ++nextCommitDynId_;
+
+        if (golden_ || inj_) {
+            // Injected ROB payload corruption is visible only through
+            // the golden-model cross-check; the draw still happens
+            // without one so campaigns stay seed-deterministic.
+            bool corrupt =
+                inj_ && inj_->fire(verify::FaultKind::CorruptCommit);
+            if (golden_) {
+                isa::MicroOp committed = re.u;
+                if (corrupt) {
+                    ring_.push(now_, verify::SchedEvent::Kind::Inject,
+                               re.dynId, -1, -1, "corrupt-commit");
+                    committed.pc ^= 4;
+                    committed.memAddr ^= 8;
+                }
+                golden_->onCommit(committed);
+            }
+        }
+
         if (re.u.op == isa::OpClass::StoreData)
             mem_.dataAccess(re.u.memAddr, true);  // commit the store
         if (re.u.firstUop) {
@@ -127,6 +173,8 @@ OooCore::doCommit()
         rob_.pop_front();
         ++n;
     }
+    if (n > 0)
+        lastCommit_ = now_;
 }
 
 void
@@ -332,6 +380,23 @@ OooCore::step()
     }
 
     doCommit();
+
+    // Commit-progress watchdog. The scheduler's own watchdog only sees
+    // issue progress; a livelock that keeps issuing and killing the
+    // same entries (e.g. a corrupted wakeup under the scoreboard
+    // policy) slips past it but never commits.
+    if (!rob_.empty() && now_ > lastCommit_ &&
+        now_ - lastCommit_ > params_.commitWatchdogCycles) {
+        std::ostringstream ss;
+        ss << "commit watchdog: " << rob_.size()
+           << " ROB entries, nothing committed since cycle "
+           << lastCommit_ << " (now " << now_ << "); head dyn id "
+           << rob_.front().dynId << " op "
+           << isa::opClassName(rob_.front().u.op)
+           << (rob_.front().completed ? " completed" : " not completed");
+        throw sched::DeadlockError(ss.str());
+    }
+
     doQueueInsert();
     detector_->drain(now_);
     doFetch();
@@ -345,9 +410,22 @@ SimResult
 OooCore::run(uint64_t max_insts)
 {
     uint64_t target = res_.insts + max_insts;
+    bool drained = false;
     while (res_.insts < target) {
-        if (!step())
+        if (!step()) {
+            drained = true;
             break;
+        }
+    }
+    // End-of-run structural audit: a drained pipeline must leave no
+    // issue-queue entry behind (classic leak symptom).
+    sched_->auditStructures();
+    if (drained) {
+        sched_->integrity().require(
+            sched_->occupancy() == 0,
+            verify::IntegrityChecker::Check::IqAccounting,
+            "pipeline drained but " + std::to_string(sched_->occupancy()) +
+                " issue-queue entries remain (leak)");
     }
     res_.cycles = now_;
     res_.ipc = now_ ? double(res_.insts) / double(now_) : 0.0;
@@ -429,9 +507,35 @@ OooCore::addStats(stats::StatGroup &g) const
     g.addFormula("ptrcache.lineEvictions", [this] {
         return double(ptrCache_.lineEvictions());
     });
+    g.addFormula("golden.compared", [this] {
+        return golden_ ? double(golden_->compared()) : 0.0;
+    }, "committed µops cross-checked against the oracle");
+    integrity_.addStats(g, "core.integrity");
     sched_->addStats(g);
     mem_.addStats(g);
     bpred_.addStats(g);
+}
+
+void
+OooCore::dumpState(std::ostream &os) const
+{
+    os << "=== pipeline snapshot at cycle " << now_ << " ===\n"
+       << "committed: " << res_.insts << " insts / " << res_.uops
+       << " uops; frontend: " << frontend_.size()
+       << " µops in flight; ROB: " << rob_.size() << " entries\n";
+    size_t show = std::min<size_t>(rob_.size(), 16);
+    for (size_t i = 0; i < show; ++i) {
+        const RobEntry &re = rob_[i];
+        os << "  rob[" << i << "] dyn=" << re.dynId << " seq=" << re.u.seq
+           << " op=" << isa::opClassName(re.u.op)
+           << (re.completed ? " completed" : " in-flight")
+           << (re.grouped ? " grouped" : "")
+           << (re.isHead ? " mop-head" : "") << "\n";
+    }
+    if (rob_.size() > show)
+        os << "  ... " << rob_.size() - show << " more\n";
+    sched_->dumpState(os);
+    ring_.dump(os);
 }
 
 } // namespace mop::pipeline

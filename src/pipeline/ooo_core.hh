@@ -23,10 +23,11 @@
  * the same in-order stream and writes pointers into the IL1-coupled
  * pointer cache after its detection latency.
  *
- * A dataflow-order invariant is checked at every completion when
- * enabled: each micro-op must begin execution no earlier than all of
- * its true register producers complete — i.e. the MOP dependence
- * abstraction never violates the original dataflow (Section 3.1).
+ * A dataflow-order invariant is checked at every completion (always
+ * on, see verify/integrity.hh): each micro-op must begin execution no
+ * earlier than all of its true register producers complete — i.e. the
+ * MOP dependence abstraction never violates the original dataflow
+ * (Section 3.1).
  */
 
 #ifndef MOP_PIPELINE_OOO_CORE_HH
@@ -44,6 +45,10 @@
 #include "mem/cache.hh"
 #include "sched/scheduler.hh"
 #include "trace/source.hh"
+#include "verify/event_ring.hh"
+#include "verify/fault_injector.hh"
+#include "verify/golden.hh"
+#include "verify/integrity.hh"
 
 namespace mop::pipeline
 {
@@ -72,7 +77,11 @@ struct CoreParams
     mem::HierarchyParams mem;
     bpred::BpredParams bpred;
 
-    bool checkInvariants = true;
+    /** Fault campaign for the deterministic injector; empty = off. */
+    verify::FaultSpec faults;
+    /** Commit-progress watchdog: a non-empty ROB that commits nothing
+     *  for this many cycles is a livelock (DeadlockError). */
+    uint64_t commitWatchdogCycles = 1'000'000ULL;
     uint64_t maxCycles = 2'000'000'000ULL;
 };
 
@@ -129,6 +138,24 @@ class OooCore
     uint64_t cycles() const { return now_; }
 
     void addStats(stats::StatGroup &g) const;
+
+    // --- integrity & fault injection -----------------------------------
+
+    /** Attach a golden model compared against at commit (not owned). */
+    void setGoldenModel(verify::GoldenModel *g) { golden_ = g; }
+
+    /** Core-side invariant checker (ROB order, dataflow). */
+    verify::IntegrityChecker &integrity() { return integrity_; }
+    const verify::IntegrityChecker &integrity() const { return integrity_; }
+
+    /** The injector driving this core's campaign (null when off). */
+    const verify::FaultInjector *injector() const { return inj_.get(); }
+
+    const verify::EventRing &events() const { return ring_; }
+
+    /** Pipeline snapshot (ROB, IQ, frontend) + recent scheduler
+     *  events; written on DeadlockError / IntegrityError post-mortems. */
+    void dumpState(std::ostream &os) const;
 
   private:
     struct InFlight
@@ -191,6 +218,14 @@ class OooCore
 
     std::vector<sched::ExecEvent> completedScratch_;
     std::vector<sched::MopIssue> mopScratch_;
+
+    // Integrity & fault injection (see verify/).
+    verify::IntegrityChecker integrity_;
+    verify::EventRing ring_{256};
+    std::unique_ptr<verify::FaultInjector> inj_;
+    verify::GoldenModel *golden_ = nullptr;  ///< not owned
+    uint64_t nextCommitDynId_ = 0;
+    sched::Cycle lastCommit_ = 0;
 
     SimResult res_;
     uint64_t targetInsts_ = 0;

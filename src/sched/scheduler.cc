@@ -35,10 +35,13 @@ maxSrcsFor(WakeupStyle s)
 Scheduler::Scheduler(const SchedParams &params)
     : params_(params), fu_(params.fuCounts)
 {
-    assert(!(params_.mopEnabled &&
-             (params_.policy == SchedPolicy::SelectFreeSquashDep ||
-              params_.policy == SchedPolicy::SelectFreeScoreboard)) &&
-           "macro-op scheduling is built on the 2-cycle policy");
+    if (params_.mopEnabled &&
+        (params_.policy == SchedPolicy::SelectFreeSquashDep ||
+         params_.policy == SchedPolicy::SelectFreeScoreboard)) {
+        throw std::invalid_argument(
+            "macro-op scheduling is built on the 2-cycle policy; it "
+            "cannot be combined with a select-free policy");
+    }
 
     int n = params_.numEntries > 0 ? params_.numEntries : 512;
     entries_.resize(size_t(n));
@@ -124,7 +127,9 @@ void
 Scheduler::freeEntry(int idx)
 {
     Entry &e = entries_[size_t(idx)];
-    assert(e.valid);
+    integrity_.require(e.valid, verify::IntegrityChecker::Check::IqAccounting,
+                       "freeEntry on invalid entry " + std::to_string(idx) +
+                           " (double free or stale event)");
     if (e.dstTag == traceTag())
         std::fprintf(stderr, "[tag] freeEntry entry=%d numOps=%d outBcast=%d\n",
                      idx, e.numOps, e.outBcast);
@@ -183,6 +188,7 @@ Scheduler::insert(const SchedOp &op, Cycle now, bool expect_tail)
     }
     ++insertedOps_;
     ++insertedEntries_;
+    record(now, verify::SchedEvent::Kind::Insert, op.seq, op.dst, idx);
     if (op.dst == traceTag())
         std::fprintf(stderr, "[tag] %lu: insert seq=%lu entry=%d expect_tail=%d\n",
                      (unsigned long)now, (unsigned long)op.seq, idx, expect_tail);
@@ -259,6 +265,7 @@ Scheduler::appendTail(int idx, const SchedOp &tail, Cycle now,
     e.pending = more_coming;
     e.minIssue = std::max(e.minIssue, now + 1);
     ++insertedOps_;
+    record(now, verify::SchedEvent::Kind::Append, tail.seq, e.dstTag, idx);
     if (!e.pending && entryFullyReady(e))
         e.readyAt = now + 1;
     return true;
@@ -268,7 +275,9 @@ void
 Scheduler::clearPending(int idx)
 {
     Entry &e = entries_[size_t(idx)];
-    assert(e.valid);
+    integrity_.require(e.valid, verify::IntegrityChecker::Check::MopPairing,
+                       "clearPending on invalid entry " +
+                           std::to_string(idx));
     if (e.dstTag == traceTag())
         std::fprintf(stderr, "[tag] clearPending entry=%d numOps=%d\n",
                      idx, e.numOps);
@@ -292,6 +301,14 @@ Scheduler::scheduleBcast(int entry_idx, Cycle fire, bool speculative)
     Entry &e = entries_[size_t(entry_idx)];
     if (e.dstTag == kNoTag)
         return;
+    if (inj_) {
+        int d = inj_->broadcastDelay();
+        if (d > 0) {
+            record(fire, verify::SchedEvent::Kind::Inject, e.ops[0].seq,
+                   e.dstTag, entry_idx, "delay-bcast");
+            fire += Cycle(d);
+        }
+    }
     int id;
     if (!bcastFree_.empty()) {
         id = bcastFree_.back();
@@ -346,6 +363,35 @@ Scheduler::onEntryBecameReady(int idx, Cycle now)
 }
 
 void
+Scheduler::deliverTag(Tag tag, Cycle now)
+{
+    ensureTag(tag);
+    if (tag == traceTag())
+        std::fprintf(stderr, "[tag] %lu: DELIVERED\n", (unsigned long)now);
+    tagReady_[size_t(tag)] = 1;
+    tagReadyAt_[size_t(tag)] = now;
+    record(now, verify::SchedEvent::Kind::Deliver, 0, tag);
+    if (debugTrace_)
+        std::fprintf(stderr, "[sched] %lu: deliver tag=%d\n",
+                     (unsigned long)now, tag);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
+        if (!e.valid)
+            continue;
+        bool changed = false;
+        for (int s = 0; s < e.numSrcs; ++s) {
+            if (e.srcTags[size_t(s)] == tag && !e.srcReady[size_t(s)]) {
+                e.srcReady[size_t(s)] = true;
+                e.srcReadyAt[size_t(s)] = now;
+                changed = true;
+            }
+        }
+        if (changed && !e.pending && !e.issued && entryFullyReady(e))
+            onEntryBecameReady(int(i), now);
+    }
+}
+
+void
 Scheduler::deliverBcasts(Cycle now)
 {
     auto &ring = bcastRing_[now % kRing];
@@ -354,44 +400,24 @@ Scheduler::deliverBcasts(Cycle now)
         // Copy, not a reference: waking an entry can schedule a new
         // broadcast, growing the pool and invalidating references.
         Broadcast b = bcastPool_[size_t(id)];
-        if (!b.canceled) {
-            // The producing entry's broadcast has left the bus.
-            if (b.entry >= 0) {
-                Entry &src = entries_[size_t(b.entry)];
-                if (src.gen == b.gen && src.outBcast == id)
-                    src.outBcast = -1;
-            }
-            ensureTag(b.tag);
-            if (b.tag == traceTag())
-                std::fprintf(stderr, "[tag] %lu: DELIVERED\n",
-                             (unsigned long)now);
-            tagReady_[size_t(b.tag)] = 1;
-            tagReadyAt_[size_t(b.tag)] = now;
-            if (debugTrace_)
-                std::fprintf(stderr, "[sched] %lu: deliver tag=%d\n",
-                             (unsigned long)now, b.tag);
-            for (size_t i = 0; i < entries_.size(); ++i) {
-                Entry &e = entries_[i];
-                if (!e.valid)
-                    continue;
-                bool changed = false;
-                for (int s = 0; s < e.numSrcs; ++s) {
-                    if (e.srcTags[size_t(s)] == b.tag &&
-                        !e.srcReady[size_t(s)]) {
-                        e.srcReady[size_t(s)] = true;
-                        e.srcReadyAt[size_t(s)] = now;
-                        changed = true;
-                    }
-                }
-                if (changed && !e.pending && !e.issued &&
-                    entryFullyReady(e)) {
-                    onEntryBecameReady(int(i), now);
-                }
-            }
-        } else if (b.entry >= 0) {
+        // The producing entry's broadcast has left the bus.
+        if (b.entry >= 0) {
             Entry &src = entries_[size_t(b.entry)];
             if (src.gen == b.gen && src.outBcast == id)
                 src.outBcast = -1;
+        }
+        if (!b.canceled) {
+            Tag tag = b.tag;
+            if (inj_ && inj_->fire(verify::FaultKind::CorruptWakeup)) {
+                // Wakeup-array corruption: the bus carries the wrong
+                // tag. Not recoverable; the run must *detect* it.
+                Tag wrong =
+                    Tag(inj_->pick(uint32_t(tagReady_.size())));
+                record(now, verify::SchedEvent::Kind::Inject, 0, tag,
+                       b.entry, "corrupt-wakeup");
+                tag = wrong;
+            }
+            deliverTag(tag, now);
         }
         bcastFree_.push_back(id);
     }
@@ -402,7 +428,12 @@ void
 Scheduler::invalidateEntry(int idx, Cycle now)
 {
     Entry &e = entries_[size_t(idx)];
-    assert(e.valid && e.issued);
+    integrity_.require(e.valid && e.issued,
+                       verify::IntegrityChecker::Check::IqAccounting,
+                       "invalidateEntry on entry " + std::to_string(idx) +
+                           " that is not valid+issued");
+    record(now, verify::SchedEvent::Kind::Replay, e.ops[0].seq, e.dstTag,
+           idx);
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: invalidate seq=%lu\n",
                      (unsigned long)now, (unsigned long)e.ops[0].seq);
@@ -426,6 +457,7 @@ Scheduler::recallTag(Tag tag, Cycle now)
     tagReady_[size_t(tag)] = 0;
     tagReadyAt_[size_t(tag)] = kNoCycle;
     tagValueReady_[size_t(tag)] = kNoCycle;
+    record(now, verify::SchedEvent::Kind::Recall, 0, tag);
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: recall tag=%d\n",
                      (unsigned long)now, tag);
@@ -476,6 +508,8 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
     ++issuedEntries_;
     issuedOps_ += uint64_t(e.numOps);
     lastProgress_ = now;
+    record(now, verify::SchedEvent::Kind::Issue, e.ops[0].seq, e.dstTag,
+           idx);
 
     fu_.reserve(e.ops[0].op, now);
     for (int k = 1; k < e.numOps; ++k) {
@@ -593,6 +627,26 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
         bool fu_ok = fu_.available(e.ops[0].op, now) &&
                      (e.numOps < 2 || fu_.available(e.ops[1].op, now + 1));
         if (width > 0 && fu_ok) {
+            if (inj_ && inj_->fire(verify::FaultKind::DropGrant)) {
+                // Injected grant loss: the select arbiter granted this
+                // entry but the grant never arrived. The entry stays
+                // ready and re-requests; the slot is wasted. Under
+                // select-free policies the premature speculative
+                // wakeup must additionally be repaired, exactly like a
+                // genuine collision.
+                record(now, verify::SchedEvent::Kind::Inject, e.ops[0].seq,
+                       e.dstTag, idx, "drop-grant");
+                --width;
+                if (isSelectFree() && !e.collided) {
+                    ++collisions_;
+                    e.collided = true;
+                    if (params_.policy == SchedPolicy::SelectFreeSquashDep) {
+                        recallRing_[(now + 1) % kRing].push_back(
+                            RecallEv{idx, e.gen});
+                    }
+                }
+                continue;
+            }
             issueEntry(idx, now, mop_issues);
             --width;
             continue;
@@ -602,6 +656,8 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
         if (isSelectFree() && !e.collided) {
             ++collisions_;
             e.collided = true;
+            record(now, verify::SchedEvent::Kind::Collision, e.ops[0].seq,
+                   e.dstTag, idx);
             if (params_.policy == SchedPolicy::SelectFreeSquashDep) {
                 // The squash-dep mechanism detects the victim in the
                 // select stage and selectively squashes dependents one
@@ -618,6 +674,12 @@ Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
                 std::vector<MopIssue> *mop_issues)
 {
     occAvg_.sample(double(occupied_));
+
+    // Corrective recalls for injected spurious wakeups run before this
+    // cycle's deliveries: a legitimate broadcast for the same tag
+    // delivered this cycle or later re-establishes readiness.
+    if (!injRecalls_.empty())
+        applyInjectedRecalls(now);
 
     deliverBcasts(now);
 
@@ -637,6 +699,9 @@ Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
         }
         ring.clear();
     }
+
+    if (inj_)
+        injectFaults(now);
 
     doSelect(now, mop_issues);
 
@@ -693,36 +758,196 @@ Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
             lastProgress_ = now;
     }
 
+    // Periodic structural audit; catches leaks and corrupted pairing
+    // long before they surface as a wrong number.
+    if ((now & 4095) == 0)
+        auditStructures();
+
     if (occupied_ > 0 && now > lastProgress_ &&
         now - lastProgress_ > params_.watchdogCycles) {
         std::ostringstream ss;
         ss << "scheduler deadlock: " << occupied_
            << " entries stuck, no issue since cycle " << lastProgress_
            << " (now " << now << ")";
-        for (const auto &e : entries_) {
-            if (!e.valid)
-                continue;
-            ss << "\n  entry seq=" << e.ops[0].seq
-               << (e.numOps == 2 ? "+" : "")
-               << (e.numOps == 2 ? std::to_string(e.ops[1].seq) : "")
-               << " op=" << isa::opClassName(e.ops[0].op)
-               << " pending=" << e.pending << " issued=" << e.issued
-               << " minIssue=" << e.minIssue << " srcs=[";
-            for (int s = 0; s < e.numSrcs; ++s) {
-                ss << e.srcTags[size_t(s)] << ":"
-                   << (e.srcReady[size_t(s)] ? "R" : "w")
-                   << (tagIsReady(e.srcTags[size_t(s)]) ? "/TR" : "/tw")
-                   << " ";
-            }
-            ss << "]";
-        }
+        dumpEntries(ss);
         throw DeadlockError(ss.str());
     }
 }
 
 void
+Scheduler::applyInjectedRecalls(Cycle now)
+{
+    size_t kept = 0;
+    for (size_t i = 0; i < injRecalls_.size(); ++i) {
+        if (injRecalls_[i].first <= now) {
+            Tag t = injRecalls_[i].second;
+            record(now, verify::SchedEvent::Kind::Inject, 0, t, -1,
+                   "spurious-wakeup repair");
+            recallTag(t, now);
+            // recallTag wipes the tag's value-ready time, but the real
+            // producer may already be issued and in flight; restore its
+            // timing exactly as the load-miss recall path does, or
+            // scoreboard consumers would pileup-kill forever.
+            for (Entry &e : entries_) {
+                if (e.valid && e.issued && e.dstTag == t) {
+                    tagValueReady_[size_t(t)] =
+                        e.opComplete[size_t(e.numOps - 1)];
+                    break;
+                }
+            }
+        } else {
+            injRecalls_[kept++] = injRecalls_[i];
+        }
+    }
+    injRecalls_.resize(kept);
+}
+
+void
+Scheduler::injectFaults(Cycle now)
+{
+    // Spurious wakeup: one opportunity per cycle. Deliver a wakeup for
+    // a tag some waiting entry has not yet seen, then repair it next
+    // cycle through the same selective-replay path a mis-speculated
+    // load uses -- any consumer that issues in the window is
+    // invalidated and replayed, so the perturbation is recoverable by
+    // construction.
+    if (inj_->fire(verify::FaultKind::SpuriousWakeup)) {
+        readyScratch_.clear();  // reuse as tag scratch
+        for (const Entry &e : entries_) {
+            if (!e.valid || e.issued)
+                continue;
+            for (int s = 0; s < e.numSrcs; ++s) {
+                Tag t = e.srcTags[size_t(s)];
+                if (e.srcReady[size_t(s)] || tagIsReady(t))
+                    continue;
+                bool dup = false;
+                for (int c : readyScratch_)
+                    dup = dup || Tag(c) == t;
+                if (!dup)
+                    readyScratch_.push_back(int(t));
+            }
+        }
+        if (!readyScratch_.empty()) {
+            Tag victim = Tag(
+                readyScratch_[inj_->pick(uint32_t(readyScratch_.size()))]);
+            record(now, verify::SchedEvent::Kind::Inject, 0, victim, -1,
+                   "spurious-wakeup");
+            deliverTag(victim, now);
+            injRecalls_.emplace_back(now + 1, victim);
+        }
+    }
+}
+
+void
+Scheduler::auditStructures()
+{
+    using Check = verify::IntegrityChecker::Check;
+
+    int n_valid = 0;
+    int max_ops = std::min(params_.maxMopSize, kMaxMopOps);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (!e.valid)
+            continue;
+        ++n_valid;
+
+        integrity_.require(
+            e.numOps >= 1 && e.numOps <= max_ops, Check::MopPairing,
+            "entry " + std::to_string(i) + " holds " +
+                std::to_string(e.numOps) + " ops (max " +
+                std::to_string(max_ops) + ")");
+        integrity_.require(
+            e.minSeq == e.ops[0].seq &&
+                e.maxSeq == e.ops[size_t(e.numOps - 1)].seq,
+            Check::MopPairing,
+            "entry " + std::to_string(i) +
+                " min/max seq disagree with its ops");
+        for (int o = 1; o < e.numOps; ++o) {
+            integrity_.require(
+                e.ops[size_t(o - 1)].seq < e.ops[size_t(o)].seq,
+                Check::MopPairing,
+                "entry " + std::to_string(i) +
+                    " MOP ops out of program order (head seq " +
+                    std::to_string(e.ops[0].seq) + ")");
+        }
+        integrity_.require(
+            e.numSrcs >= 0 && e.numSrcs <= kMaxEntrySrcs,
+            Check::MopPairing,
+            "entry " + std::to_string(i) + " has " +
+                std::to_string(e.numSrcs) + " sources");
+
+        if (e.outBcast >= 0) {
+            bool in_pool = size_t(e.outBcast) < bcastPool_.size();
+            integrity_.require(in_pool, Check::TagLiveness,
+                               "entry " + std::to_string(i) +
+                                   " outstanding broadcast id out of range");
+            const Broadcast &b = bcastPool_[size_t(e.outBcast)];
+            integrity_.require(
+                !b.canceled && b.entry == int(i) && b.gen == e.gen &&
+                    b.tag == e.dstTag,
+                Check::TagLiveness,
+                "entry " + std::to_string(i) +
+                    " outstanding broadcast does not match (tag " +
+                    std::to_string(e.dstTag) + " vs " +
+                    std::to_string(b.tag) + ")");
+        }
+    }
+
+    integrity_.require(n_valid == occupied_, Check::IqAccounting,
+                       "occupancy counter " + std::to_string(occupied_) +
+                           " != " + std::to_string(n_valid) +
+                           " valid entries (leaked or double-freed)");
+    integrity_.require(
+        freeList_.size() + size_t(occupied_) == entries_.size(),
+        Check::IqAccounting,
+        "free list holds " + std::to_string(freeList_.size()) +
+            " entries + " + std::to_string(occupied_) + " occupied != " +
+            std::to_string(entries_.size()) + " total");
+    for (int idx : freeList_) {
+        integrity_.require(!entries_[size_t(idx)].valid,
+                           Check::IqAccounting,
+                           "entry " + std::to_string(idx) +
+                               " is on the free list but marked valid");
+    }
+}
+
+void
+Scheduler::dumpEntries(std::ostream &os) const
+{
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (!e.valid)
+            continue;
+        os << "\n  entry " << i << " seq=" << e.ops[0].seq;
+        for (int o = 1; o < e.numOps; ++o)
+            os << "+" << e.ops[size_t(o)].seq;
+        os << " op=" << isa::opClassName(e.ops[0].op)
+           << " tag=" << e.dstTag
+           << " pending=" << e.pending << " issued=" << e.issued
+           << " minIssue=" << e.minIssue << " srcs=[";
+        for (int s = 0; s < e.numSrcs; ++s) {
+            os << e.srcTags[size_t(s)] << ":"
+               << (e.srcReady[size_t(s)] ? "R" : "w")
+               << (tagIsReady(e.srcTags[size_t(s)]) ? "/TR" : "/tw")
+               << " ";
+        }
+        os << "]";
+    }
+}
+
+void
+Scheduler::dumpState(std::ostream &os) const
+{
+    os << "issue queue: " << occupied_ << "/" << entries_.size()
+       << " entries occupied";
+    dumpEntries(os);
+    os << "\n";
+}
+
+void
 Scheduler::squashAfter(uint64_t seq)
 {
+    record(lastProgress_, verify::SchedEvent::Kind::Squash, seq);
     for (size_t i = 0; i < entries_.size(); ++i) {
         Entry &e = entries_[i];
         if (!e.valid)
@@ -776,6 +1001,9 @@ Scheduler::addStats(stats::StatGroup &g) const
     g.addFormula("sched.avgOccupancy",
                  [this] { return occAvg_.mean(); },
                  "mean issue-queue entries occupied");
+    integrity_.addStats(g, "sched.integrity");
+    if (inj_)
+        inj_->addStats(g);
 }
 
 } // namespace mop::sched

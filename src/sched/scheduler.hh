@@ -40,12 +40,17 @@
 #define MOP_SCHED_SCHEDULER_HH
 
 #include <functional>
+#include <ostream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sched/fu_pool.hh"
 #include "sched/types.hh"
 #include "stats/stats.hh"
+#include "verify/event_ring.hh"
+#include "verify/fault_injector.hh"
+#include "verify/integrity.hh"
 
 namespace mop::sched
 {
@@ -139,6 +144,32 @@ class Scheduler
      *  MOP_TRACE_TAG environment variable to its numeric value. */
     void setDebugTrace(bool on) { debugTrace_ = on; }
 
+    // --- integrity & fault injection -----------------------------------
+
+    /** Attach a fault injector; the scheduler consults it at its
+     *  opportunity sites (see verify/fault_injector.hh). Not owned. */
+    void setFaultInjector(verify::FaultInjector *inj) { inj_ = inj; }
+
+    /** Attach a diagnostic event ring (not owned); when set, every
+     *  insert/issue/deliver/recall/... is recorded for post-mortems. */
+    void setEventRing(verify::EventRing *ring) { ring_ = ring; }
+
+    /** Always-on invariant checker; violation counters live here. */
+    verify::IntegrityChecker &integrity() { return integrity_; }
+    const verify::IntegrityChecker &integrity() const { return integrity_; }
+
+    /**
+     * Full structural audit of the issue queue and broadcast pool:
+     * occupancy accounting, free-list consistency, MOP head/tail
+     * pairing, and outstanding-broadcast liveness. Runs periodically
+     * from tick() and at end of run; throws IntegrityError on any
+     * violated invariant. Cheap enough to be always-on (cold path).
+     */
+    void auditStructures();
+
+    /** Human-readable snapshot of the issue queue (for --dump-on-error). */
+    void dumpState(std::ostream &os) const;
+
   private:
     struct Broadcast
     {
@@ -214,6 +245,21 @@ class Scheduler
     void scheduleBcast(int entry, Cycle fire, bool speculative);
     void cancelBcast(int entry);
     void deliverBcasts(Cycle now);
+    /** Set tag ready and wake waiting entries (one wakeup delivery). */
+    void deliverTag(Tag tag, Cycle now);
+    /** Apply corrective recalls queued by earlier injected wakeups. */
+    void applyInjectedRecalls(Cycle now);
+    /** Consult the fault injector's per-cycle opportunity sites. */
+    void injectFaults(Cycle now);
+    void dumpEntries(std::ostream &os) const;
+
+    void
+    record(Cycle cycle, verify::SchedEvent::Kind kind, uint64_t seq = 0,
+           Tag tag = kNoTag, int entry = -1, const char *note = "")
+    {
+        if (ring_)
+            ring_->push(cycle, kind, seq, tag, entry, note);
+    }
     void onEntryBecameReady(int idx, Cycle now);
     /** Transitively undo wakeups caused by @p tag; invalidate issued
      *  consumers (selective replay). */
@@ -262,6 +308,13 @@ class Scheduler
 
     // Scratch (avoid per-tick allocation).
     std::vector<int> readyScratch_;
+
+    // Integrity & fault injection (see verify/).
+    verify::IntegrityChecker integrity_;
+    verify::FaultInjector *inj_ = nullptr;  ///< not owned
+    verify::EventRing *ring_ = nullptr;     ///< not owned
+    /** (apply-at cycle, tag) recalls repairing injected wakeups. */
+    std::vector<std::pair<Cycle, Tag>> injRecalls_;
 
     bool debugTrace_ = false;
 };

@@ -1,0 +1,55 @@
+#include "sim/cli_opts.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mop::sim
+{
+
+namespace
+{
+
+[[noreturn]] void
+bad(const std::string &opt, const std::string &value, const std::string &lo,
+    const std::string &hi)
+{
+    throw std::invalid_argument("bad value '" + value + "' for " + opt +
+                                ": expected an integer in [" + lo + ", " +
+                                hi + "]");
+}
+
+} // namespace
+
+int64_t
+parseIntOption(const std::string &opt, const std::string &value,
+               int64_t lo, int64_t hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        errno == ERANGE || v < lo || v > hi) {
+        bad(opt, value, std::to_string(lo), std::to_string(hi));
+    }
+    return int64_t(v);
+}
+
+uint64_t
+parseUintOption(const std::string &opt, const std::string &value,
+                uint64_t lo, uint64_t hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    // strtoull accepts "-1" by wrapping; reject any minus sign up front.
+    if (value.find('-') != std::string::npos)
+        bad(opt, value, std::to_string(lo), std::to_string(hi));
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        errno == ERANGE || v < lo || v > hi) {
+        bad(opt, value, std::to_string(lo), std::to_string(hi));
+    }
+    return uint64_t(v);
+}
+
+} // namespace mop::sim

@@ -32,7 +32,7 @@ makeCoreParams(const RunConfig &cfg)
     p.renameWidth = 4;
     p.commitWidth = 4;
     p.robSize = 128;
-    p.checkInvariants = cfg.checkInvariants;
+    p.faults = cfg.faults;
 
     p.sched.numEntries = cfg.iqEntries;
     p.sched.issueWidth = 4;

@@ -45,7 +45,10 @@ struct RunConfig
     /** Wakeup+select pipeline depth override (0 = policy default);
      *  e.g. 3-cycle scheduling with 3-op MOPs. */
     int schedDepth = 0;
-    bool checkInvariants = true;
+    /** Deterministic fault campaign (--inject/--seed); empty = off. */
+    verify::FaultSpec faults;
+    /** Dump a pipeline snapshot + event ring on fatal errors. */
+    bool dumpOnError = false;
 };
 
 /** Build the Table 1 machine for one scheduler configuration. */

@@ -6,18 +6,25 @@
  *   mopsim --bench gzip --machine mop-wiredor --insts 500000 --stats
  *   mopsim --kernel hash --machine 2-cycle
  *   mopsim --bench gap --machine base --iq 0      # unrestricted queue
+ *   mopsim --kernel sort --machine mop-2src \
+ *          --inject spurious-wakeup:0.01,replay-storm:0.05 --seed 42
+ *   mopsim --selftest
  *   mopsim --list
  */
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "prog/interpreter.hh"
 #include "prog/kernels.hh"
+#include "sim/cli_opts.hh"
 #include "sim/config.hh"
+#include "sim/selftest.hh"
 #include "stats/stats.hh"
 #include "trace/profiles.hh"
+#include "verify/golden.hh"
 
 namespace
 {
@@ -44,6 +51,18 @@ usage()
         "  --mop-size <n>     max instructions per MOP (2-4)\n"
         "  --sched-depth <n>  wakeup+select pipeline depth override\n"
         "  --stats            dump the full statistics report\n"
+        "  --inject <spec>    fault campaign: kind:rate[,kind:rate...]\n"
+        "                     kinds: spurious-wakeup drop-grant\n"
+        "                     delay-bcast replay-storm miss-burst\n"
+        "                     corrupt-mop corrupt-wakeup corrupt-commit\n"
+        "  --seed <n>         fault-injection RNG seed (default 1);\n"
+        "                     same seed + same run = identical stats\n"
+        "  --no-golden        disable the golden-model cross-check that\n"
+        "                     kernel runs perform at commit\n"
+        "  --dump-on-error    dump pipeline snapshot + recent scheduler\n"
+        "                     events on deadlock/integrity errors\n"
+        "  --selftest         run the fault matrix over all machines;\n"
+        "                     exits nonzero if any cell FAILED\n"
         "  --list             list workloads, kernels and machines\n";
 }
 
@@ -65,73 +84,110 @@ parseMachine(const std::string &s, sim::Machine &m)
 int
 main(int argc, char **argv)
 {
-    std::string bench, kernel;
+    std::string bench, kernel, inject;
     sim::RunConfig cfg;
     uint64_t insts = 300000;
+    uint64_t seed = 1;
     bool dump_stats = false;
+    bool golden_enabled = true;
+    bool selftest = false;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::cerr << "missing value for " << a << "\n";
-                exit(2);
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    throw std::invalid_argument("missing value for " + a);
+                }
+                return argv[++i];
+            };
+            if (a == "--bench") bench = next();
+            else if (a == "--kernel") kernel = next();
+            else if (a == "--machine") {
+                std::string m = next();
+                if (!parseMachine(m, cfg.machine))
+                    throw std::invalid_argument("unknown machine '" + m +
+                                                "'");
+            } else if (a == "--iq") {
+                cfg.iqEntries = int(sim::parseIntOption(a, next(), 0, 65536));
+            } else if (a == "--insts") {
+                insts = sim::parseUintOption(a, next(), 1,
+                                             1'000'000'000'000ULL);
+            } else if (a == "--extra-stages") {
+                cfg.extraStages = int(sim::parseIntOption(a, next(), 0, 2));
+            } else if (a == "--detect-delay") {
+                cfg.detectLatency =
+                    int(sim::parseIntOption(a, next(), 0, 1'000'000));
+            } else if (a == "--no-filter") cfg.lastArrivalFilter = false;
+            else if (a == "--no-independent") cfg.independentMops = false;
+            else if (a == "--precise-cycles") cfg.cycleHeuristic = false;
+            else if (a == "--mop-size") {
+                cfg.mopSize = int(sim::parseIntOption(a, next(), 2, 4));
+            } else if (a == "--sched-depth") {
+                cfg.schedDepth = int(sim::parseIntOption(a, next(), 0, 8));
+            } else if (a == "--stats") dump_stats = true;
+            else if (a == "--inject") inject = next();
+            else if (a == "--seed") {
+                seed = sim::parseUintOption(a, next(), 0, ~0ULL);
+            } else if (a == "--no-golden") golden_enabled = false;
+            else if (a == "--dump-on-error") cfg.dumpOnError = true;
+            else if (a == "--selftest") selftest = true;
+            else if (a == "--list") {
+                std::cout << "workloads:";
+                for (const auto &b : trace::specCint2000())
+                    std::cout << " " << b;
+                std::cout << "\nkernels:";
+                for (const auto &k : prog::kernelNames())
+                    std::cout << " " << k;
+                std::cout << "\nmachines: base 2-cycle mop-2src mop-wiredor"
+                             " sf-squash-dep sf-scoreboard\n";
+                return 0;
+            } else if (a == "--help" || a == "-h") {
+                usage();
+                return 0;
+            } else {
+                throw std::invalid_argument("unknown option " + a);
             }
-            return argv[++i];
-        };
-        if (a == "--bench") bench = next();
-        else if (a == "--kernel") kernel = next();
-        else if (a == "--machine") {
-            if (!parseMachine(next(), cfg.machine)) {
-                std::cerr << "unknown machine\n";
-                return 2;
-            }
-        } else if (a == "--iq") cfg.iqEntries = std::stoi(next());
-        else if (a == "--insts") insts = std::stoull(next());
-        else if (a == "--extra-stages") cfg.extraStages = std::stoi(next());
-        else if (a == "--detect-delay") cfg.detectLatency = std::stoi(next());
-        else if (a == "--no-filter") cfg.lastArrivalFilter = false;
-        else if (a == "--no-independent") cfg.independentMops = false;
-        else if (a == "--precise-cycles") cfg.cycleHeuristic = false;
-        else if (a == "--mop-size") cfg.mopSize = std::stoi(next());
-        else if (a == "--sched-depth") cfg.schedDepth = std::stoi(next());
-        else if (a == "--stats") dump_stats = true;
-        else if (a == "--list") {
-            std::cout << "workloads:";
-            for (const auto &b : trace::specCint2000())
-                std::cout << " " << b;
-            std::cout << "\nkernels:";
-            for (const auto &k : prog::kernelNames())
-                std::cout << " " << k;
-            std::cout << "\nmachines: base 2-cycle mop-2src mop-wiredor"
-                         " sf-squash-dep sf-scoreboard\n";
-            return 0;
-        } else if (a == "--help" || a == "-h") {
-            usage();
-            return 0;
-        } else {
-            std::cerr << "unknown option " << a << "\n";
-            usage();
-            return 2;
         }
+        if (!inject.empty())
+            cfg.faults = verify::FaultSpec::parse(inject, seed);
+        else
+            cfg.faults.seed = seed;
+    } catch (const std::invalid_argument &e) {
+        std::cerr << "error: " << e.what() << "\n\n";
+        usage();
+        return 2;
     }
+
+    if (selftest) {
+        sim::SelftestResult r = sim::runSelftest(std::cout);
+        return r.ok() ? 0 : 1;
+    }
+
     if (bench.empty() == kernel.empty()) {
         std::cerr << "pick exactly one of --bench / --kernel\n";
         usage();
         return 2;
     }
 
+    std::unique_ptr<pipeline::OooCore> core;
     try {
         std::unique_ptr<trace::TraceSource> src;
+        std::unique_ptr<verify::GoldenModel> golden;
         if (!bench.empty()) {
             src = std::make_unique<trace::SyntheticSource>(
                 trace::profileFor(bench));
         } else {
-            src = std::make_unique<prog::Interpreter>(
-                prog::assemble(prog::kernelSource(kernel)));
+            prog::Program prog = prog::assemble(prog::kernelSource(kernel));
+            src = std::make_unique<prog::Interpreter>(prog);
+            if (golden_enabled)
+                golden = std::make_unique<verify::GoldenModel>(prog);
         }
-        pipeline::OooCore core(sim::makeCoreParams(cfg), *src);
-        pipeline::SimResult r = core.run(insts);
+        core = std::make_unique<pipeline::OooCore>(sim::makeCoreParams(cfg),
+                                                   *src);
+        if (golden)
+            core->setGoldenModel(golden.get());
+        pipeline::SimResult r = core->run(insts);
 
         std::cout << (bench.empty() ? kernel : bench) << " on "
                   << sim::machineName(cfg.machine) << " (iq="
@@ -144,13 +200,24 @@ main(int argc, char **argv)
                   << "  grouped " << 100.0 * r.groupedFrac() << "%\n"
                   << "  replays " << r.replays << "\n"
                   << "  mispred " << r.mispredicts << "\n";
+        if (!inject.empty()) {
+            std::cout << "  inject  " << cfg.faults.toString() << " seed "
+                      << seed << " (" << core->injector()->totalFires()
+                      << " fires)\n";
+        }
+        if (golden) {
+            std::cout << "  golden  " << golden->compared()
+                      << " committed µops cross-checked\n";
+        }
         if (dump_stats) {
             stats::StatGroup g("sim");
-            core.addStats(g);
+            core->addStats(g);
             g.print(std::cout);
         }
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
+        if (cfg.dumpOnError && core)
+            core->dumpState(std::cerr);
         return 1;
     }
     return 0;

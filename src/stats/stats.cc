@@ -1,8 +1,8 @@
 #include "stats/stats.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <iomanip>
+#include <stdexcept>
 
 namespace mop::stats
 {
@@ -10,7 +10,10 @@ namespace mop::stats
 Histogram::Histogram(int64_t lo, int64_t hi, size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0)
 {
-    assert(hi > lo && buckets > 0);
+    if (hi <= lo || buckets == 0) {
+        throw std::invalid_argument(
+            "Histogram: need hi > lo and buckets > 0");
+    }
     bucketSize_ = (hi - lo + int64_t(buckets) - 1) / int64_t(buckets);
     if (bucketSize_ <= 0)
         bucketSize_ = 1;

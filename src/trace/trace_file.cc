@@ -122,8 +122,14 @@ bool
 FileSource::next(isa::MicroOp &out)
 {
     Record r;
-    if (std::fread(&r, sizeof(r), 1, f_) != 1)
+    size_t n = std::fread(&r, 1, sizeof(r), f_);
+    if (n == 0)
         return false;
+    if (n < sizeof(r)) {
+        throw std::runtime_error(
+            "truncated trace record: got " + std::to_string(n) +
+            " bytes, expected " + std::to_string(sizeof(r)));
+    }
     out = unpack(r, seq_++);
     return true;
 }

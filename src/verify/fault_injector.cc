@@ -1,0 +1,195 @@
+#include "verify/fault_injector.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mop::verify
+{
+
+namespace
+{
+
+constexpr std::array<const char *, kNumFaultKinds> kKindNames = {
+    "spurious-wakeup", "drop-grant",     "delay-bcast",
+    "replay-storm",    "miss-burst",     "corrupt-mop",
+    "corrupt-wakeup",  "corrupt-commit",
+};
+
+/** Cycles a miss-burst window stays open once triggered. */
+constexpr uint64_t kBurstLen = 200;
+/** Memory latency modeled inside a miss-burst window. */
+constexpr int kBurstLatency = 100;
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    return kKindNames[size_t(k)];
+}
+
+bool
+parseFaultKind(const std::string &name, FaultKind &out)
+{
+    for (size_t i = 0; i < kNumFaultKinds; ++i) {
+        if (name == kKindNames[i]) {
+            out = FaultKind(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultSpec::any() const
+{
+    for (double r : rate)
+        if (r > 0)
+            return true;
+    return false;
+}
+
+FaultSpec
+FaultSpec::parse(const std::string &spec, uint64_t seed)
+{
+    FaultSpec out;
+    out.seed = seed;
+    std::istringstream ss(spec);
+    std::string token;
+    bool got_any = false;
+    while (std::getline(ss, token, ',')) {
+        if (token.empty()) {
+            throw std::invalid_argument(
+                "empty fault token in '" + spec + "'");
+        }
+        size_t colon = token.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= token.size()) {
+            throw std::invalid_argument(
+                "bad fault token '" + token + "': expected kind:rate");
+        }
+        FaultKind k;
+        std::string name = token.substr(0, colon);
+        if (!parseFaultKind(name, k)) {
+            std::string kinds;
+            for (const char *n : kKindNames)
+                kinds += std::string(" ") + n;
+            throw std::invalid_argument("unknown fault kind '" + name +
+                                        "'; kinds:" + kinds);
+        }
+        std::string rate_str = token.substr(colon + 1);
+        double r = 0;
+        size_t used = 0;
+        try {
+            r = std::stod(rate_str, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used != rate_str.size() || !(r > 0.0) || r > 1.0) {
+            throw std::invalid_argument(
+                "bad fault rate '" + rate_str + "' for " + name +
+                ": must be a number in (0, 1]");
+        }
+        out.rate[size_t(k)] = r;
+        got_any = true;
+    }
+    if (!got_any)
+        throw std::invalid_argument("empty fault spec");
+    return out;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    std::ostringstream ss;
+    bool first = true;
+    for (size_t i = 0; i < kNumFaultKinds; ++i) {
+        if (rate[i] <= 0)
+            continue;
+        ss << (first ? "" : ",") << kKindNames[i] << ":" << rate[i];
+        first = false;
+    }
+    return ss.str();
+}
+
+FaultInjector::FaultInjector(const FaultSpec &spec)
+    : spec_(spec), state_(spec.seed * 0x9E3779B97F4A7C15ULL + 1)
+{
+}
+
+uint64_t
+FaultInjector::next()
+{
+    // splitmix64: small, fast and identical on every platform.
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+bool
+FaultInjector::fire(FaultKind k)
+{
+    double r = spec_.rate[size_t(k)];
+    if (r <= 0)
+        return false;
+    ++draws_[size_t(k)];
+    bool hit = double(next() >> 11) * 0x1.0p-53 < r;
+    if (hit)
+        ++fires_[size_t(k)];
+    return hit;
+}
+
+uint32_t
+FaultInjector::pick(uint32_t n)
+{
+    return n ? uint32_t(next() % n) : 0;
+}
+
+int
+FaultInjector::broadcastDelay()
+{
+    if (!fire(FaultKind::DelayBcast))
+        return 0;
+    return 1 + int(pick(3));
+}
+
+int
+FaultInjector::loadFaultLatency(uint64_t now, int hit_lat)
+{
+    if (now < burstUntil_)
+        return kBurstLatency;
+    if (fire(FaultKind::MissBurst)) {
+        burstUntil_ = now + kBurstLen;
+        return kBurstLatency;
+    }
+    if (fire(FaultKind::ReplayStorm))
+        return hit_lat + 1 + int(pick(4));
+    return 0;
+}
+
+uint64_t
+FaultInjector::totalFires() const
+{
+    uint64_t n = 0;
+    for (uint64_t f : fires_)
+        n += f;
+    return n;
+}
+
+void
+FaultInjector::addStats(stats::StatGroup &g) const
+{
+    for (size_t i = 0; i < kNumFaultKinds; ++i) {
+        if (spec_.rate[i] <= 0)
+            continue;
+        g.addFormula(std::string("inject.") + kKindNames[i] + ".fires",
+                     [this, i] { return double(fires_[i]); },
+                     "injected faults of this kind");
+        g.addFormula(std::string("inject.") + kKindNames[i] + ".draws",
+                     [this, i] { return double(draws_[i]); },
+                     "injection opportunities seen");
+    }
+}
+
+} // namespace mop::verify

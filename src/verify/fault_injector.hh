@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault injection for the timing simulator.
+ *
+ * A FaultInjector is a seeded source of rare, reproducible perturbations
+ * that the scheduler and pipeline consult at well-defined opportunity
+ * sites (one Bernoulli draw per opportunity). The same seed and the same
+ * simulated workload always produce the same campaign, so every failure
+ * found by injection can be replayed bit-identically from its CLI line.
+ *
+ * Fault kinds and their opportunity sites:
+ *  - spurious-wakeup  one draw per scheduler cycle; delivers a wakeup
+ *                     for a tag that is not ready, then recalls it one
+ *                     cycle later through the selective-replay path
+ *                     (models a glitched wakeup discovered like a
+ *                     mis-speculated load)
+ *  - drop-grant       one draw per would-be select grant; the grant is
+ *                     lost and the entry must re-request
+ *  - delay-bcast      one draw per scheduled tag broadcast; delivery is
+ *                     delayed 1-3 cycles
+ *  - replay-storm     one draw per load issue; the load is forced to
+ *                     miss the DL1 so its shadow selectively replays
+ *  - miss-burst       one draw per load issue; opens a window in which
+ *                     every load pays the full memory latency
+ *  - corrupt-mop      one draw per MOP pointer considered at formation;
+ *                     the pairing is dissolved or its pointer corrupted
+ *  - corrupt-wakeup   one draw per delivered broadcast; the tag is
+ *                     rewritten to a random other tag (wakeup-array
+ *                     corruption; the run must *detect* this, via the
+ *                     integrity checks, the dataflow invariant or the
+ *                     deadlock watchdog -- it is not recoverable)
+ *  - corrupt-commit   one draw per committed instruction; the committed
+ *                     payload is perturbed (ROB payload corruption;
+ *                     only the golden-model cross-check can see it)
+ */
+
+#ifndef MOP_VERIFY_FAULT_INJECTOR_HH
+#define MOP_VERIFY_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "stats/stats.hh"
+
+namespace mop::verify
+{
+
+enum class FaultKind : uint8_t
+{
+    SpuriousWakeup,
+    DropGrant,
+    DelayBcast,
+    ReplayStorm,
+    MissBurst,
+    CorruptMop,
+    CorruptWakeup,
+    CorruptCommit,
+    kCount,
+};
+
+constexpr size_t kNumFaultKinds = size_t(FaultKind::kCount);
+
+const char *faultKindName(FaultKind k);
+
+/** Parse a kind name ("spurious-wakeup", ...); returns false if unknown. */
+bool parseFaultKind(const std::string &name, FaultKind &out);
+
+/** A fault campaign: per-kind rates plus the RNG seed. */
+struct FaultSpec
+{
+    /** Probability of firing per opportunity, in [0, 1]. */
+    std::array<double, kNumFaultKinds> rate{};
+    uint64_t seed = 1;
+
+    double &operator[](FaultKind k) { return rate[size_t(k)]; }
+    double operator[](FaultKind k) const { return rate[size_t(k)]; }
+
+    /** True if any kind has a non-zero rate. */
+    bool any() const;
+
+    /**
+     * Parse "kind:rate[,kind:rate...]" (the --inject argument).
+     * Throws std::invalid_argument naming the offending token on an
+     * unknown kind, an unparsable rate, or a rate outside (0, 1].
+     */
+    static FaultSpec parse(const std::string &spec, uint64_t seed = 1);
+
+    /** Canonical "kind:rate,..." form (for reports and logs). */
+    std::string toString() const;
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultSpec &spec);
+
+    /** One Bernoulli draw at an opportunity site for kind @p k. A kind
+     *  with rate 0 never fires and consumes no randomness. */
+    bool fire(FaultKind k);
+
+    /** Uniform integer in [0, n); deterministic victim selection. */
+    uint32_t pick(uint32_t n);
+
+    /** Extra delivery delay for a scheduled broadcast (0 = none). */
+    int broadcastDelay();
+
+    /**
+     * Injected memory latency for a load issuing at cycle @p now, or 0
+     * for no fault. Covers both replay-storm (just past the DL1 hit
+     * latency @p hit_lat, forcing the selective-replay path) and
+     * miss-burst (full memory latency for a window of cycles).
+     */
+    int loadFaultLatency(uint64_t now, int hit_lat);
+
+    uint64_t draws(FaultKind k) const { return draws_[size_t(k)]; }
+    uint64_t fires(FaultKind k) const { return fires_[size_t(k)]; }
+    uint64_t totalFires() const;
+
+    const FaultSpec &spec() const { return spec_; }
+
+    void addStats(stats::StatGroup &g) const;
+
+  private:
+    uint64_t next();  ///< splitmix64 step
+
+    FaultSpec spec_;
+    uint64_t state_;
+    uint64_t burstUntil_ = 0;
+
+    std::array<uint64_t, kNumFaultKinds> draws_{};
+    std::array<uint64_t, kNumFaultKinds> fires_{};
+};
+
+} // namespace mop::verify
+
+#endif // MOP_VERIFY_FAULT_INJECTOR_HH

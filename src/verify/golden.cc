@@ -1,0 +1,81 @@
+#include "verify/golden.hh"
+
+#include <sstream>
+
+namespace mop::verify
+{
+
+GoldenModel::GoldenModel(const prog::Program &prog, uint64_t max_insns)
+    : oracle_(prog, max_insns)
+{
+}
+
+namespace
+{
+
+std::string
+describe(const isa::MicroOp &u)
+{
+    std::ostringstream ss;
+    ss << "seq=" << u.seq << " pc=0x" << std::hex << u.pc << std::dec
+       << " " << isa::opClassName(u.op) << " dst=" << u.dst
+       << " src=[" << u.src[0] << "," << u.src[1] << "]"
+       << " addr=0x" << std::hex << u.memAddr << std::dec
+       << " taken=" << u.taken
+       << " target=0x" << std::hex << u.target << std::dec;
+    return ss.str();
+}
+
+} // namespace
+
+void
+GoldenModel::onCommit(const isa::MicroOp &committed)
+{
+    isa::MicroOp expect;
+    // The decoder filters Nops before rename, so they never commit;
+    // advance the oracle past them.
+    for (;;) {
+        if (oracleDone_ || !oracle_.next(expect)) {
+            oracleDone_ = true;
+            throw GoldenMismatchError(
+                "timing core committed past the oracle's end of program: " +
+                describe(committed));
+        }
+        if (expect.op != isa::OpClass::Nop)
+            break;
+    }
+
+    auto diverge = [&](const char *field, uint64_t want, uint64_t got) {
+        std::ostringstream ss;
+        ss << "field '" << field << "' differs at committed µop #"
+           << compared_ << ": oracle=" << want << " core=" << got
+           << "\n  oracle: " << describe(expect)
+           << "\n  core:   " << describe(committed);
+        throw GoldenMismatchError(ss.str());
+    };
+
+    if (committed.seq != expect.seq)
+        diverge("seq", expect.seq, committed.seq);
+    if (committed.pc != expect.pc)
+        diverge("pc", expect.pc, committed.pc);
+    if (committed.op != expect.op)
+        diverge("op", uint64_t(expect.op), uint64_t(committed.op));
+    if (committed.dst != expect.dst)
+        diverge("dst", uint64_t(expect.dst), uint64_t(committed.dst));
+    if (committed.src[0] != expect.src[0])
+        diverge("src0", uint64_t(expect.src[0]), uint64_t(committed.src[0]));
+    if (committed.src[1] != expect.src[1])
+        diverge("src1", uint64_t(expect.src[1]), uint64_t(committed.src[1]));
+    if (committed.memAddr != expect.memAddr)
+        diverge("memAddr", expect.memAddr, committed.memAddr);
+    if (committed.taken != expect.taken)
+        diverge("taken", expect.taken, committed.taken);
+    if (committed.target != expect.target)
+        diverge("target", expect.target, committed.target);
+    if (committed.firstUop != expect.firstUop)
+        diverge("firstUop", expect.firstUop, committed.firstUop);
+
+    ++compared_;
+}
+
+} // namespace mop::verify

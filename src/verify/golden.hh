@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Golden-model cross-check for kernel-driven runs.
+ *
+ * When the timing core is driven by a program kernel, a second,
+ * independent functional interpreter executes the same program in
+ * lockstep as an oracle. Every micro-op the timing core commits is
+ * compared field-by-field against the oracle's next retired micro-op,
+ * so a replay or fusion bug that corrupts the committed stream is
+ * caught at the first divergent instruction instead of showing up as a
+ * mysteriously wrong IPC (or not at all). At end of run, final
+ * architectural state (registers + memory) can also be compared.
+ *
+ * The oracle skips Nops: the decoder filters them before rename, so
+ * they never reach commit in the timing core.
+ */
+
+#ifndef MOP_VERIFY_GOLDEN_HH
+#define MOP_VERIFY_GOLDEN_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "isa/uop.hh"
+#include "prog/interpreter.hh"
+#include "prog/program.hh"
+
+namespace mop::verify
+{
+
+/** Thrown at the first committed micro-op that diverges from the oracle. */
+class GoldenMismatchError : public std::runtime_error
+{
+  public:
+    explicit GoldenMismatchError(const std::string &msg)
+        : std::runtime_error("golden-model mismatch: " + msg)
+    {
+    }
+};
+
+class GoldenModel
+{
+  public:
+    explicit GoldenModel(const prog::Program &prog,
+                         uint64_t max_insns = 50'000'000);
+
+    /**
+     * Compare a micro-op the timing core just committed against the
+     * oracle's next retired micro-op. Throws GoldenMismatchError on the
+     * first divergent field, naming it and both values.
+     */
+    void onCommit(const isa::MicroOp &committed);
+
+    /** Number of micro-ops compared so far. */
+    uint64_t compared() const { return compared_; }
+
+    /** Oracle interpreter (for end-of-run architectural comparisons). */
+    const prog::Interpreter &oracle() const { return oracle_; }
+
+  private:
+    prog::Interpreter oracle_;
+    uint64_t compared_ = 0;
+    bool oracleDone_ = false;
+};
+
+} // namespace mop::verify
+
+#endif // MOP_VERIFY_GOLDEN_HH

@@ -1,0 +1,46 @@
+#include "verify/integrity.hh"
+
+namespace mop::verify
+{
+
+const char *
+IntegrityChecker::checkName(Check c)
+{
+    switch (c) {
+      case Check::RobOrder: return "rob-order";
+      case Check::IqAccounting: return "iq-accounting";
+      case Check::TagLiveness: return "tag-liveness";
+      case Check::MopPairing: return "mop-pairing";
+      case Check::Dataflow: return "dataflow";
+      case Check::kCount: break;
+    }
+    return "unknown";
+}
+
+void
+IntegrityChecker::fail(Check c, const std::string &msg)
+{
+    ++violations_[size_t(c)];
+    throw IntegrityError(checkName(c), msg);
+}
+
+uint64_t
+IntegrityChecker::totalViolations() const
+{
+    uint64_t n = 0;
+    for (uint64_t v : violations_)
+        n += v;
+    return n;
+}
+
+void
+IntegrityChecker::addStats(stats::StatGroup &g, const std::string &prefix) const
+{
+    for (size_t i = 0; i < size_t(Check::kCount); ++i) {
+        g.addFormula(prefix + "." + checkName(Check(i)) + ".violations",
+                     [this, i] { return double(violations_[i]); },
+                     "integrity-check violations detected");
+    }
+}
+
+} // namespace mop::verify

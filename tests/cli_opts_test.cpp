@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for hardened CLI numeric parsing: every malformed value must be
+ * rejected with a diagnostic naming the option, never silently
+ * truncated the way atoi/stoi would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/cli_opts.hh"
+
+namespace
+{
+
+using mop::sim::parseIntOption;
+using mop::sim::parseUintOption;
+
+TEST(CliOpts, AcceptsPlainIntegers)
+{
+    EXPECT_EQ(parseIntOption("--iq", "32", 0, 65536), 32);
+    EXPECT_EQ(parseIntOption("--iq", "0", 0, 65536), 0);
+    EXPECT_EQ(parseIntOption("--iq", "65536", 0, 65536), 65536);
+    EXPECT_EQ(parseIntOption("--x", "-5", -10, 10), -5);
+    EXPECT_EQ(parseUintOption("--insts", "1000000000000", 1,
+                              2'000'000'000'000ULL),
+              1'000'000'000'000ULL);
+}
+
+TEST(CliOpts, RejectsTrailingGarbage)
+{
+    EXPECT_THROW(parseIntOption("--iq", "32x", 0, 65536),
+                 std::invalid_argument);
+    EXPECT_THROW(parseIntOption("--iq", "3.5", 0, 65536),
+                 std::invalid_argument);
+    EXPECT_THROW(parseIntOption("--iq", "1e3", 0, 65536),
+                 std::invalid_argument);
+    EXPECT_THROW(parseUintOption("--insts", "10 20", 1, 100),
+                 std::invalid_argument);
+}
+
+TEST(CliOpts, RejectsEmptyAndNonNumeric)
+{
+    EXPECT_THROW(parseIntOption("--iq", "", 0, 65536),
+                 std::invalid_argument);
+    EXPECT_THROW(parseIntOption("--iq", "lots", 0, 65536),
+                 std::invalid_argument);
+    EXPECT_THROW(parseUintOption("--seed", "seed", 0, ~0ULL),
+                 std::invalid_argument);
+}
+
+TEST(CliOpts, RejectsOutOfRange)
+{
+    EXPECT_THROW(parseIntOption("--mop-size", "5", 2, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(parseIntOption("--mop-size", "1", 2, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(parseIntOption("--iq", "-1", 0, 65536),
+                 std::invalid_argument);
+    EXPECT_THROW(parseIntOption("--iq", "99999999999999999999", 0, 65536),
+                 std::invalid_argument);  // overflows long long too
+}
+
+TEST(CliOpts, UnsignedRejectsNegatives)
+{
+    // strtoull would happily wrap "-1" to 2^64-1; the parser must not.
+    EXPECT_THROW(parseUintOption("--insts", "-1", 1, 1000),
+                 std::invalid_argument);
+    EXPECT_THROW(parseUintOption("--insts", " -7", 1, 1000),
+                 std::invalid_argument);
+}
+
+TEST(CliOpts, DiagnosticNamesTheOption)
+{
+    try {
+        parseIntOption("--detect-delay", "soon", 0, 1'000'000);
+        FAIL() << "must throw";
+    } catch (const std::invalid_argument &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("--detect-delay"), std::string::npos);
+        EXPECT_NE(msg.find("soon"), std::string::npos);
+    }
+}
+
+} // namespace

@@ -79,6 +79,15 @@ TEST(HistogramStat, WeightedMean)
     EXPECT_DOUBLE_EQ(h.mean(), (30.0 + 50.0) / 4.0);
 }
 
+TEST(HistogramStat, RejectsDegenerateShape)
+{
+    // These used to be assert()s, stripped from release builds; a bad
+    // shape must fail loudly in every build.
+    EXPECT_THROW(Histogram(10, 10, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(10, 5, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
 TEST(StatGroupTest, PrintContainsEntries)
 {
     Counter c;

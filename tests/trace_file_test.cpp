@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -84,6 +86,64 @@ TEST(TraceFile, RejectsCorruptHeader)
     std::fwrite("NOTATRACEFILE123", 1, 16, f);
     std::fclose(f);
     EXPECT_THROW(FileSource fs(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsZeroLengthFile)
+{
+    std::string path = tmpPath("empty.mtrace");
+    FILE *f = std::fopen(path.c_str(), "wb");
+    std::fclose(f);
+    EXPECT_THROW(FileSource fs(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsTruncatedHeader)
+{
+    // Valid magic but the version word is cut off.
+    std::string path = tmpPath("shorthdr.mtrace");
+    FILE *f = std::fopen(path.c_str(), "wb");
+    std::fwrite("MOPTRACE", 1, 8, f);
+    std::fwrite("\x01\x00", 1, 2, f);
+    std::fclose(f);
+    EXPECT_THROW(FileSource fs(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsWrongVersion)
+{
+    std::string path = tmpPath("badver.mtrace");
+    FILE *f = std::fopen(path.c_str(), "wb");
+    uint32_t version = 999, reserved = 0;
+    std::fwrite("MOPTRACE", 1, 8, f);
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fwrite(&reserved, sizeof(reserved), 1, f);
+    std::fclose(f);
+    EXPECT_THROW(FileSource fs(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ThrowsOnShortRecord)
+{
+    // A record cut mid-way must raise, not be silently treated as EOF.
+    std::string path = tmpPath("shortrec.mtrace");
+    {
+        SyntheticSource src(profileFor("gzip"));
+        recordTrace(src, path, 3);
+    }
+    // Chop 5 bytes off the last 32-byte record.
+    FILE *f = std::fopen(path.c_str(), "rb+");
+    std::fseek(f, 0, SEEK_END);
+    long len = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(len, 16 + 3 * 32);
+    ASSERT_EQ(truncate(path.c_str(), len - 5), 0);
+
+    FileSource replay(path);
+    MicroOp u;
+    ASSERT_TRUE(replay.next(u));
+    ASSERT_TRUE(replay.next(u));
+    EXPECT_THROW(replay.next(u), std::runtime_error);
     std::remove(path.c_str());
 }
 
