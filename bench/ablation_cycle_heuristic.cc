@@ -1,46 +1,18 @@
 /**
  * @file
- * Section 5.1.1 ablation: the conservative cycle-detection heuristic
- * vs precise cycle detection. The paper's initial experiments found
- * the heuristic still achieves over 90% of the MOP formation
- * opportunities of precise detection.
+ * Ablation: cycle heuristic vs precise detection.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only ablation-cycle-heuristic`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-    bench::Runner runner;
-
-    Table t("Ablation: conservative cycle heuristic vs precise "
-            "detection (MOP-wiredOR, 32-entry queue)");
-    t.setColumns({"bench", "grouped heur", "grouped precise",
-                  "coverage", "IPC heur", "IPC precise"});
-    double sum_cov = 0;
-    for (const auto &b : trace::specCint2000()) {
-        sim::RunConfig cfg;
-        cfg.machine = sim::Machine::MopWiredOr;
-        cfg.iqEntries = 32;
-        cfg.cycleHeuristic = true;
-        auto heur = runner.run(b, cfg);
-        cfg.cycleHeuristic = false;
-        auto prec = runner.run(b, cfg);
-        double cov = prec.groupedFrac() > 0
-                         ? heur.groupedFrac() / prec.groupedFrac()
-                         : 1.0;
-        t.addRow({b, Table::pct(heur.groupedFrac()),
-                  Table::pct(prec.groupedFrac()), Table::pct(cov),
-                  Table::fmt(heur.ipc), Table::fmt(prec.ipc)});
-        sum_cov += cov;
-    }
-    t.setFootnote("paper: heuristic keeps >90% of precise-detection "
-                  "opportunities. model avg coverage " +
-                  Table::pct(sum_cov / 12));
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("ablation-cycle-heuristic", argc, argv);
 }

@@ -1,49 +1,18 @@
 /**
  * @file
- * Section 6.2 ablation: MOP detection latency sensitivity. The paper
- * assumes 3 cycles but reports that even a pessimistic 100-cycle
- * detection delay costs only 0.22% IPC on average (worst 0.76%,
- * parser), because pointers stored in the instruction cache are
- * reused every time the line is fetched.
+ * Ablation: MOP detection latency sensitivity.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only ablation-detect-delay`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-    bench::Runner runner;
-
-    Table t("Ablation: MOP detection latency (MOP-wiredOR, 32-entry "
-            "queue)");
-    t.setColumns({"bench", "IPC @3cy", "IPC @100cy", "loss"});
-    double sum_loss = 0, worst = 0;
-    std::string worst_bench;
-    for (const auto &b : trace::specCint2000()) {
-        sim::RunConfig cfg;
-        cfg.machine = sim::Machine::MopWiredOr;
-        cfg.iqEntries = 32;
-        cfg.detectLatency = 3;
-        double fast = runner.run(b, cfg).ipc;
-        cfg.detectLatency = 100;
-        double slow = runner.run(b, cfg).ipc;
-        double loss = 1.0 - slow / fast;
-        t.addRow({b, Table::fmt(fast), Table::fmt(slow),
-                  Table::pct(loss, 2)});
-        sum_loss += loss;
-        if (loss > worst) {
-            worst = loss;
-            worst_bench = b;
-        }
-    }
-    t.setFootnote("paper: average 0.22% loss, worst 0.76% (parser). "
-                  "model: avg " + Table::pct(sum_loss / 12, 2) +
-                  ", worst " + Table::pct(worst, 2) + " (" +
-                  worst_bench + ")");
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("ablation-detect-delay", argc, argv);
 }

@@ -1,44 +1,18 @@
 /**
  * @file
- * Section 5.4.1 ablation: independent MOPs. Grouping two independent
- * instructions with identical (or no) source operands does not
- * shorten any edge — it serializes their issue — but reduces queue
- * contention. The paper reports a net positive in many cases and a
- * slight slowdown for eon.
+ * Ablation: independent MOPs.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only ablation-independent-mops`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-    bench::Runner runner;
-
-    Table t("Ablation: independent MOPs (MOP-wiredOR, 32-entry queue)");
-    t.setColumns({"bench", "IPC with", "IPC without", "delta",
-                  "grouped with", "grouped without"});
-    double sum_delta = 0;
-    for (const auto &b : trace::specCint2000()) {
-        sim::RunConfig cfg;
-        cfg.machine = sim::Machine::MopWiredOr;
-        cfg.iqEntries = 32;
-        cfg.independentMops = true;
-        auto with = runner.run(b, cfg);
-        cfg.independentMops = false;
-        auto without = runner.run(b, cfg);
-        double delta = with.ipc / without.ipc - 1.0;
-        t.addRow({b, Table::fmt(with.ipc), Table::fmt(without.ipc),
-                  Table::pct(delta, 2), Table::pct(with.groupedFrac()),
-                  Table::pct(without.groupedFrac())});
-        sum_delta += delta;
-    }
-    t.setFootnote("paper: negative impact not significant; often a net "
-                  "positive via queue-contention reduction. model avg "
-                  "delta " + Table::pct(sum_delta / 12, 2));
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("ablation-independent-mops", argc, argv);
 }

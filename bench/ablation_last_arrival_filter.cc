@@ -1,46 +1,18 @@
 /**
  * @file
- * Section 5.4.2 ablation: the last-arriving-operand filter. When the
- * operand that triggers a MOP's issue belongs to the tail, consumers
- * of the head are delayed (Figure 12b); the detection logic deletes
- * such pointers and searches for alternative pairs. The paper calls
- * out gap as the benchmark that loses the most opportunities without
- * the filter.
+ * Ablation: last-arriving-operand filter.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only ablation-last-arrival-filter`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-    bench::Runner runner;
-
-    for (auto m : {sim::Machine::MopCam, sim::Machine::MopWiredOr}) {
-        Table t(std::string("Ablation: last-arriving-operand filter (") +
-                sim::machineName(m) + ", 32-entry queue)");
-        t.setColumns({"bench", "IPC filter on", "IPC filter off",
-                      "gain", "pointer deletions"});
-        double sum_gain = 0;
-        for (const auto &b : trace::specCint2000()) {
-            sim::RunConfig cfg;
-            cfg.machine = m;
-            cfg.iqEntries = 32;
-            cfg.lastArrivalFilter = true;
-            auto on = runner.run(b, cfg);
-            cfg.lastArrivalFilter = false;
-            auto off = runner.run(b, cfg);
-            double gain = on.ipc / off.ipc - 1.0;
-            t.addRow({b, Table::fmt(on.ipc), Table::fmt(off.ipc),
-                      Table::pct(gain, 2),
-                      std::to_string(on.filterDeletions)});
-            sum_gain += gain;
-        }
-        t.setFootnote("avg gain " + Table::pct(sum_gain / 12, 2));
-        t.print(std::cout);
-    }
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("ablation-last-arrival-filter", argc, argv);
 }

@@ -1,69 +1,18 @@
 /**
  * @file
- * Section 4.3 future-work study: MOP sizes beyond 2.
+ * Ablation: MOP size vs scheduling-loop depth.
  *
- * "Although bigger MOP sizes enable the scheduling loop to span over
- * more clock cycles and further reduce queue contention, this study
- * will evaluate the potentials of grouping two instructions...
- * Evaluating other MOP configurations is left for future work."
- *
- * This harness evaluates that future work: N-op MOPs (chained through
- * each instruction's single MOP pointer) under an N-deep pipelined
- * scheduling loop, with the 32-entry issue queue. Expected shape: a
- * deeper scheduling loop costs a plain scheduler dearly, larger MOPs
- * win the loss back and reduce issue-queue pressure further.
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only ablation-mop-size`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-    bench::Runner runner;
-
-    Table t("Ablation: MOP size vs scheduling-loop depth "
-            "(IPC normalized to base, 32-entry queue)");
-    t.setColumns({"bench", "plain d2", "2x MOP d2", "plain d3",
-                  "3x MOP d3", "4x MOP d4", "2x entred", "4x entred"});
-    double s2 = 0, s3 = 0, s4 = 0, p2 = 0, p3 = 0;
-    for (const auto &b : trace::specCint2000()) {
-        double base = runner.baseIpc(b, 32);
-        auto run = [&](sim::Machine m, int size, int depth) {
-            sim::RunConfig cfg;
-            cfg.machine = m;
-            cfg.iqEntries = 32;
-            cfg.mopSize = size;
-            cfg.schedDepth = depth;
-            return runner.run(b, cfg);
-        };
-        auto plain2 = run(sim::Machine::TwoCycle, 2, 2);
-        auto plain3 = run(sim::Machine::TwoCycle, 2, 3);
-        auto m2 = run(sim::Machine::MopWiredOr, 2, 2);
-        auto m3 = run(sim::Machine::MopWiredOr, 3, 3);
-        auto m4 = run(sim::Machine::MopWiredOr, 4, 4);
-        auto red = [](const pipeline::SimResult &r) {
-            return 1.0 - double(r.iqEntriesInserted) /
-                             double(std::max<uint64_t>(r.uopsInserted, 1));
-        };
-        t.addRow({b, Table::fmt(plain2.ipc / base),
-                  Table::fmt(m2.ipc / base), Table::fmt(plain3.ipc / base),
-                  Table::fmt(m3.ipc / base), Table::fmt(m4.ipc / base),
-                  Table::pct(red(m2)), Table::pct(red(m4))});
-        p2 += plain2.ipc / base;
-        p3 += plain3.ipc / base;
-        s2 += m2.ipc / base;
-        s3 += m3.ipc / base;
-        s4 += m4.ipc / base;
-    }
-    t.addRow({"avg", Table::fmt(p2 / 12), Table::fmt(s2 / 12),
-              Table::fmt(p3 / 12), Table::fmt(s3 / 12),
-              Table::fmt(s4 / 12), "", ""});
-    t.setFootnote("larger MOPs tolerate a deeper (slower-clock) "
-                  "scheduling loop and share entries more aggressively");
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("ablation-mop-size", argc, argv);
 }

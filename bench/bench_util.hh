@@ -1,6 +1,6 @@
 /**
  * @file
- * Shared helpers for the per-figure/table benchmark harnesses.
+ * Shared helpers for benchmark harness code and tests.
  *
  * Every harness prints the same rows/series the paper reports, next to
  * the paper's own numbers where the paper states them. Absolute values
@@ -14,12 +14,12 @@
 #ifndef MOP_BENCH_BENCH_UTIL_HH
 #define MOP_BENCH_BENCH_UTIL_HH
 
-#include <iostream>
 #include <map>
 #include <string>
 
 #include "sim/config.hh"
 #include "stats/table.hh"
+#include "sweep/fingerprint.hh"
 #include "trace/profiles.hh"
 
 namespace mop::bench
@@ -31,27 +31,33 @@ insts()
     return sim::benchInsts(200000);
 }
 
-/** Cache of run results keyed by (bench, config fingerprint). */
+/**
+ * In-memory cache of run results, keyed by the same binary fingerprint
+ * the persistent sweep cache uses: every RunConfig field (including
+ * the fault-injection spec), the instruction budget and the simulator
+ * version. Two configs alias only if the simulator would produce the
+ * same result for both.
+ *
+ * The instruction budget is captured once at construction, so a
+ * Runner never re-reads the environment mid-run and two Runners with
+ * different budgets never share entries.
+ */
 class Runner
 {
   public:
+    explicit Runner(uint64_t budget = insts()) : budget_(budget) {}
+
+    uint64_t budget() const { return budget_; }
+
     pipeline::SimResult
     run(const std::string &bench, const sim::RunConfig &cfg)
     {
-        std::string key = bench + "/" + sim::machineName(cfg.machine) +
-                          "/iq" + std::to_string(cfg.iqEntries) + "/x" +
-                          std::to_string(cfg.extraStages) + "/d" +
-                          std::to_string(cfg.detectLatency) + "/f" +
-                          std::to_string(cfg.lastArrivalFilter) + "/i" +
-                          std::to_string(cfg.independentMops) + "/c" +
-                          std::to_string(cfg.cycleHeuristic) + "/m" +
-                          std::to_string(cfg.mopSize) + "/sd" +
-                          std::to_string(cfg.schedDepth);
+        sweep::Fingerprint key = sweep::fingerprintSim(bench, cfg, budget_);
         auto it = cache_.find(key);
         if (it != cache_.end())
             return it->second;
-        pipeline::SimResult r = sim::runBenchmark(bench, cfg, insts());
-        cache_[key] = r;
+        pipeline::SimResult r = sim::runBenchmark(bench, cfg, budget_);
+        cache_.emplace(key, r);
         return r;
     }
 
@@ -66,7 +72,8 @@ class Runner
     }
 
   private:
-    std::map<std::string, pipeline::SimResult> cache_;
+    uint64_t budget_;
+    std::map<sweep::Fingerprint, pipeline::SimResult> cache_;
 };
 
 } // namespace mop::bench

@@ -1,47 +1,18 @@
 /**
  * @file
- * Figure 6: dependence-edge distance between each potential MOP head
- * (value-generating candidate) and its nearest potential MOP tail,
- * bucketed 1-3 / 4-7 / 8+ instructions, plus the dynamically-dead and
- * no-candidate-consumer categories. Machine-independent.
+ * Figure 6: dependence-distance characterization.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only fig6`).
  */
 
-#include <iostream>
-
-#include "analysis/characterize.hh"
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-
-    Table t("Figure 6: distance to nearest potential MOP tail "
-            "(% of value-generating candidates)");
-    t.setColumns({"bench", "%insts(paper)", "%insts(model)", "1-3",
-                  "4-7", "8+", "notCand", "dead", "within8"});
-    double sum_within8 = 0;
-    for (const auto &b : trace::specCint2000()) {
-        trace::SyntheticSource src(trace::profileFor(b));
-        analysis::DistanceResult r =
-            analysis::characterizeDistance(src, bench::insts());
-        double n = double(r.valueGenCands);
-        t.addRow({b, Table::pct(sim::paperRef(b).valueGenPct),
-                  Table::pct(r.valueGenPct()),
-                  Table::pct(double(r.dist1to3) / n),
-                  Table::pct(double(r.dist4to7) / n),
-                  Table::pct(double(r.dist8plus) / n),
-                  Table::pct(double(r.notCandidate) / n),
-                  Table::pct(double(r.dead) / n),
-                  Table::pct(r.within8())});
-        sum_within8 += r.within8();
-    }
-    t.setFootnote(
-        "paper: ~73% of heads have a tail within 8 insts on average; "
-        "gap short (87% within 8), vortex long (54%). model avg "
-        "within8 = " +
-        Table::pct(sum_within8 / 12));
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("fig6", argc, argv);
 }

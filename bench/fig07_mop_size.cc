@@ -1,50 +1,18 @@
 /**
  * @file
- * Figure 7: fraction of committed instructions groupable into 2x and
- * 8x MOPs within an 8-instruction scope, and the average number of
- * instructions per 8x MOP. Machine-independent.
+ * Figure 7: MOP groupability characterization.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only fig7`).
  */
 
-#include <iostream>
-
-#include "analysis/characterize.hh"
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-
-    Table t("Figure 7: instructions groupable into MOPs "
-            "(% of committed instructions)");
-    t.setColumns({"bench", "2x grouped", "8x grouped", "8x vgen",
-                  "8x nonvgen", "cand not grp", "not cand",
-                  "avg 8x size", "paper avg 8x"});
-    double sum2 = 0, sum8 = 0;
-    for (const auto &b : trace::specCint2000()) {
-        trace::SyntheticSource src(trace::profileFor(b));
-        analysis::GroupingResult g2 =
-            analysis::characterizeGrouping(src, bench::insts(), 2);
-        src.reset();
-        analysis::GroupingResult g8 =
-            analysis::characterizeGrouping(src, bench::insts(), 8);
-        double n = double(g8.totalInsts);
-        t.addRow({b, Table::pct(g2.groupedFrac()),
-                  Table::pct(g8.groupedFrac()),
-                  Table::pct(double(g8.groupedValueGen) / n),
-                  Table::pct(double(g8.groupedNonValueGen) / n),
-                  Table::pct(double(g8.candNotGrouped) / n),
-                  Table::pct(double(g8.notCandidate) / n),
-                  Table::fmt(g8.avgGroupSize(), 2),
-                  Table::fmt(sim::paperRef(b).avgInsts8x, 1)});
-        sum2 += g2.groupedFrac();
-        sum8 += g8.groupedFrac();
-    }
-    t.setFootnote("paper averages: 2x 32.9%, 8x 35.4% grouped "
-                  "(range 18.7% eon .. 47.3% gzip); model avg 2x = " +
-                  Table::pct(sum2 / 12) + ", 8x = " +
-                  Table::pct(sum8 / 12));
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("fig7", argc, argv);
 }

@@ -1,60 +1,18 @@
 /**
  * @file
- * Figure 13: committed instructions grouped under real macro-op
- * scheduling, for CAM-style (2 source comparators) and wired-OR-style
- * wakeup logic, classified as MOP-valuegen / MOP-nonvaluegen /
- * independent MOP / candidate-not-grouped / not-candidate.
- * Also reports the issue-queue-entry reduction (paper: 16.2% average).
+ * Figure 13: grouped instructions under real MOP scheduling.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only fig13`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-    using pipeline::GroupClass;
-    bench::Runner runner;
-
-    Table t("Figure 13: grouped instructions in macro-op scheduling "
-            "(% of committed instructions)");
-    t.setColumns({"bench", "style", "vgen", "nonvgen", "indep",
-                  "cand!grp", "notcand", "grouped", "entry reduction"});
-    double sum_red = 0;
-    int rows = 0;
-    for (const auto &b : trace::specCint2000()) {
-        for (auto m : {sim::Machine::MopCam, sim::Machine::MopWiredOr}) {
-            sim::RunConfig cfg;
-            cfg.machine = m;
-            cfg.iqEntries = 0;  // unrestricted, as in Figure 14's setup
-            pipeline::SimResult r = runner.run(b, cfg);
-            double n = double(r.insts);
-            auto pct = [&](GroupClass c) {
-                return Table::pct(double(r.groupCounts[size_t(c)]) / n);
-            };
-            double reduction =
-                1.0 - double(r.iqEntriesInserted) /
-                          double(std::max<uint64_t>(r.uopsInserted, 1));
-            t.addRow({b,
-                      m == sim::Machine::MopCam ? "2-src" : "wired-OR",
-                      pct(GroupClass::MopValueGen),
-                      pct(GroupClass::MopNonValueGen),
-                      pct(GroupClass::IndependentMop),
-                      pct(GroupClass::CandidateNotGrouped),
-                      pct(GroupClass::NotCandidate),
-                      Table::pct(r.groupedFrac()),
-                      Table::pct(reduction)});
-            sum_red += reduction;
-            ++rows;
-        }
-    }
-    t.setFootnote("paper: 28-46% of instructions grouped; average "
-                  "16.2% reduction in scheduler insertions. model avg "
-                  "reduction = " +
-                  Table::pct(sum_red / rows));
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("fig13", argc, argv);
 }

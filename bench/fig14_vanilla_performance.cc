@@ -1,51 +1,18 @@
 /**
  * @file
- * Figure 14: "vanilla" macro-op scheduling performance with an
- * unrestricted issue queue (no contention benefit) and no extra MOP
- * formation stage. IPC of 2-cycle, MOP-2src and MOP-wiredOR
- * scheduling, normalized to base (ideally pipelined) scheduling.
+ * Figure 14: vanilla MOP performance, unrestricted queue.
  *
- * Shape to reproduce: 2-cycle loses 1.3% (vortex) to 19.1% (gap);
- * macro-op scheduling recovers most of the loss (97.2% of base on
- * average), with the gain largest where 2-cycle suffers most.
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only fig14`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-    bench::Runner runner;
-
-    Table t("Figure 14: IPC normalized to base scheduling "
-            "(unrestricted queue, no extra stage)");
-    t.setColumns({"bench", "2-cycle", "MOP-2src", "MOP-wiredOR"});
-    double sum2 = 0, sumc = 0, sumw = 0;
-    for (const auto &b : trace::specCint2000()) {
-        double base = runner.baseIpc(b, 0);
-        auto norm = [&](sim::Machine m) {
-            sim::RunConfig cfg;
-            cfg.machine = m;
-            cfg.iqEntries = 0;
-            cfg.extraStages = 0;
-            return runner.run(b, cfg).ipc / base;
-        };
-        double n2 = norm(sim::Machine::TwoCycle);
-        double nc = norm(sim::Machine::MopCam);
-        double nw = norm(sim::Machine::MopWiredOr);
-        t.addRow({b, Table::fmt(n2), Table::fmt(nc), Table::fmt(nw)});
-        sum2 += n2;
-        sumc += nc;
-        sumw += nw;
-    }
-    t.addRow({"avg", Table::fmt(sum2 / 12), Table::fmt(sumc / 12),
-              Table::fmt(sumw / 12)});
-    t.setFootnote("paper: macro-op scheduling reaches 97.2% of base on "
-                  "average; 2-cycle drops up to 19.1% (gap)");
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("fig14", argc, argv);
 }

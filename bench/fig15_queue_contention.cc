@@ -1,59 +1,18 @@
 /**
  * @file
- * Figure 15: macro-op scheduling under issue-queue contention
- * (32-entry queue / 128 ROB) with one extra MOP formation stage; the
- * 0- and 2-extra-stage results bound it like the paper's error bars.
+ * Figure 15: MOP performance under issue-queue contention.
  *
- * Shape to reproduce: with contention, sharing an entry between two
- * instructions lets MOP scheduling match or beat the base scheduler
- * (paper: average slowdown 0.5% for 2-src, 0.1% for wired-OR; several
- * benchmarks outperform base).
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only fig15`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-    bench::Runner runner;
-
-    Table t("Figure 15: IPC normalized to base scheduling "
-            "(32-entry queue, 1 extra MOP formation stage; [x0/x2])");
-    t.setColumns({"bench", "2-cycle", "MOP-2src", "(x0/x2)",
-                  "MOP-wiredOR", "(x0/x2)"});
-    double sum2 = 0, sumc = 0, sumw = 0;
-    for (const auto &b : trace::specCint2000()) {
-        double base = runner.baseIpc(b, 32);
-        auto norm = [&](sim::Machine m, int extra) {
-            sim::RunConfig cfg;
-            cfg.machine = m;
-            cfg.iqEntries = 32;
-            cfg.extraStages = extra;
-            return runner.run(b, cfg).ipc / base;
-        };
-        double n2 = norm(sim::Machine::TwoCycle, 0);
-        double c0 = norm(sim::Machine::MopCam, 0);
-        double c1 = norm(sim::Machine::MopCam, 1);
-        double c2 = norm(sim::Machine::MopCam, 2);
-        double w0 = norm(sim::Machine::MopWiredOr, 0);
-        double w1 = norm(sim::Machine::MopWiredOr, 1);
-        double w2 = norm(sim::Machine::MopWiredOr, 2);
-        t.addRow({b, Table::fmt(n2), Table::fmt(c1),
-                  "[" + Table::fmt(c0) + "/" + Table::fmt(c2) + "]",
-                  Table::fmt(w1),
-                  "[" + Table::fmt(w0) + "/" + Table::fmt(w2) + "]"});
-        sum2 += n2;
-        sumc += c1;
-        sumw += w1;
-    }
-    t.addRow({"avg", Table::fmt(sum2 / 12), Table::fmt(sumc / 12), "",
-              Table::fmt(sumw / 12), ""});
-    t.setFootnote("paper: avg slowdown 0.5% (2-src) / 0.1% (wired-OR) "
-                  "with 1 extra stage; worst case 3.1% (parser)");
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("fig15", argc, argv);
 }

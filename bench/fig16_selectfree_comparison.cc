@@ -1,54 +1,18 @@
 /**
  * @file
- * Figure 16: pipelined scheduling logic compared — select-free
- * squash-dep, select-free scoreboard (Brown et al. [8]) and macro-op
- * scheduling with wired-OR wakeup (1 extra formation stage), all with
- * the 32-entry issue queue, normalized to base scheduling.
+ * Figure 16: select-free vs macro-op scheduling.
  *
- * Shape to reproduce: squash-dep is comparable or slightly worse than
- * macro-op scheduling; scoreboard shows noticeably larger losses;
- * select-free never outperforms the baseline while macro-op
- * scheduling can (non-speculative + relaxed scalability).
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only fig16`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    using stats::Table;
-    bench::Runner runner;
-
-    Table t("Figure 16: pipelined scheduling logic, IPC normalized to "
-            "base (32-entry queue)");
-    t.setColumns({"bench", "sf-squash-dep", "sf-scoreboard",
-                  "MOP-wiredOR"});
-    double ssum = 0, bsum = 0, msum = 0;
-    for (const auto &b : trace::specCint2000()) {
-        double base = runner.baseIpc(b, 32);
-        auto norm = [&](sim::Machine m, int extra) {
-            sim::RunConfig cfg;
-            cfg.machine = m;
-            cfg.iqEntries = 32;
-            cfg.extraStages = extra;
-            return runner.run(b, cfg).ipc / base;
-        };
-        double sd = norm(sim::Machine::SelectFreeSquashDep, 0);
-        double sb = norm(sim::Machine::SelectFreeScoreboard, 0);
-        double mw = norm(sim::Machine::MopWiredOr, 1);
-        t.addRow({b, Table::fmt(sd), Table::fmt(sb), Table::fmt(mw)});
-        ssum += sd;
-        bsum += sb;
-        msum += mw;
-    }
-    t.addRow({"avg", Table::fmt(ssum / 12), Table::fmt(bsum / 12),
-              Table::fmt(msum / 12)});
-    t.setFootnote("paper: squash-dep comparable/slightly below MOP; "
-                  "scoreboard noticeably worse; select-free cannot "
-                  "outperform the baseline");
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("fig16", argc, argv);
 }

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Design-choice ablations the paper's text reports: detection
+ * latency (Section 6.2), the last-arriving-operand filter
+ * (Section 5.4.2), independent MOPs (Section 5.4.1), the cycle
+ * heuristic (Section 5.1.1), and the MOP-size future-work study
+ * (Section 4.3).
+ */
+
+#include <algorithm>
+#include <string>
+
+#include "figures/figures.hh"
+#include "sim/config.hh"
+#include "stats/table.hh"
+#include "sweep/suite.hh"
+#include "trace/profiles.hh"
+
+namespace mop::bench
+{
+
+namespace
+{
+
+using stats::Table;
+
+/**
+ * Section 6.2 ablation: MOP detection latency sensitivity. The paper
+ * assumes 3 cycles but reports that even a pessimistic 100-cycle
+ * detection delay costs only 0.22% IPC on average (worst 0.76%,
+ * parser), because pointers stored in the instruction cache are
+ * reused every time the line is fetched.
+ */
+void
+renderDetectDelay(sweep::Context &ctx, std::ostream &out)
+{
+    Table t("Ablation: MOP detection latency (MOP-wiredOR, 32-entry "
+            "queue)");
+    t.setColumns({"bench", "IPC @3cy", "IPC @100cy", "loss"});
+    double sum_loss = 0, worst = 0;
+    std::string worst_bench;
+    for (const auto &b : trace::specCint2000()) {
+        sim::RunConfig cfg;
+        cfg.machine = sim::Machine::MopWiredOr;
+        cfg.iqEntries = 32;
+        cfg.detectLatency = 3;
+        double fast = ctx.run(b, cfg).ipc;
+        cfg.detectLatency = 100;
+        double slow = ctx.run(b, cfg).ipc;
+        double loss = 1.0 - slow / fast;
+        t.addRow({b, Table::fmt(fast), Table::fmt(slow),
+                  Table::pct(loss, 2)});
+        sum_loss += loss;
+        if (loss > worst) {
+            worst = loss;
+            worst_bench = b;
+        }
+    }
+    t.setFootnote("paper: average 0.22% loss, worst 0.76% (parser). "
+                  "model: avg " + Table::pct(sum_loss / 12, 2) +
+                  ", worst " + Table::pct(worst, 2) + " (" +
+                  worst_bench + ")");
+    t.print(out);
+}
+
+/**
+ * Section 5.4.2 ablation: the last-arriving-operand filter. When the
+ * operand that triggers a MOP's issue belongs to the tail, consumers
+ * of the head are delayed (Figure 12b); the detection logic deletes
+ * such pointers and searches for alternative pairs.
+ */
+void
+renderLastArrivalFilter(sweep::Context &ctx, std::ostream &out)
+{
+    for (auto m : {sim::Machine::MopCam, sim::Machine::MopWiredOr}) {
+        Table t(std::string("Ablation: last-arriving-operand filter (") +
+                sim::machineName(m) + ", 32-entry queue)");
+        t.setColumns({"bench", "IPC filter on", "IPC filter off",
+                      "gain", "pointer deletions"});
+        double sum_gain = 0;
+        for (const auto &b : trace::specCint2000()) {
+            sim::RunConfig cfg;
+            cfg.machine = m;
+            cfg.iqEntries = 32;
+            cfg.lastArrivalFilter = true;
+            auto on = ctx.run(b, cfg);
+            cfg.lastArrivalFilter = false;
+            auto off = ctx.run(b, cfg);
+            double gain = on.ipc / off.ipc - 1.0;
+            t.addRow({b, Table::fmt(on.ipc), Table::fmt(off.ipc),
+                      Table::pct(gain, 2),
+                      std::to_string(on.filterDeletions)});
+            sum_gain += gain;
+        }
+        t.setFootnote("avg gain " + Table::pct(sum_gain / 12, 2));
+        t.print(out);
+    }
+}
+
+/**
+ * Section 5.4.1 ablation: independent MOPs. Grouping two independent
+ * instructions with identical (or no) source operands does not
+ * shorten any edge — it serializes their issue — but reduces queue
+ * contention.
+ */
+void
+renderIndependentMops(sweep::Context &ctx, std::ostream &out)
+{
+    Table t("Ablation: independent MOPs (MOP-wiredOR, 32-entry queue)");
+    t.setColumns({"bench", "IPC with", "IPC without", "delta",
+                  "grouped with", "grouped without"});
+    double sum_delta = 0;
+    for (const auto &b : trace::specCint2000()) {
+        sim::RunConfig cfg;
+        cfg.machine = sim::Machine::MopWiredOr;
+        cfg.iqEntries = 32;
+        cfg.independentMops = true;
+        auto with = ctx.run(b, cfg);
+        cfg.independentMops = false;
+        auto without = ctx.run(b, cfg);
+        double delta = with.ipc / without.ipc - 1.0;
+        t.addRow({b, Table::fmt(with.ipc), Table::fmt(without.ipc),
+                  Table::pct(delta, 2), Table::pct(with.groupedFrac()),
+                  Table::pct(without.groupedFrac())});
+        sum_delta += delta;
+    }
+    t.setFootnote("paper: negative impact not significant; often a net "
+                  "positive via queue-contention reduction. model avg "
+                  "delta " + Table::pct(sum_delta / 12, 2));
+    t.print(out);
+}
+
+/**
+ * Section 5.1.1 ablation: the conservative cycle-detection heuristic
+ * vs precise cycle detection. The paper's initial experiments found
+ * the heuristic still achieves over 90% of the MOP formation
+ * opportunities of precise detection.
+ */
+void
+renderCycleHeuristic(sweep::Context &ctx, std::ostream &out)
+{
+    Table t("Ablation: conservative cycle heuristic vs precise "
+            "detection (MOP-wiredOR, 32-entry queue)");
+    t.setColumns({"bench", "grouped heur", "grouped precise",
+                  "coverage", "IPC heur", "IPC precise"});
+    double sum_cov = 0;
+    for (const auto &b : trace::specCint2000()) {
+        sim::RunConfig cfg;
+        cfg.machine = sim::Machine::MopWiredOr;
+        cfg.iqEntries = 32;
+        cfg.cycleHeuristic = true;
+        auto heur = ctx.run(b, cfg);
+        cfg.cycleHeuristic = false;
+        auto prec = ctx.run(b, cfg);
+        double cov = prec.groupedFrac() > 0
+                         ? heur.groupedFrac() / prec.groupedFrac()
+                         : 1.0;
+        t.addRow({b, Table::pct(heur.groupedFrac()),
+                  Table::pct(prec.groupedFrac()), Table::pct(cov),
+                  Table::fmt(heur.ipc), Table::fmt(prec.ipc)});
+        sum_cov += cov;
+    }
+    t.setFootnote("paper: heuristic keeps >90% of precise-detection "
+                  "opportunities. model avg coverage " +
+                  Table::pct(sum_cov / 12));
+    t.print(out);
+}
+
+/**
+ * Section 4.3 future-work study: MOP sizes beyond 2. N-op MOPs
+ * (chained through each instruction's single MOP pointer) under an
+ * N-deep pipelined scheduling loop, with the 32-entry issue queue.
+ */
+void
+renderMopSize(sweep::Context &ctx, std::ostream &out)
+{
+    Table t("Ablation: MOP size vs scheduling-loop depth "
+            "(IPC normalized to base, 32-entry queue)");
+    t.setColumns({"bench", "plain d2", "2x MOP d2", "plain d3",
+                  "3x MOP d3", "4x MOP d4", "2x entred", "4x entred"});
+    double s2 = 0, s3 = 0, s4 = 0, p2 = 0, p3 = 0;
+    for (const auto &b : trace::specCint2000()) {
+        double base = ctx.baseIpc(b, 32);
+        auto run = [&](sim::Machine m, int size, int depth) {
+            sim::RunConfig cfg;
+            cfg.machine = m;
+            cfg.iqEntries = 32;
+            cfg.mopSize = size;
+            cfg.schedDepth = depth;
+            return ctx.run(b, cfg);
+        };
+        auto plain2 = run(sim::Machine::TwoCycle, 2, 2);
+        auto plain3 = run(sim::Machine::TwoCycle, 2, 3);
+        auto m2 = run(sim::Machine::MopWiredOr, 2, 2);
+        auto m3 = run(sim::Machine::MopWiredOr, 3, 3);
+        auto m4 = run(sim::Machine::MopWiredOr, 4, 4);
+        auto red = [](const pipeline::SimResult &r) {
+            return 1.0 - double(r.iqEntriesInserted) /
+                             double(std::max<uint64_t>(r.uopsInserted, 1));
+        };
+        t.addRow({b, Table::fmt(plain2.ipc / base),
+                  Table::fmt(m2.ipc / base), Table::fmt(plain3.ipc / base),
+                  Table::fmt(m3.ipc / base), Table::fmt(m4.ipc / base),
+                  Table::pct(red(m2)), Table::pct(red(m4))});
+        p2 += plain2.ipc / base;
+        p3 += plain3.ipc / base;
+        s2 += m2.ipc / base;
+        s3 += m3.ipc / base;
+        s4 += m4.ipc / base;
+    }
+    t.addRow({"avg", Table::fmt(p2 / 12), Table::fmt(s2 / 12),
+              Table::fmt(p3 / 12), Table::fmt(s3 / 12),
+              Table::fmt(s4 / 12), "", ""});
+    t.setFootnote("larger MOPs tolerate a deeper (slower-clock) "
+                  "scheduling loop and share entries more aggressively");
+    t.print(out);
+}
+
+} // namespace
+
+void
+registerAblationFigures()
+{
+    auto &suite = sweep::Suite::instance();
+    suite.add({"ablation-detect-delay", "MOP detection latency",
+               renderDetectDelay});
+    suite.add({"ablation-last-arrival-filter",
+               "last-arriving-operand filter", renderLastArrivalFilter});
+    suite.add({"ablation-independent-mops", "independent MOPs",
+               renderIndependentMops});
+    suite.add({"ablation-cycle-heuristic",
+               "cycle heuristic vs precise detection",
+               renderCycleHeuristic});
+    suite.add({"ablation-mop-size", "MOP size vs scheduling-loop depth",
+               renderMopSize});
+}
+
+void
+registerAllFigures()
+{
+    registerCharacterizationFigures();
+    registerPerformanceFigures();
+    registerAblationFigures();
+}
+
+} // namespace mop::bench

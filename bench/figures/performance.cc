@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Timing-simulation figures: base IPCs (Table 2), real-machine MOP
+ * grouping (Figure 13), and the normalized-IPC comparisons
+ * (Figures 14, 15 and 16).
+ */
+
+#include <algorithm>
+#include <string>
+
+#include "figures/figures.hh"
+#include "sim/config.hh"
+#include "stats/table.hh"
+#include "sweep/suite.hh"
+#include "trace/profiles.hh"
+
+namespace mop::bench
+{
+
+namespace
+{
+
+using stats::Table;
+
+/**
+ * Table 2: benchmarks and base IPCs at the 32-entry and unrestricted
+ * issue queues, paper vs measured. Absolute IPCs differ (synthetic
+ * workloads); the per-benchmark ordering and the 32-vs-unrestricted
+ * gap are the reproduced shape.
+ */
+void
+renderTable2(sweep::Context &ctx, std::ostream &out)
+{
+    Table t("Table 2: base IPC (32-entry / unrestricted queue)");
+    t.setColumns({"bench", "paper 32", "paper unr", "model 32",
+                  "model unr", "unr/32 paper", "unr/32 model"});
+    for (const auto &b : trace::specCint2000()) {
+        sim::PaperRef ref = sim::paperRef(b);
+        double m32 = ctx.baseIpc(b, 32);
+        double mun = ctx.baseIpc(b, 0);
+        t.addRow({b, Table::fmt(ref.baseIpc32, 2),
+                  Table::fmt(ref.baseIpcUnrestricted, 2),
+                  Table::fmt(m32, 2), Table::fmt(mun, 2),
+                  Table::fmt(ref.baseIpcUnrestricted / ref.baseIpc32, 3),
+                  Table::fmt(mun / std::max(m32, 1e-9), 3)});
+    }
+    t.setFootnote("insts/run = " + std::to_string(ctx.insts()));
+    t.print(out);
+}
+
+/**
+ * Figure 13: committed instructions grouped under real macro-op
+ * scheduling, for CAM-style (2 source comparators) and wired-OR-style
+ * wakeup logic, classified as MOP-valuegen / MOP-nonvaluegen /
+ * independent MOP / candidate-not-grouped / not-candidate.
+ * Also reports the issue-queue-entry reduction (paper: 16.2% average).
+ */
+void
+renderFig13(sweep::Context &ctx, std::ostream &out)
+{
+    using pipeline::GroupClass;
+
+    Table t("Figure 13: grouped instructions in macro-op scheduling "
+            "(% of committed instructions)");
+    t.setColumns({"bench", "style", "vgen", "nonvgen", "indep",
+                  "cand!grp", "notcand", "grouped", "entry reduction"});
+    double sum_red = 0;
+    int rows = 0;
+    for (const auto &b : trace::specCint2000()) {
+        for (auto m : {sim::Machine::MopCam, sim::Machine::MopWiredOr}) {
+            sim::RunConfig cfg;
+            cfg.machine = m;
+            cfg.iqEntries = 0;  // unrestricted, as in Figure 14's setup
+            pipeline::SimResult r = ctx.run(b, cfg);
+            double n = double(r.insts);
+            auto pct = [&](GroupClass c) {
+                return Table::pct(double(r.groupCounts[size_t(c)]) / n);
+            };
+            double reduction =
+                1.0 - double(r.iqEntriesInserted) /
+                          double(std::max<uint64_t>(r.uopsInserted, 1));
+            t.addRow({b,
+                      m == sim::Machine::MopCam ? "2-src" : "wired-OR",
+                      pct(GroupClass::MopValueGen),
+                      pct(GroupClass::MopNonValueGen),
+                      pct(GroupClass::IndependentMop),
+                      pct(GroupClass::CandidateNotGrouped),
+                      pct(GroupClass::NotCandidate),
+                      Table::pct(r.groupedFrac()),
+                      Table::pct(reduction)});
+            sum_red += reduction;
+            ++rows;
+        }
+    }
+    t.setFootnote("paper: 28-46% of instructions grouped; average "
+                  "16.2% reduction in scheduler insertions. model avg "
+                  "reduction = " +
+                  Table::pct(sum_red / rows));
+    t.print(out);
+}
+
+/**
+ * Figure 14: "vanilla" macro-op scheduling performance with an
+ * unrestricted issue queue (no contention benefit) and no extra MOP
+ * formation stage. IPC of 2-cycle, MOP-2src and MOP-wiredOR
+ * scheduling, normalized to base (ideally pipelined) scheduling.
+ */
+void
+renderFig14(sweep::Context &ctx, std::ostream &out)
+{
+    Table t("Figure 14: IPC normalized to base scheduling "
+            "(unrestricted queue, no extra stage)");
+    t.setColumns({"bench", "2-cycle", "MOP-2src", "MOP-wiredOR"});
+    double sum2 = 0, sumc = 0, sumw = 0;
+    for (const auto &b : trace::specCint2000()) {
+        double base = ctx.baseIpc(b, 0);
+        auto norm = [&](sim::Machine m) {
+            sim::RunConfig cfg;
+            cfg.machine = m;
+            cfg.iqEntries = 0;
+            cfg.extraStages = 0;
+            return ctx.run(b, cfg).ipc / base;
+        };
+        double n2 = norm(sim::Machine::TwoCycle);
+        double nc = norm(sim::Machine::MopCam);
+        double nw = norm(sim::Machine::MopWiredOr);
+        t.addRow({b, Table::fmt(n2), Table::fmt(nc), Table::fmt(nw)});
+        sum2 += n2;
+        sumc += nc;
+        sumw += nw;
+    }
+    t.addRow({"avg", Table::fmt(sum2 / 12), Table::fmt(sumc / 12),
+              Table::fmt(sumw / 12)});
+    t.setFootnote("paper: macro-op scheduling reaches 97.2% of base on "
+                  "average; 2-cycle drops up to 19.1% (gap)");
+    t.print(out);
+}
+
+/**
+ * Figure 15: macro-op scheduling under issue-queue contention
+ * (32-entry queue / 128 ROB) with one extra MOP formation stage; the
+ * 0- and 2-extra-stage results bound it like the paper's error bars.
+ */
+void
+renderFig15(sweep::Context &ctx, std::ostream &out)
+{
+    Table t("Figure 15: IPC normalized to base scheduling "
+            "(32-entry queue, 1 extra MOP formation stage; [x0/x2])");
+    t.setColumns({"bench", "2-cycle", "MOP-2src", "(x0/x2)",
+                  "MOP-wiredOR", "(x0/x2)"});
+    double sum2 = 0, sumc = 0, sumw = 0;
+    for (const auto &b : trace::specCint2000()) {
+        double base = ctx.baseIpc(b, 32);
+        auto norm = [&](sim::Machine m, int extra) {
+            sim::RunConfig cfg;
+            cfg.machine = m;
+            cfg.iqEntries = 32;
+            cfg.extraStages = extra;
+            return ctx.run(b, cfg).ipc / base;
+        };
+        double n2 = norm(sim::Machine::TwoCycle, 0);
+        double c0 = norm(sim::Machine::MopCam, 0);
+        double c1 = norm(sim::Machine::MopCam, 1);
+        double c2 = norm(sim::Machine::MopCam, 2);
+        double w0 = norm(sim::Machine::MopWiredOr, 0);
+        double w1 = norm(sim::Machine::MopWiredOr, 1);
+        double w2 = norm(sim::Machine::MopWiredOr, 2);
+        t.addRow({b, Table::fmt(n2), Table::fmt(c1),
+                  "[" + Table::fmt(c0) + "/" + Table::fmt(c2) + "]",
+                  Table::fmt(w1),
+                  "[" + Table::fmt(w0) + "/" + Table::fmt(w2) + "]"});
+        sum2 += n2;
+        sumc += c1;
+        sumw += w1;
+    }
+    t.addRow({"avg", Table::fmt(sum2 / 12), Table::fmt(sumc / 12), "",
+              Table::fmt(sumw / 12), ""});
+    t.setFootnote("paper: avg slowdown 0.5% (2-src) / 0.1% (wired-OR) "
+                  "with 1 extra stage; worst case 3.1% (parser)");
+    t.print(out);
+}
+
+/**
+ * Figure 16: pipelined scheduling logic compared — select-free
+ * squash-dep, select-free scoreboard (Brown et al. [8]) and macro-op
+ * scheduling with wired-OR wakeup (1 extra formation stage), all with
+ * the 32-entry issue queue, normalized to base scheduling.
+ */
+void
+renderFig16(sweep::Context &ctx, std::ostream &out)
+{
+    Table t("Figure 16: pipelined scheduling logic, IPC normalized to "
+            "base (32-entry queue)");
+    t.setColumns({"bench", "sf-squash-dep", "sf-scoreboard",
+                  "MOP-wiredOR"});
+    double ssum = 0, bsum = 0, msum = 0;
+    for (const auto &b : trace::specCint2000()) {
+        double base = ctx.baseIpc(b, 32);
+        auto norm = [&](sim::Machine m, int extra) {
+            sim::RunConfig cfg;
+            cfg.machine = m;
+            cfg.iqEntries = 32;
+            cfg.extraStages = extra;
+            return ctx.run(b, cfg).ipc / base;
+        };
+        double sd = norm(sim::Machine::SelectFreeSquashDep, 0);
+        double sb = norm(sim::Machine::SelectFreeScoreboard, 0);
+        double mw = norm(sim::Machine::MopWiredOr, 1);
+        t.addRow({b, Table::fmt(sd), Table::fmt(sb), Table::fmt(mw)});
+        ssum += sd;
+        bsum += sb;
+        msum += mw;
+    }
+    t.addRow({"avg", Table::fmt(ssum / 12), Table::fmt(bsum / 12),
+              Table::fmt(msum / 12)});
+    t.setFootnote("paper: squash-dep comparable/slightly below MOP; "
+                  "scoreboard noticeably worse; select-free cannot "
+                  "outperform the baseline");
+    t.print(out);
+}
+
+} // namespace
+
+void
+registerPerformanceFigures()
+{
+    auto &suite = sweep::Suite::instance();
+    suite.add({"table2", "base IPC (32-entry / unrestricted queue)",
+               renderTable2});
+    suite.add({"fig13", "grouped instructions in macro-op scheduling",
+               renderFig13});
+    suite.add({"fig14", "vanilla MOP performance, unrestricted queue",
+               renderFig14});
+    suite.add({"fig15", "MOP performance under queue contention",
+               renderFig15});
+    suite.add({"fig16", "select-free vs macro-op scheduling",
+               renderFig16});
+}
+
+} // namespace mop::bench

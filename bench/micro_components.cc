@@ -10,8 +10,10 @@
 #include "analysis/characterize.hh"
 #include "core/mop_detector.hh"
 #include "mem/cache.hh"
+#include "sched/scheduler.hh"
 #include "sched/wired_or.hh"
 #include "sim/config.hh"
+#include "sweep/fingerprint.hh"
 #include "trace/profiles.hh"
 
 namespace
@@ -101,6 +103,60 @@ BM_DistanceCharacterization(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()) * 20000);
 }
 BENCHMARK(BM_DistanceCharacterization);
+
+void
+BM_SchedulerWakeupSelect(benchmark::State &state)
+{
+    // The scheduler's per-cycle hot path: wakeup broadcast delivery
+    // and select over the ready bitmaps, for the queue size given by
+    // the range argument. Each outer iteration pushes a 4-wide
+    // dependence pattern (ILP 4) through a fresh scheduler.
+    sched::SchedParams p;
+    p.policy = sched::SchedPolicy::TwoCycle;
+    p.numEntries = int(state.range(0));
+    constexpr uint64_t kOps = 4096;
+    uint64_t total = 0;
+    std::vector<sched::ExecEvent> completed;
+    for (auto _ : state) {
+        sched::Scheduler s(p);
+        sched::Cycle now = 0;
+        uint64_t seq = 0, done = 0;
+        while (done < kOps) {
+            for (int w = 0; w < 4 && seq < kOps && s.canInsert(); ++w) {
+                sched::SchedOp op;
+                op.seq = seq;
+                op.dst = sched::Tag(seq);
+                op.src = {seq >= 4 ? sched::Tag(seq - 4) : sched::kNoTag,
+                          sched::kNoTag};
+                s.insert(op, now);
+                ++seq;
+            }
+            completed.clear();
+            s.tick(now, completed);
+            done += completed.size();
+            ++now;
+        }
+        total += kOps;
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(int64_t(total));
+}
+BENCHMARK(BM_SchedulerWakeupSelect)->Arg(32)->Arg(128);
+
+void
+BM_RunFingerprint(benchmark::State &state)
+{
+    // Key derivation for the sweep result cache and bench::Runner:
+    // hashes the full RunConfig, the workload profile and the budget.
+    sim::RunConfig cfg;
+    cfg.machine = sim::Machine::MopWiredOr;
+    for (auto _ : state) {
+        auto fp = sweep::fingerprintSim("gzip", cfg, 200000);
+        benchmark::DoNotOptimize(fp);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_RunFingerprint);
 
 void
 BM_PipelineSimulation(benchmark::State &state)

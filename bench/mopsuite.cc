@@ -1,0 +1,24 @@
+/**
+ * @file
+ * mopsuite — every table, figure and ablation in one process.
+ *
+ * Plans the full set of unique simulator runs across all selected
+ * figures, resolves them through the persistent result cache and a
+ * thread-pool executor (--jobs N), then renders each figure serially.
+ * Output is byte-identical to running the per-figure binaries.
+ *
+ *   mopsuite                          # everything, all cores
+ *   mopsuite --only table2 --jobs 2   # one figure, two workers
+ *   mopsuite --json results.json      # machine-readable results
+ *   mopsuite --list                   # registered figures
+ */
+
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    mop::bench::registerAllFigures();
+    return mop::sweep::suiteMain(argc, argv);
+}

@@ -1,69 +1,18 @@
 /**
  * @file
- * Table 1: machine configuration. Prints the simulated machine's
- * parameters next to the paper's, as a fidelity check of the presets.
+ * Table 1: machine configuration.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only table1`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    sim::RunConfig cfg;
-    pipeline::CoreParams p = sim::makeCoreParams(cfg);
-
-    stats::Table t("Table 1: machine configuration (paper vs model)");
-    t.setColumns({"parameter", "paper", "model"});
-    auto row = [&](const char *n, const std::string &paper,
-                   const std::string &model) {
-        t.addRow({n, paper, model});
-    };
-    row("fetch/issue/commit width", "4/4/4",
-        std::to_string(p.fetchWidth) + "/" +
-            std::to_string(p.sched.issueWidth) + "/" +
-            std::to_string(p.commitWidth));
-    row("ROB entries", "128", std::to_string(p.robSize));
-    row("issue queue", "32 / unrestricted",
-        "32 / unrestricted (configurable)");
-    row("replay penalty", "2", std::to_string(p.sched.replayPenalty));
-    row("int ALUs (lat)", "4 (1)",
-        std::to_string(p.sched.fuCounts[0]) + " (1)");
-    row("FP ALUs (lat)", "2 (2)",
-        std::to_string(p.sched.fuCounts[2]) + " (2)");
-    row("int MUL/DIV (lat)", "2 (3/20)",
-        std::to_string(p.sched.fuCounts[1]) + " (3/20)");
-    row("FP MUL/DIV (lat)", "2 (4/24)",
-        std::to_string(p.sched.fuCounts[3]) + " (4/24)");
-    row("memory ports", "2", std::to_string(p.sched.fuCounts[4]));
-    row("IL1", "16KB 2-way 64B (2)",
-        std::to_string(p.mem.il1.sizeBytes / 1024) + "KB " +
-            std::to_string(p.mem.il1.assoc) + "-way " +
-            std::to_string(p.mem.il1.lineBytes) + "B (" +
-            std::to_string(p.mem.il1.hitLatency) + ")");
-    row("DL1", "16KB 4-way 64B (2)",
-        std::to_string(p.mem.dl1.sizeBytes / 1024) + "KB " +
-            std::to_string(p.mem.dl1.assoc) + "-way " +
-            std::to_string(p.mem.dl1.lineBytes) + "B (" +
-            std::to_string(p.mem.dl1.hitLatency) + ")");
-    row("L2", "256KB 4-way 128B (8)",
-        std::to_string(p.mem.l2.sizeBytes / 1024) + "KB " +
-            std::to_string(p.mem.l2.assoc) + "-way " +
-            std::to_string(p.mem.l2.lineBytes) + "B (" +
-            std::to_string(p.mem.l2.hitLatency) + ")");
-    row("memory latency", "100", std::to_string(p.mem.memLatency));
-    row("bimodal/gshare/selector", "4k/4k/4k",
-        std::to_string(p.bpred.bimodalEntries / 1024) + "k/" +
-            std::to_string(p.bpred.gshareEntries / 1024) + "k/" +
-            std::to_string(p.bpred.selectorEntries / 1024) + "k");
-    row("BTB", "1k 4-way",
-        std::to_string(p.bpred.btbEntries / 1024) + "k " +
-            std::to_string(p.bpred.btbAssoc) + "-way");
-    row("RAS", "16", std::to_string(p.bpred.rasEntries));
-    row("mispredict recovery", ">= 14 cycles",
-        ">= 14 cycles (pipeline depth + redirect)");
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("table1", argc, argv);
 }

@@ -1,36 +1,18 @@
 /**
  * @file
- * Table 2: benchmarks and base IPCs at the 32-entry and unrestricted
- * issue queues, paper vs measured. Absolute IPCs differ (synthetic
- * workloads); the per-benchmark ordering and the 32-vs-unrestricted
- * gap are the reproduced shape.
+ * Table 2: base IPCs, paper vs measured.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only table2`).
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mop;
-    bench::Runner runner;
-
-    stats::Table t("Table 2: base IPC (32-entry / unrestricted queue)");
-    t.setColumns({"bench", "paper 32", "paper unr", "model 32",
-                  "model unr", "unr/32 paper", "unr/32 model"});
-    for (const auto &b : trace::specCint2000()) {
-        sim::PaperRef ref = sim::paperRef(b);
-        double m32 = runner.baseIpc(b, 32);
-        double mun = runner.baseIpc(b, 0);
-        t.addRow({b, stats::Table::fmt(ref.baseIpc32, 2),
-                  stats::Table::fmt(ref.baseIpcUnrestricted, 2),
-                  stats::Table::fmt(m32, 2), stats::Table::fmt(mun, 2),
-                  stats::Table::fmt(
-                      ref.baseIpcUnrestricted / ref.baseIpc32, 3),
-                  stats::Table::fmt(mun / std::max(m32, 1e-9), 3)});
-    }
-    t.setFootnote("insts/run = " + std::to_string(bench::insts()));
-    t.print(std::cout);
-    return 0;
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("table2", argc, argv);
 }

@@ -1,9 +1,9 @@
 #include "sched/scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
 namespace mop::sched
@@ -12,15 +12,44 @@ namespace mop::sched
 namespace
 {
 
-/** Debug: trace one tag's lifecycle via MOP_TRACE_TAG. */
-Tag
-traceTag()
+constexpr size_t
+bitWords(size_t n)
 {
-    static Tag t = [] {
-        const char *e = std::getenv("MOP_TRACE_TAG");
-        return e ? Tag(std::atoi(e)) : Tag(-2);
-    }();
-    return t;
+    return (n + 63) / 64;
+}
+
+inline bool
+testBit(const std::vector<uint64_t> &v, size_t i)
+{
+    return (v[i >> 6] >> (i & 63)) & 1;
+}
+
+inline void
+setBit(std::vector<uint64_t> &v, size_t i)
+{
+    v[i >> 6] |= uint64_t(1) << (i & 63);
+}
+
+inline void
+clearBit(std::vector<uint64_t> &v, size_t i)
+{
+    v[i >> 6] &= ~(uint64_t(1) << (i & 63));
+}
+
+/**
+ * Visit set bits in ascending order. Word values are copied before
+ * their bits are visited, so a callback clearing the *current* entry's
+ * bit (e.g. freeEntry during a squash walk) does not disturb the walk;
+ * the visit order matches the plain ascending index scan it replaces.
+ */
+template <typename Fn>
+inline void
+forEachSetBit(const std::vector<uint64_t> &v, Fn &&fn)
+{
+    for (size_t w = 0; w < v.size(); ++w) {
+        for (uint64_t bits = v[w]; bits; bits &= bits - 1)
+            fn(w * 64 + size_t(std::countr_zero(bits)));
+    }
 }
 
 /** Source budget per issue-queue entry for each wakeup style. */
@@ -45,6 +74,8 @@ Scheduler::Scheduler(const SchedParams &params)
 
     int n = params_.numEntries > 0 ? params_.numEntries : 512;
     entries_.resize(size_t(n));
+    validBits_.resize(bitWords(size_t(n)), 0);
+    readyBits_.resize(bitWords(size_t(n)), 0);
     freeList_.reserve(size_t(n));
     for (int i = n - 1; i >= 0; --i)
         freeList_.push_back(i);
@@ -91,18 +122,30 @@ Scheduler::ensureTag(Tag t)
 {
     if (t < 0)
         return;
-    if (size_t(t) >= tagReady_.size()) {
+    if (size_t(t) >= tagCap_) {
         size_t n = size_t(t) + size_t(t) / 2 + 64;
-        tagReady_.resize(n, 0);
+        tagReadyBits_.resize(bitWords(n), 0);
         tagValueReady_.resize(n, kNoCycle);
         tagReadyAt_.resize(n, kNoCycle);
+        tagCap_ = n;
     }
 }
 
 bool
 Scheduler::tagIsReady(Tag t) const
 {
-    return t >= 0 && size_t(t) < tagReady_.size() && tagReady_[size_t(t)];
+    return t >= 0 && size_t(t) < tagCap_ &&
+           testBit(tagReadyBits_, size_t(t));
+}
+
+void
+Scheduler::refreshReady(int idx)
+{
+    const Entry &e = entries_[size_t(idx)];
+    if (e.valid && !e.pending && !e.issued && entryFullyReady(e))
+        setBit(readyBits_, size_t(idx));
+    else
+        clearBit(readyBits_, size_t(idx));
 }
 
 bool
@@ -130,11 +173,13 @@ Scheduler::freeEntry(int idx)
     integrity_.require(e.valid, verify::IntegrityChecker::Check::IqAccounting,
                        "freeEntry on invalid entry " + std::to_string(idx) +
                            " (double free or stale event)");
-    if (e.dstTag == traceTag())
+    if (e.dstTag == params_.traceTag)
         std::fprintf(stderr, "[tag] freeEntry entry=%d numOps=%d outBcast=%d\n",
                      idx, e.numOps, e.outBcast);
     cancelBcast(idx);
     e.valid = false;
+    clearBit(validBits_, size_t(idx));
+    clearBit(readyBits_, size_t(idx));
     ++e.gen;
     --occupied_;
     freeList_.push_back(idx);
@@ -162,6 +207,7 @@ Scheduler::insert(const SchedOp &op, Cycle now, bool expect_tail)
     e = Entry{};
     e.gen = gen;
     e.valid = true;
+    setBit(validBits_, size_t(idx));
     e.pending = expect_tail;
     e.numOps = 1;
     e.ops[0] = op;
@@ -189,7 +235,7 @@ Scheduler::insert(const SchedOp &op, Cycle now, bool expect_tail)
     ++insertedOps_;
     ++insertedEntries_;
     record(now, verify::SchedEvent::Kind::Insert, op.seq, op.dst, idx);
-    if (op.dst == traceTag())
+    if (op.dst == params_.traceTag)
         std::fprintf(stderr, "[tag] %lu: insert seq=%lu entry=%d expect_tail=%d\n",
                      (unsigned long)now, (unsigned long)op.seq, idx, expect_tail);
     if (debugTrace_)
@@ -207,6 +253,7 @@ Scheduler::insert(const SchedOp &op, Cycle now, bool expect_tail)
         if (isSelectFree() && !e.collided)
             scheduleBcast(idx, e.readyAt + Cycle(schedLatency(e)), true);
     }
+    refreshReady(idx);
     return idx;
 }
 
@@ -256,7 +303,7 @@ Scheduler::appendTail(int idx, const SchedOp &tail, Cycle now,
             e.srcReady[size_t(s)] ? tagReadyAt_[size_t(t)] : kNoCycle;
         e.srcFromTail[size_t(s)] = true;
     }
-    if (e.dstTag == traceTag() || tail.dst == traceTag())
+    if (e.dstTag == params_.traceTag || tail.dst == params_.traceTag)
         std::fprintf(stderr, "[tag] %lu: appendTail seq=%lu entry=%d more=%d\n",
                      (unsigned long)now, (unsigned long)tail.seq, idx, more_coming);
     e.ops[size_t(e.numOps)] = tail;
@@ -268,6 +315,7 @@ Scheduler::appendTail(int idx, const SchedOp &tail, Cycle now,
     record(now, verify::SchedEvent::Kind::Append, tail.seq, e.dstTag, idx);
     if (!e.pending && entryFullyReady(e))
         e.readyAt = now + 1;
+    refreshReady(idx);
     return true;
 }
 
@@ -278,12 +326,13 @@ Scheduler::clearPending(int idx)
     integrity_.require(e.valid, verify::IntegrityChecker::Check::MopPairing,
                        "clearPending on invalid entry " +
                            std::to_string(idx));
-    if (e.dstTag == traceTag())
+    if (e.dstTag == params_.traceTag)
         std::fprintf(stderr, "[tag] clearPending entry=%d numOps=%d\n",
                      idx, e.numOps);
     e.pending = false;
     if (entryFullyReady(e) && e.readyAt == kNoCycle)
         e.readyAt = e.minIssue;
+    refreshReady(idx);
 }
 
 bool
@@ -321,7 +370,7 @@ Scheduler::scheduleBcast(int entry_idx, Cycle fire, bool speculative)
         Broadcast{e.dstTag, entry_idx, e.gen, false, speculative};
     bcastRing_[fire % kRing].push_back(id);
     e.outBcast = id;
-    if (e.dstTag == traceTag())
+    if (e.dstTag == params_.traceTag)
         std::fprintf(stderr, "[tag] bcast scheduled fire=%lu spec=%d\n",
                      (unsigned long)fire, speculative);
     if (debugTrace_) {
@@ -335,7 +384,7 @@ void
 Scheduler::cancelBcast(int entry_idx)
 {
     Entry &e = entries_[size_t(entry_idx)];
-    if (e.dstTag == traceTag() && e.outBcast >= 0)
+    if (e.dstTag == params_.traceTag && e.outBcast >= 0)
         std::fprintf(stderr, "[tag] bcast CANCELED entry=%d\n", entry_idx);
     if (e.outBcast >= 0) {
         bcastPool_[size_t(e.outBcast)].canceled = true;
@@ -366,18 +415,17 @@ void
 Scheduler::deliverTag(Tag tag, Cycle now)
 {
     ensureTag(tag);
-    if (tag == traceTag())
+    if (tag == params_.traceTag)
         std::fprintf(stderr, "[tag] %lu: DELIVERED\n", (unsigned long)now);
-    tagReady_[size_t(tag)] = 1;
+    setBit(tagReadyBits_, size_t(tag));
     tagReadyAt_[size_t(tag)] = now;
     record(now, verify::SchedEvent::Kind::Deliver, 0, tag);
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: deliver tag=%d\n",
                      (unsigned long)now, tag);
-    for (size_t i = 0; i < entries_.size(); ++i) {
+    // Wakeup broadcast: walk occupied entries only (bitmap words).
+    forEachSetBit(validBits_, [&](size_t i) {
         Entry &e = entries_[i];
-        if (!e.valid)
-            continue;
         bool changed = false;
         for (int s = 0; s < e.numSrcs; ++s) {
             if (e.srcTags[size_t(s)] == tag && !e.srcReady[size_t(s)]) {
@@ -386,9 +434,12 @@ Scheduler::deliverTag(Tag tag, Cycle now)
                 changed = true;
             }
         }
-        if (changed && !e.pending && !e.issued && entryFullyReady(e))
+        if (!changed)
+            return;
+        refreshReady(int(i));
+        if (!e.pending && !e.issued && entryFullyReady(e))
             onEntryBecameReady(int(i), now);
-    }
+    });
 }
 
 void
@@ -411,8 +462,7 @@ Scheduler::deliverBcasts(Cycle now)
             if (inj_ && inj_->fire(verify::FaultKind::CorruptWakeup)) {
                 // Wakeup-array corruption: the bus carries the wrong
                 // tag. Not recoverable; the run must *detect* it.
-                Tag wrong =
-                    Tag(inj_->pick(uint32_t(tagReady_.size())));
+                Tag wrong = Tag(inj_->pick(uint32_t(tagCap_)));
                 record(now, verify::SchedEvent::Kind::Inject, 0, tag,
                        b.entry, "corrupt-wakeup");
                 tag = wrong;
@@ -444,6 +494,7 @@ Scheduler::invalidateEntry(int idx, Cycle now)
     cancelBcast(idx);
     if (e.dstTag != kNoTag)
         tagValueReady_[size_t(e.dstTag)] = kNoCycle;
+    refreshReady(idx);
 }
 
 void
@@ -452,9 +503,9 @@ Scheduler::recallTag(Tag tag, Cycle now)
     if (tag == kNoTag)
         return;
     ensureTag(tag);
-    if (tag == traceTag())
+    if (tag == params_.traceTag)
         std::fprintf(stderr, "[tag] %lu: RECALLED\n", (unsigned long)now);
-    tagReady_[size_t(tag)] = 0;
+    clearBit(tagReadyBits_, size_t(tag));
     tagReadyAt_[size_t(tag)] = kNoCycle;
     tagValueReady_[size_t(tag)] = kNoCycle;
     record(now, verify::SchedEvent::Kind::Recall, 0, tag);
@@ -462,10 +513,8 @@ Scheduler::recallTag(Tag tag, Cycle now)
         std::fprintf(stderr, "[sched] %lu: recall tag=%d\n",
                      (unsigned long)now, tag);
 
-    for (size_t i = 0; i < entries_.size(); ++i) {
+    forEachSetBit(validBits_, [&](size_t i) {
         Entry &e = entries_[i];
-        if (!e.valid)
-            continue;
         bool cleared = false;
         for (int s = 0; s < e.numSrcs; ++s) {
             if (e.srcTags[size_t(s)] == tag && e.srcReady[size_t(s)]) {
@@ -475,7 +524,8 @@ Scheduler::recallTag(Tag tag, Cycle now)
             }
         }
         if (!cleared)
-            continue;
+            return;
+        refreshReady(int(i));
         if (e.issued) {
             // Selectively replay the mis-scheduled consumer and undo
             // the wakeups it caused in turn.
@@ -491,7 +541,7 @@ Scheduler::recallTag(Tag tag, Cycle now)
         } else {
             e.readyAt = kNoCycle;
         }
-    }
+    });
 }
 
 void
@@ -501,6 +551,7 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
     e.issued = true;
     e.issueCycle = now;
     e.completedOps = 0;
+    clearBit(readyBits_, size_t(idx));
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: issue seq=%lu tag=%d\n",
                      (unsigned long)now, (unsigned long)e.ops[0].seq,
@@ -608,14 +659,14 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
 void
 Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
 {
+    // Select request collection: walk the ready bitmap (valid, not
+    // pending, not issued, sources ready); only the time-dependent
+    // minIssue gate is evaluated here.
     readyScratch_.clear();
-    for (size_t i = 0; i < entries_.size(); ++i) {
-        const Entry &e = entries_[i];
-        if (e.valid && !e.pending && !e.issued && e.minIssue <= now &&
-            entryFullyReady(e)) {
+    forEachSetBit(readyBits_, [&](size_t i) {
+        if (entries_[i].minIssue <= now)
             readyScratch_.push_back(int(i));
-        }
-    }
+    });
     std::sort(readyScratch_.begin(), readyScratch_.end(),
               [this](int a, int b) {
                   return entries_[size_t(a)].age < entries_[size_t(b)].age;
@@ -847,6 +898,18 @@ Scheduler::auditStructures()
     int max_ops = std::min(params_.maxMopSize, kMaxMopOps);
     for (size_t i = 0; i < entries_.size(); ++i) {
         const Entry &e = entries_[i];
+        integrity_.require(
+            testBit(validBits_, i) == e.valid, Check::IqAccounting,
+            "entry " + std::to_string(i) +
+                " valid bitmap disagrees with entry state");
+        bool want_ready =
+            e.valid && !e.pending && !e.issued && entryFullyReady(e);
+        integrity_.require(
+            testBit(readyBits_, i) == want_ready, Check::IqAccounting,
+            "entry " + std::to_string(i) +
+                " ready bitmap stale (valid=" + std::to_string(e.valid) +
+                " pending=" + std::to_string(e.pending) +
+                " issued=" + std::to_string(e.issued) + ")");
         if (!e.valid)
             continue;
         ++n_valid;
@@ -948,13 +1011,11 @@ void
 Scheduler::squashAfter(uint64_t seq)
 {
     record(lastProgress_, verify::SchedEvent::Kind::Squash, seq);
-    for (size_t i = 0; i < entries_.size(); ++i) {
+    forEachSetBit(validBits_, [&](size_t i) {
         Entry &e = entries_[i];
-        if (!e.valid)
-            continue;
         if (e.minSeq > seq) {
             freeEntry(int(i));
-            continue;
+            return;
         }
         if (e.numOps > 1 && e.maxSeq > seq) {
             // Squashed MOP suffix: surviving prefix stays; source
@@ -978,7 +1039,8 @@ Scheduler::squashAfter(uint64_t seq)
             // The expected tail will never arrive.
             e.pending = false;
         }
-    }
+        refreshReady(int(i));
+    });
 }
 
 void

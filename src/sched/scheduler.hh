@@ -140,8 +140,8 @@ class Scheduler
     const SchedParams &params() const { return params_; }
 
     /** Emit a per-event trace to stderr (debugging aid). A single
-     *  tag's lifecycle can also be traced by setting the
-     *  MOP_TRACE_TAG environment variable to its numeric value. */
+     *  tag's lifecycle can also be traced via SchedParams::traceTag
+     *  (the mopsim CLI seeds it from MOP_TRACE_TAG at startup). */
     void setDebugTrace(bool on) { debugTrace_ = on; }
 
     // --- integrity & fault injection -----------------------------------
@@ -279,8 +279,21 @@ class Scheduler
     int occupied_ = 0;
     uint64_t nextAge_ = 0;
 
-    /** tag -> architecturally-ready flag (may be unset by recalls). */
-    std::vector<uint8_t> tagReady_;
+    // Hot-path bitmaps (64 entries per word). The wakeup broadcast and
+    // select loops walk only set bits instead of scanning the whole
+    // entry array; with a 32-entry queue that is one word per cycle.
+    /** Bit i set iff entries_[i].valid. */
+    std::vector<uint64_t> validBits_;
+    /** Bit i set iff entries_[i] is a select candidate: valid, not
+     *  pending, not issued, all sources ready (minIssue is checked at
+     *  select time). Kept in sync by refreshReady(). */
+    std::vector<uint64_t> readyBits_;
+    /** Recompute entry @p idx's readyBits_ bit from its state. */
+    void refreshReady(int idx);
+
+    /** tag -> architecturally-ready bit (may be unset by recalls). */
+    std::vector<uint64_t> tagReadyBits_;
+    size_t tagCap_ = 0;  ///< number of tags tracked
     /** tag -> cycle the value is really available (scoreboard check). */
     std::vector<Cycle> tagValueReady_;
     /** tag -> cycle readiness was (re)asserted. */

@@ -71,6 +71,7 @@ makeCoreParams(const RunConfig &cfg)
 
     p.sched.maxMopSize = cfg.mopSize;
     p.sched.schedDepth = cfg.schedDepth;
+    p.sched.traceTag = cfg.traceTag;
     p.detector.maxMopSize = cfg.mopSize;
     p.detector.groupWidth = 4;          // 2-cycle scope on 4-wide
     p.detector.camRestrict = p.sched.style == sched::WakeupStyle::Cam2;

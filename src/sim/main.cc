@@ -12,6 +12,7 @@
  *   mopsim --list
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -86,6 +87,10 @@ main(int argc, char **argv)
 {
     std::string bench, kernel, inject;
     sim::RunConfig cfg;
+    // Seed the debug trace tag from the environment exactly once, on
+    // the main thread; nothing downstream touches getenv for it.
+    if (const char *env = std::getenv("MOP_TRACE_TAG"))
+        cfg.traceTag = sched::Tag(std::strtol(env, nullptr, 10));
     uint64_t insts = 300000;
     uint64_t seed = 1;
     bool dump_stats = false;

@@ -1,0 +1,111 @@
+#include "sweep/executor.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "analysis/characterize.hh"
+#include "trace/profiles.hh"
+
+namespace mop::sweep
+{
+
+SweepOutcome
+computeJob(const SweepJob &job)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    SweepOutcome out;
+    switch (job.kind) {
+      case JobKind::Sim: {
+        pipeline::SimResult r =
+            sim::runBenchmark(job.bench, job.cfg, job.insts);
+        out.record = packSimResult(r);
+        out.simulatedInsts = r.insts;
+        break;
+      }
+      case JobKind::Distance: {
+        trace::SyntheticSource src(trace::profileFor(job.bench));
+        out.record =
+            packDistance(analysis::characterizeDistance(src, job.insts));
+        break;
+      }
+      case JobKind::Grouping: {
+        trace::SyntheticSource src(trace::profileFor(job.bench));
+        out.record = packGrouping(
+            analysis::characterizeGrouping(src, job.insts,
+                                           job.maxMopSize));
+        break;
+      }
+    }
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+}
+
+SweepExecutor::SweepExecutor(int jobs)
+{
+    if (jobs <= 0)
+        jobs = int(std::thread::hardware_concurrency());
+    jobs_ = std::min(std::max(jobs, 1), 256);
+}
+
+std::vector<SweepOutcome>
+SweepExecutor::runAll(
+    const std::vector<SweepJob> &batch,
+    const std::function<void(size_t done, size_t total)> &progress) const
+{
+    std::vector<SweepOutcome> results(batch.size());
+    if (batch.empty())
+        return results;
+
+    int workers = int(std::min(size_t(jobs_), batch.size()));
+    if (workers <= 1) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+            results[i] = computeJob(batch[i]);
+            if (progress)
+                progress(i + 1, batch.size());
+        }
+        return results;
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;  // guards firstError + progress callback
+    std::exception_ptr firstError;
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= batch.size())
+                return;
+            try {
+                results[i] = computeJob(batch[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            size_t d = done.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(mu);
+                progress(d, batch.size());
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(size_t(workers));
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace mop::sweep

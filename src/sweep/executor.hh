@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Thread-pool sweep executor.
+ *
+ * Fans a batch of (benchmark x RunConfig) jobs across worker threads.
+ * Simulations are per-run object graphs with no shared mutable state
+ * (the scheduler's trace-tag and the harness instruction budget were
+ * hoisted into config structs for exactly this reason), so workers
+ * need no locking around the simulator itself; the only shared state
+ * here is the job cursor and the result slots, which are disjoint per
+ * job.
+ *
+ * Determinism: job i's result depends only on job i's inputs, never on
+ * scheduling order, so an N-worker sweep is bit-identical to a serial
+ * one. With jobs() == 1 the batch runs inline on the caller's thread
+ * (the serial baseline spawns nothing).
+ */
+
+#ifndef MOP_SWEEP_EXECUTOR_HH
+#define MOP_SWEEP_EXECUTOR_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pipeline/ooo_core.hh"
+#include "sim/config.hh"
+#include "sweep/fingerprint.hh"
+#include "sweep/result_cache.hh"
+
+namespace mop::sweep
+{
+
+/** One unit of sweep work. */
+struct SweepJob
+{
+    JobKind kind = JobKind::Sim;
+    std::string bench;
+    sim::RunConfig cfg;    ///< Sim only
+    uint64_t insts = 0;
+    int maxMopSize = 0;    ///< Grouping only
+};
+
+/** A finished job: its record (cache-ready) and compute time. */
+struct SweepOutcome
+{
+    CacheRecord record;
+    double seconds = 0;
+    uint64_t simulatedInsts = 0;  ///< 0 for characterization jobs
+};
+
+/** Compute one job on the calling thread. */
+SweepOutcome computeJob(const SweepJob &job);
+
+class SweepExecutor
+{
+  public:
+    /** @p jobs worker count; 0 picks hardware_concurrency(), values
+     *  are clamped to [1, 256]. */
+    explicit SweepExecutor(int jobs);
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * Run every job; result i corresponds to job i. @p progress (may
+     * be empty) is invoked from worker threads under a lock with the
+     * count of completed jobs. The first exception thrown by a job is
+     * rethrown here after all workers drain.
+     */
+    std::vector<SweepOutcome>
+    runAll(const std::vector<SweepJob> &batch,
+           const std::function<void(size_t done, size_t total)> &progress =
+               {}) const;
+
+  private:
+    int jobs_;
+};
+
+} // namespace mop::sweep
+
+#endif // MOP_SWEEP_EXECUTOR_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Binary run fingerprints for the sweep engine.
+ *
+ * A Fingerprint is a 128-bit hash that completely identifies one
+ * simulation (or characterization) run: the benchmark's workload
+ * profile (every calibration knob, hashed field by field), every
+ * timing-relevant RunConfig field including the fault-injection
+ * campaign, the per-run instruction budget, and a simulator-version
+ * string that is bumped whenever the timing model changes so that
+ * persistently cached results self-invalidate.
+ *
+ * Two independent 64-bit FNV-1a lanes (distinct offset bases) are fed
+ * the same canonical byte stream; 128 bits makes accidental collisions
+ * across a cache directory of a few thousand entries vanishingly
+ * unlikely. Doubles are fed as their IEEE-754 bit patterns so the hash
+ * is exact, not round-trip-formatted.
+ */
+
+#ifndef MOP_SWEEP_FINGERPRINT_HH
+#define MOP_SWEEP_FINGERPRINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "sim/config.hh"
+#include "trace/synthetic.hh"
+
+namespace mop::sweep
+{
+
+/**
+ * Timing-model version tag folded into every fingerprint. Bump the
+ * suffix whenever a change alters simulation results (scheduler
+ * timing, workload calibration, machine presets); stale cache entries
+ * then miss instead of serving wrong numbers.
+ */
+constexpr const char *kSimVersion = "mopsim-timing-v2";
+
+struct Fingerprint
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool operator==(const Fingerprint &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool operator!=(const Fingerprint &o) const { return !(*this == o); }
+    bool operator<(const Fingerprint &o) const
+    {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+
+    /** 32 lowercase hex digits; the persistent cache file stem. */
+    std::string hex() const;
+};
+
+/** Incremental two-lane FNV-1a hasher building a Fingerprint. */
+class Hasher
+{
+  public:
+    void
+    bytes(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            hi_ = (hi_ ^ b[i]) * kPrime;
+            lo_ = (lo_ ^ b[i]) * kPrime;
+        }
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+
+    void
+    i64(int64_t v)
+    {
+        u64(uint64_t(v));
+    }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());  // length-prefix: "ab"+"c" != "a"+"bc"
+        bytes(s.data(), s.size());
+    }
+
+    Fingerprint
+    digest() const
+    {
+        return {hi_, lo_};
+    }
+
+  private:
+    static constexpr uint64_t kPrime = 0x100000001b3ULL;
+    uint64_t hi_ = 0xcbf29ce484222325ULL;          // FNV offset basis
+    uint64_t lo_ = 0xaf63bd4c8601b7dfULL ^ 0x9e3779b97f4a7c15ULL;
+};
+
+/** Hash every calibration knob of a workload profile. */
+void hashProfile(Hasher &h, const trace::WorkloadProfile &p);
+
+/** Hash every RunConfig field (fault spec included). */
+void hashRunConfig(Hasher &h, const sim::RunConfig &cfg);
+
+/** The kind of work a cached record describes. */
+enum class JobKind : uint8_t
+{
+    Sim,       ///< full pipeline simulation -> SimResult
+    Distance,  ///< Figure 6 characterization -> DistanceResult
+    Grouping,  ///< Figure 7 characterization -> GroupingResult
+};
+
+/**
+ * Fingerprint of one pipeline-simulation run. @p version is
+ * parameterized for tests; production callers use the default.
+ */
+Fingerprint fingerprintSim(const std::string &bench,
+                           const sim::RunConfig &cfg, uint64_t insts,
+                           const char *version = kSimVersion);
+
+/** Fingerprint of a machine-independent characterization run.
+ *  @p arg is the max MOP size for Grouping, unused for Distance. */
+Fingerprint fingerprintAnalysis(JobKind kind, const std::string &bench,
+                                uint64_t insts, int arg = 0,
+                                const char *version = kSimVersion);
+
+} // namespace mop::sweep
+
+#endif // MOP_SWEEP_FINGERPRINT_HH

@@ -1,0 +1,237 @@
+#include "sweep/result_cache.hh"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace mop::sweep
+{
+
+namespace
+{
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+double
+bitsDouble(uint64_t b)
+{
+    double v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+void
+CacheRecord::addF64(const std::string &k, double v)
+{
+    add(k, doubleBits(v));
+}
+
+bool
+CacheRecord::get(const std::string &k, uint64_t &out) const
+{
+    for (const auto &[key, val] : fields) {
+        if (key == k) {
+            out = val;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CacheRecord::getF64(const std::string &k, double &out) const
+{
+    uint64_t b;
+    if (!get(k, b))
+        return false;
+    out = bitsDouble(b);
+    return true;
+}
+
+CacheRecord
+packSimResult(const pipeline::SimResult &r)
+{
+    CacheRecord rec;
+    rec.add("cycles", r.cycles);
+    rec.add("insts", r.insts);
+    rec.add("uops", r.uops);
+    rec.addF64("ipc", r.ipc);
+    for (size_t i = 0; i < r.groupCounts.size(); ++i)
+        rec.add("group" + std::to_string(i), r.groupCounts[i]);
+    rec.add("iqEntriesInserted", r.iqEntriesInserted);
+    rec.add("uopsInserted", r.uopsInserted);
+    rec.add("replays", r.replays);
+    rec.add("mispredicts", r.mispredicts);
+    rec.add("filterDeletions", r.filterDeletions);
+    rec.addF64("avgIqOccupancy", r.avgIqOccupancy);
+    return rec;
+}
+
+bool
+unpackSimResult(const CacheRecord &rec, pipeline::SimResult &out)
+{
+    pipeline::SimResult r;
+    bool ok = rec.get("cycles", r.cycles) && rec.get("insts", r.insts) &&
+              rec.get("uops", r.uops) && rec.getF64("ipc", r.ipc) &&
+              rec.get("iqEntriesInserted", r.iqEntriesInserted) &&
+              rec.get("uopsInserted", r.uopsInserted) &&
+              rec.get("replays", r.replays) &&
+              rec.get("mispredicts", r.mispredicts) &&
+              rec.get("filterDeletions", r.filterDeletions) &&
+              rec.getF64("avgIqOccupancy", r.avgIqOccupancy);
+    for (size_t i = 0; ok && i < r.groupCounts.size(); ++i)
+        ok = rec.get("group" + std::to_string(i), r.groupCounts[i]);
+    if (ok)
+        out = r;
+    return ok;
+}
+
+CacheRecord
+packDistance(const analysis::DistanceResult &r)
+{
+    CacheRecord rec;
+    rec.add("totalInsts", r.totalInsts);
+    rec.add("valueGenCands", r.valueGenCands);
+    rec.add("dist1to3", r.dist1to3);
+    rec.add("dist4to7", r.dist4to7);
+    rec.add("dist8plus", r.dist8plus);
+    rec.add("notCandidate", r.notCandidate);
+    rec.add("dead", r.dead);
+    return rec;
+}
+
+bool
+unpackDistance(const CacheRecord &rec, analysis::DistanceResult &out)
+{
+    analysis::DistanceResult r;
+    bool ok = rec.get("totalInsts", r.totalInsts) &&
+              rec.get("valueGenCands", r.valueGenCands) &&
+              rec.get("dist1to3", r.dist1to3) &&
+              rec.get("dist4to7", r.dist4to7) &&
+              rec.get("dist8plus", r.dist8plus) &&
+              rec.get("notCandidate", r.notCandidate) &&
+              rec.get("dead", r.dead);
+    if (ok)
+        out = r;
+    return ok;
+}
+
+CacheRecord
+packGrouping(const analysis::GroupingResult &r)
+{
+    CacheRecord rec;
+    rec.add("totalInsts", r.totalInsts);
+    rec.add("notCandidate", r.notCandidate);
+    rec.add("candNotGrouped", r.candNotGrouped);
+    rec.add("groupedNonValueGen", r.groupedNonValueGen);
+    rec.add("groupedValueGen", r.groupedValueGen);
+    rec.add("groups", r.groups);
+    return rec;
+}
+
+bool
+unpackGrouping(const CacheRecord &rec, analysis::GroupingResult &out)
+{
+    analysis::GroupingResult r;
+    bool ok = rec.get("totalInsts", r.totalInsts) &&
+              rec.get("notCandidate", r.notCandidate) &&
+              rec.get("candNotGrouped", r.candNotGrouped) &&
+              rec.get("groupedNonValueGen", r.groupedNonValueGen) &&
+              rec.get("groupedValueGen", r.groupedValueGen) &&
+              rec.get("groups", r.groups);
+    if (ok)
+        out = r;
+    return ok;
+}
+
+std::string
+ResultCache::defaultDir()
+{
+    if (const char *e = std::getenv("MOP_CACHE_DIR"); e && *e)
+        return e;
+    if (const char *e = std::getenv("XDG_CACHE_HOME"); e && *e)
+        return std::string(e) + "/mopsim";
+    if (const char *e = std::getenv("HOME"); e && *e)
+        return std::string(e) + "/.cache/mopsim";
+    return ".mopsim-cache";
+}
+
+std::string
+ResultCache::path(const Fingerprint &fp) const
+{
+    return dir_ + "/" + fp.hex() + ".res";
+}
+
+bool
+ResultCache::load(const Fingerprint &fp, CacheRecord &out) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream in(path(fp));
+    if (!in) {
+        ++misses_;
+        return false;
+    }
+    std::string magic;
+    int version = 0;
+    if (!(in >> magic >> version) || magic != "mopres" || version != 1) {
+        ++misses_;
+        return false;
+    }
+    CacheRecord rec;
+    std::string key;
+    uint64_t val;
+    while (in >> key >> val)
+        rec.add(key, val);
+    if (rec.fields.empty()) {
+        ++misses_;
+        return false;
+    }
+    out = std::move(rec);
+    ++hits_;
+    return true;
+}
+
+void
+ResultCache::store(const Fingerprint &fp, const CacheRecord &rec) const
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        return;  // unwritable cache degrades to a miss, never an error
+
+    // Unique temp name per writer, then an atomic rename into place.
+    std::ostringstream tmp;
+    tmp << path(fp) << ".tmp." << ::getpid() << "."
+        << std::this_thread::get_id();
+    {
+        std::ofstream outf(tmp.str(), std::ios::trunc);
+        if (!outf)
+            return;
+        outf << "mopres 1\n";
+        for (const auto &[key, val] : rec.fields)
+            outf << key << " " << val << "\n";
+        if (!outf.good())
+            return;
+    }
+    std::filesystem::rename(tmp.str(), path(fp), ec);
+    if (ec)
+        std::filesystem::remove(tmp.str(), ec);
+}
+
+} // namespace mop::sweep

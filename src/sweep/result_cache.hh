@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Persistent on-disk result cache shared by every harness.
+ *
+ * Layout: one text file per fingerprint, `<dir>/<32-hex>.res`, holding
+ * a magic line (`mopres 1`) followed by `key value` pairs. All values
+ * are unsigned 64-bit decimals; doubles are stored as their IEEE-754
+ * bit patterns so a load reproduces the computed value bit for bit
+ * (byte-identical tables are an acceptance criterion, so "%.17g"
+ * round-tripping is not good enough).
+ *
+ * Invalidation is entirely key-side: the fingerprint already folds in
+ * the simulator version, the workload profile and every config field,
+ * so a stale entry is simply never looked up again. Unknown keys in a
+ * record are ignored (forward compatibility); a missing expected key,
+ * bad magic or parse error makes the load report a miss.
+ *
+ * Concurrency: writes go to a unique temp file in the same directory
+ * and are renamed into place, so concurrent harnesses (threads or
+ * processes) computing the same entry race benignly. The directory
+ * resolves from, in order: an explicit --cache-dir, $MOP_CACHE_DIR,
+ * $XDG_CACHE_HOME/mopsim, $HOME/.cache/mopsim.
+ */
+
+#ifndef MOP_SWEEP_RESULT_CACHE_HH
+#define MOP_SWEEP_RESULT_CACHE_HH
+
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/characterize.hh"
+#include "pipeline/ooo_core.hh"
+#include "sweep/fingerprint.hh"
+
+namespace mop::sweep
+{
+
+/** A flat, ordered key->u64 record: the cache's unit of storage. */
+struct CacheRecord
+{
+    std::vector<std::pair<std::string, uint64_t>> fields;
+
+    void add(const std::string &k, uint64_t v) { fields.emplace_back(k, v); }
+    void addF64(const std::string &k, double v);
+
+    /** Fetch @p k into @p out; false if absent. */
+    bool get(const std::string &k, uint64_t &out) const;
+    bool getF64(const std::string &k, double &out) const;
+};
+
+// SimResult / characterization results <-> record. unpack() returns
+// false (leaving @p out default) when a required field is missing.
+CacheRecord packSimResult(const pipeline::SimResult &r);
+bool unpackSimResult(const CacheRecord &rec, pipeline::SimResult &out);
+CacheRecord packDistance(const analysis::DistanceResult &r);
+bool unpackDistance(const CacheRecord &rec, analysis::DistanceResult &out);
+CacheRecord packGrouping(const analysis::GroupingResult &r);
+bool unpackGrouping(const CacheRecord &rec, analysis::GroupingResult &out);
+
+class ResultCache
+{
+  public:
+    /** Disabled cache: load always misses, store is a no-op. */
+    ResultCache() = default;
+
+    /** Cache rooted at @p dir (created on first store). Empty @p dir
+     *  constructs a disabled cache. */
+    explicit ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+    /** Resolve the default directory from the environment (see file
+     *  comment). Never empty. */
+    static std::string defaultDir();
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    bool load(const Fingerprint &fp, CacheRecord &out) const;
+    void store(const Fingerprint &fp, const CacheRecord &rec) const;
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+
+  private:
+    std::string path(const Fingerprint &fp) const;
+
+    std::string dir_;
+    mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace mop::sweep
+
+#endif // MOP_SWEEP_RESULT_CACHE_HH

@@ -1,0 +1,534 @@
+#include "sweep/suite.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/cli_opts.hh"
+
+namespace mop::sweep
+{
+
+namespace
+{
+
+/** Discards everything written to it (plan-pass output sink). */
+class NullBuf : public std::streambuf
+{
+  protected:
+    int overflow(int c) override { return traits_type::not_eof(c); }
+    std::streamsize
+    xsputn(const char *, std::streamsize n) override
+    {
+        return n;
+    }
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream ss;
+    ss.precision(17);
+    ss << v;
+    return ss.str();
+}
+
+} // namespace
+
+// --- Context -----------------------------------------------------------
+
+const CacheRecord &
+Context::resolve(const SweepJob &job, const Fingerprint &fp)
+{
+    static const CacheRecord kEmpty;
+    if (touched_)
+        touched_->push_back(fp);
+    if (mode_ == Mode::Plan) {
+        if (jobIndex_->find(fp) == jobIndex_->end()) {
+            jobIndex_->emplace(fp, jobs_->size());
+            jobs_->push_back(job);
+        }
+        return kEmpty;
+    }
+    auto it = results_->find(fp);
+    if (it == results_->end()) {
+        throw std::logic_error(
+            "sweep: render requested a run the plan pass did not "
+            "enumerate (figure body depends on result values?)");
+    }
+    return it->second;
+}
+
+pipeline::SimResult
+Context::run(const std::string &bench, const sim::RunConfig &cfg)
+{
+    SweepJob job;
+    job.kind = JobKind::Sim;
+    job.bench = bench;
+    job.cfg = cfg;
+    job.insts = insts_;
+    Fingerprint fp = fingerprintSim(bench, cfg, insts_);
+    pipeline::SimResult r;
+    unpackSimResult(resolve(job, fp), r);  // plan pass: stays zeroed
+    return r;
+}
+
+double
+Context::baseIpc(const std::string &bench, int iq_entries)
+{
+    sim::RunConfig cfg;
+    cfg.machine = sim::Machine::Base;
+    cfg.iqEntries = iq_entries;
+    return run(bench, cfg).ipc;
+}
+
+analysis::DistanceResult
+Context::distance(const std::string &bench)
+{
+    SweepJob job;
+    job.kind = JobKind::Distance;
+    job.bench = bench;
+    job.insts = insts_;
+    Fingerprint fp = fingerprintAnalysis(JobKind::Distance, bench, insts_);
+    analysis::DistanceResult r;
+    unpackDistance(resolve(job, fp), r);
+    return r;
+}
+
+analysis::GroupingResult
+Context::grouping(const std::string &bench, int max_mop_size)
+{
+    SweepJob job;
+    job.kind = JobKind::Grouping;
+    job.bench = bench;
+    job.insts = insts_;
+    job.maxMopSize = max_mop_size;
+    Fingerprint fp = fingerprintAnalysis(JobKind::Grouping, bench, insts_,
+                                         max_mop_size);
+    analysis::GroupingResult r;
+    unpackGrouping(resolve(job, fp), r);
+    return r;
+}
+
+// --- Suite registry ----------------------------------------------------
+
+Suite &
+Suite::instance()
+{
+    static Suite s;
+    return s;
+}
+
+void
+Suite::add(Figure f)
+{
+    if (!find(f.name))
+        figures_.push_back(std::move(f));
+}
+
+const Figure *
+Suite::find(const std::string &name) const
+{
+    for (const auto &f : figures_)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+// --- Driver ------------------------------------------------------------
+
+namespace
+{
+
+struct FigurePerf
+{
+    std::string name;
+    size_t runs = 0;
+    size_t cacheHits = 0;
+    double computeSeconds = 0;
+    double renderSeconds = 0;
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+runSuite(const SuiteOptions &opts, std::ostream &out)
+{
+    double wall0 = now();
+
+    // Figure selection, preserving registration order.
+    std::vector<const Figure *> selected;
+    if (opts.only.empty()) {
+        for (const auto &f : Suite::instance().figures())
+            selected.push_back(&f);
+    } else {
+        for (const auto &name : opts.only) {
+            const Figure *f = Suite::instance().find(name);
+            if (!f) {
+                std::cerr << "mopsuite: unknown figure '" << name
+                          << "' (see --list)\n";
+                return 2;
+            }
+            selected.push_back(f);
+        }
+    }
+
+    uint64_t insts = opts.insts ? opts.insts : sim::benchInsts(200000);
+
+    // Plan pass: enumerate every run each figure needs, deduplicated
+    // across figures by fingerprint.
+    std::map<Fingerprint, size_t> jobIndex;
+    std::vector<SweepJob> jobs;
+    std::vector<std::vector<Fingerprint>> touched(selected.size());
+    NullBuf nullbuf;
+    std::ostream nullout(&nullbuf);
+    for (size_t i = 0; i < selected.size(); ++i) {
+        Context ctx;
+        ctx.mode_ = Context::Mode::Plan;
+        ctx.insts_ = insts;
+        ctx.jobIndex_ = &jobIndex;
+        ctx.jobs_ = &jobs;
+        ctx.touched_ = &touched[i];
+        selected[i]->render(ctx, nullout);
+    }
+
+    // Resolve: persistent cache first, thread pool for the misses.
+    ResultCache cache(opts.useCache
+                          ? (opts.cacheDir.empty()
+                                 ? ResultCache::defaultDir()
+                                 : opts.cacheDir)
+                          : std::string());
+    std::map<Fingerprint, CacheRecord> results;
+    std::map<Fingerprint, double> jobSeconds;
+    std::set<Fingerprint> cachedFps;
+    std::vector<size_t> missIdx;
+    std::vector<SweepJob> misses;
+    std::vector<Fingerprint> jobFps(jobs.size());
+    for (const auto &[fp, idx] : jobIndex)
+        jobFps[idx] = fp;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        CacheRecord rec;
+        if (cache.load(jobFps[i], rec)) {
+            results.emplace(jobFps[i], std::move(rec));
+            cachedFps.insert(jobFps[i]);
+        } else {
+            missIdx.push_back(i);
+            misses.push_back(jobs[i]);
+        }
+    }
+
+    if (opts.verbose) {
+        std::cerr << "[sweep] " << selected.size() << " figure(s), "
+                  << jobs.size() << " unique run(s), "
+                  << (jobs.size() - misses.size()) << " cached, "
+                  << misses.size() << " to compute\n";
+    }
+
+    SweepExecutor exec(opts.jobs);
+    std::function<void(size_t, size_t)> progress;
+    if (opts.verbose) {
+        progress = [](size_t done, size_t total) {
+            std::cerr << "[sweep] " << done << "/" << total
+                      << " runs done\n";
+        };
+    }
+    uint64_t simulatedInsts = 0;
+    std::vector<SweepOutcome> outcomes = exec.runAll(misses, progress);
+    for (size_t k = 0; k < outcomes.size(); ++k) {
+        const Fingerprint &fp = jobFps[missIdx[k]];
+        cache.store(fp, outcomes[k].record);
+        jobSeconds[fp] = outcomes[k].seconds;
+        simulatedInsts += outcomes[k].simulatedInsts;
+        results.emplace(fp, std::move(outcomes[k].record));
+    }
+
+    // Render pass, serial in selection order: byte-identical to the
+    // per-figure binaries by construction.
+    std::vector<FigurePerf> perf(selected.size());
+    std::vector<std::string> rendered(selected.size());
+    std::set<Fingerprint> attributed;
+    for (size_t i = 0; i < selected.size(); ++i) {
+        Context ctx;
+        ctx.mode_ = Context::Mode::Render;
+        ctx.insts_ = insts;
+        ctx.results_ = &results;
+        double t0 = now();
+        std::ostringstream body;
+        selected[i]->render(ctx, body);
+        rendered[i] = body.str();
+        out << rendered[i];
+
+        FigurePerf &p = perf[i];
+        p.name = selected[i]->name;
+        std::set<Fingerprint> uniq(touched[i].begin(), touched[i].end());
+        p.runs = uniq.size();
+        for (const Fingerprint &fp : uniq) {
+            if (cachedFps.count(fp))
+                ++p.cacheHits;
+            // Attribute each computed job to the first figure using it.
+            else if (attributed.insert(fp).second)
+                p.computeSeconds += jobSeconds[fp];
+        }
+        p.renderSeconds = now() - t0;
+    }
+
+    double wallSeconds = now() - wall0;
+
+    // Aggregate IPC per machine configuration over the unique runs.
+    std::map<std::string, std::pair<double, size_t>> machineIpc;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].kind != JobKind::Sim)
+            continue;
+        pipeline::SimResult r;
+        if (!unpackSimResult(results.at(jobFps[i]), r))
+            continue;
+        auto &[sum, n] = machineIpc[sim::machineName(jobs[i].cfg.machine)];
+        sum += r.ipc;
+        ++n;
+    }
+
+    if (!opts.perfJsonPath.empty()) {
+        std::ofstream jf(opts.perfJsonPath, std::ios::trunc);
+        jf << "{\n"
+           << "  \"schema\": \"mop-sweep-perf-1\",\n"
+           << "  \"sim_version\": \"" << jsonEscape(kSimVersion)
+           << "\",\n"
+           << "  \"jobs\": " << exec.jobs() << ",\n"
+           << "  \"insts_per_run\": " << insts << ",\n"
+           << "  \"wall_seconds\": " << jsonNum(wallSeconds) << ",\n"
+           << "  \"unique_runs\": " << jobs.size() << ",\n"
+           << "  \"cache_hits\": " << (jobs.size() - misses.size())
+           << ",\n"
+           << "  \"computed_runs\": " << misses.size() << ",\n"
+           << "  \"simulated_insts\": " << simulatedInsts << ",\n"
+           << "  \"simulated_insts_per_second\": "
+           << jsonNum(wallSeconds > 0 ? double(simulatedInsts) /
+                                            wallSeconds
+                                      : 0)
+           << ",\n";
+        jf << "  \"aggregate_ipc\": {";
+        bool first = true;
+        for (const auto &[name, acc] : machineIpc) {
+            jf << (first ? "" : ", ") << "\"" << jsonEscape(name)
+               << "\": " << jsonNum(acc.first / double(acc.second));
+            first = false;
+        }
+        jf << "},\n  \"figures\": [\n";
+        for (size_t i = 0; i < perf.size(); ++i) {
+            jf << "    {\"name\": \"" << jsonEscape(perf[i].name)
+               << "\", \"runs\": " << perf[i].runs
+               << ", \"cache_hits\": " << perf[i].cacheHits
+               << ", \"compute_seconds\": "
+               << jsonNum(perf[i].computeSeconds)
+               << ", \"render_seconds\": "
+               << jsonNum(perf[i].renderSeconds) << "}"
+               << (i + 1 < perf.size() ? "," : "") << "\n";
+        }
+        jf << "  ]\n}\n";
+    }
+
+    if (!opts.jsonPath.empty()) {
+        std::ofstream jf(opts.jsonPath, std::ios::trunc);
+        jf << "{\n"
+           << "  \"schema\": \"mop-sweep-results-1\",\n"
+           << "  \"sim_version\": \"" << jsonEscape(kSimVersion)
+           << "\",\n"
+           << "  \"insts_per_run\": " << insts << ",\n"
+           << "  \"figures\": [\n";
+        for (size_t i = 0; i < selected.size(); ++i) {
+            jf << "    {\"name\": \"" << jsonEscape(selected[i]->name)
+               << "\", \"title\": \"" << jsonEscape(selected[i]->title)
+               << "\", \"output\": \"" << jsonEscape(rendered[i])
+               << "\"}" << (i + 1 < selected.size() ? "," : "") << "\n";
+        }
+        jf << "  ],\n  \"runs\": [\n";
+        size_t emitted = 0, simJobs = 0;
+        for (const auto &job : jobs)
+            simJobs += job.kind == JobKind::Sim;
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const SweepJob &job = jobs[i];
+            if (job.kind != JobKind::Sim)
+                continue;
+            pipeline::SimResult r;
+            unpackSimResult(results.at(jobFps[i]), r);
+            const sim::RunConfig &c = job.cfg;
+            jf << "    {\"fingerprint\": \"" << jobFps[i].hex()
+               << "\", \"bench\": \"" << jsonEscape(job.bench)
+               << "\", \"machine\": \""
+               << jsonEscape(sim::machineName(c.machine))
+               << "\", \"iq\": " << c.iqEntries
+               << ", \"extra_stages\": " << c.extraStages
+               << ", \"mop_size\": " << c.mopSize
+               << ", \"sched_depth\": " << c.schedDepth
+               << ", \"cached\": " << (cachedFps.count(jobFps[i]) != 0)
+               << ", \"ipc\": " << jsonNum(r.ipc)
+               << ", \"cycles\": " << r.cycles
+               << ", \"insts\": " << r.insts << "}"
+               << (++emitted < simJobs ? "," : "") << "\n";
+        }
+        jf << "  ]\n}\n";
+    }
+
+    if (opts.verbose) {
+        std::cerr << "[sweep] done in " << jsonNum(wallSeconds)
+                  << "s (" << misses.size() << " computed, "
+                  << (jobs.size() - misses.size()) << " cached)\n";
+    }
+    return 0;
+}
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: mopsuite [options]\n"
+          "  --jobs N        worker threads (default: all cores)\n"
+          "  --only A[,B]    run only the named figures (repeatable)\n"
+          "  --list          list registered figures and exit\n"
+          "  --insts N       per-run instruction budget "
+          "(default: $MOP_INSTS or 200000)\n"
+          "  --json PATH     write figure outputs + per-run results\n"
+          "  --perf PATH     write sweep perf metrics "
+          "(default: BENCH_sweep.json)\n"
+          "  --cache-dir D   persistent result cache directory\n"
+          "                  (default: $MOP_CACHE_DIR or "
+          "~/.cache/mopsim)\n"
+          "  --no-cache      disable the persistent result cache\n"
+          "  --quiet         suppress progress lines on stderr\n";
+}
+
+/** Shared flag parsing for suiteMain and figureMain. Returns an exit
+ *  code >= 0 when parsing already finished the program. */
+int
+parseArgs(int argc, char **argv, SuiteOptions &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto value = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                throw std::invalid_argument(std::string(what) +
+                                            " requires a value");
+            return argv[++i];
+        };
+        if (a == "--jobs") {
+            opts.jobs =
+                int(sim::parseIntOption("--jobs", value("--jobs"), 1, 256));
+        } else if (a == "--only") {
+            std::stringstream ss(value("--only"));
+            std::string tok;
+            while (std::getline(ss, tok, ','))
+                if (!tok.empty())
+                    opts.only.push_back(tok);
+        } else if (a == "--insts") {
+            opts.insts = sim::parseUintOption("--insts", value("--insts"),
+                                              1, uint64_t(1) << 40);
+        } else if (a == "--json") {
+            opts.jsonPath = value("--json");
+        } else if (a == "--perf") {
+            opts.perfJsonPath = value("--perf");
+        } else if (a == "--cache-dir") {
+            opts.cacheDir = value("--cache-dir");
+        } else if (a == "--no-cache") {
+            opts.useCache = false;
+        } else if (a == "--quiet") {
+            opts.verbose = false;
+        } else if (a == "--verbose") {
+            opts.verbose = true;
+        } else if (a == "--list") {
+            for (const auto &f : Suite::instance().figures())
+                std::cout << f.name << "\t" << f.title << "\n";
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "mopsuite: unknown option '" << a << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    return -1;
+}
+
+} // namespace
+
+int
+suiteMain(int argc, char **argv)
+{
+    SuiteOptions opts;
+    opts.perfJsonPath = "BENCH_sweep.json";
+    opts.verbose = true;
+    try {
+        int done = parseArgs(argc, argv, opts);
+        if (done >= 0)
+            return done;
+        return runSuite(opts, std::cout);
+    } catch (const std::exception &e) {
+        std::cerr << "mopsuite: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+int
+figureMain(const std::string &name, int argc, char **argv)
+{
+    SuiteOptions opts;
+    opts.jobs = 1;  // the serial baseline the suite is compared against
+    opts.only = {name};
+    try {
+        int done = parseArgs(argc, argv, opts);
+        if (done >= 0)
+            return done;
+        opts.only = {name};
+        return runSuite(opts, std::cout);
+    } catch (const std::exception &e) {
+        std::cerr << name << ": " << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace mop::sweep

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The figure/table suite: one driver for every harness.
+ *
+ * A figure registers a name, a one-line title and a render function
+ * written against Context. The driver runs each selected figure's
+ * render twice:
+ *
+ *   1. Plan pass, output discarded: every Context::run() /
+ *      distance() / grouping() call records its job (deduplicated by
+ *      fingerprint across all figures) and returns a zeroed result.
+ *      Figure bodies request a fixed set of runs regardless of result
+ *      values, so the plan enumerates exactly the work the render
+ *      needs without duplicating the enumeration in a second place.
+ *   2. After the deduplicated misses are resolved -- persistent cache
+ *      first, then the thread-pool executor -- a render pass replays
+ *      the same calls against the resolved results and prints the
+ *      table.
+ *
+ * Because results are resolved per-fingerprint and rendering is
+ * serial in registration order, `mopsuite --jobs N` output is
+ * byte-identical to the serial per-figure binaries (which call
+ * figureMain() and go through this same code with one worker).
+ */
+
+#ifndef MOP_SWEEP_SUITE_HH
+#define MOP_SWEEP_SUITE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sweep/executor.hh"
+#include "sweep/result_cache.hh"
+
+namespace mop::sweep
+{
+
+struct SuiteOptions;
+int runSuite(const SuiteOptions &opts, std::ostream &out);
+
+/** Figure-side handle for requesting runs; see file comment. */
+class Context
+{
+  public:
+    /** Simulate @p bench under @p cfg (budget: insts()). */
+    pipeline::SimResult run(const std::string &bench,
+                            const sim::RunConfig &cfg);
+
+    /** Base-machine IPC used for normalization. */
+    double baseIpc(const std::string &bench, int iq_entries);
+
+    /** Figure 6 / Figure 7 machine-independent characterizations. */
+    analysis::DistanceResult distance(const std::string &bench);
+    analysis::GroupingResult grouping(const std::string &bench,
+                                      int max_mop_size);
+
+    /** Per-run instruction budget (fixed at suite start). */
+    uint64_t insts() const { return insts_; }
+
+  private:
+    friend int runSuite(const SuiteOptions &opts, std::ostream &out);
+    enum class Mode { Plan, Render };
+
+    const CacheRecord &resolve(const SweepJob &job,
+                               const Fingerprint &fp);
+
+    Mode mode_ = Mode::Plan;
+    uint64_t insts_ = 0;
+    std::map<Fingerprint, size_t> *jobIndex_ = nullptr;  // fp -> jobs_[i]
+    std::vector<SweepJob> *jobs_ = nullptr;
+    const std::map<Fingerprint, CacheRecord> *results_ = nullptr;
+    std::vector<Fingerprint> *touched_ = nullptr;  // per-figure uses
+};
+
+struct Figure
+{
+    std::string name;   ///< --only key, e.g. "fig14"
+    std::string title;  ///< one line for --list
+    std::function<void(Context &, std::ostream &)> render;
+};
+
+/** Global figure registry (populated by bench::registerAllFigures). */
+class Suite
+{
+  public:
+    static Suite &instance();
+    void add(Figure f);
+    const std::vector<Figure> &figures() const { return figures_; }
+    const Figure *find(const std::string &name) const;
+
+  private:
+    std::vector<Figure> figures_;
+};
+
+struct SuiteOptions
+{
+    int jobs = 0;  ///< worker threads; 0 = hardware_concurrency()
+    std::vector<std::string> only;  ///< empty = all figures
+    std::string jsonPath;           ///< results JSON ("" = none)
+    std::string perfJsonPath;       ///< perf JSON ("" = none)
+    std::string cacheDir;           ///< "" = ResultCache::defaultDir()
+    bool useCache = true;
+    uint64_t insts = 0;  ///< 0 = MOP_INSTS env or 200k default
+    bool verbose = false;  ///< progress lines on stderr
+};
+
+/** CLI driver behind the mopsuite binary. */
+int suiteMain(int argc, char **argv);
+
+/**
+ * Driver behind the thin per-figure binaries: render exactly one
+ * figure to stdout through the shared cache, serially. Accepts the
+ * same --insts/--cache-dir/--no-cache/--jobs flags as mopsuite.
+ */
+int figureMain(const std::string &name, int argc, char **argv);
+
+} // namespace mop::sweep
+
+#endif // MOP_SWEEP_SUITE_HH

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the sweep engine: fingerprint completeness, persistent
+ * cache round-trips, executor determinism and parallel equivalence,
+ * and the plan/render suite driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "../bench/bench_util.hh"
+#include "sweep/executor.hh"
+#include "sweep/fingerprint.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/suite.hh"
+
+namespace
+{
+
+using namespace mop;
+using sweep::Fingerprint;
+
+// --- Fingerprints -------------------------------------------------------
+
+TEST(FingerprintTest, SameInputsSameFingerprint)
+{
+    sim::RunConfig cfg;
+    EXPECT_EQ(sweep::fingerprintSim("gzip", cfg, 1000),
+              sweep::fingerprintSim("gzip", cfg, 1000));
+}
+
+TEST(FingerprintTest, EveryRunConfigFieldChangesFingerprint)
+{
+    sim::RunConfig base;
+    Fingerprint fp0 = sweep::fingerprintSim("gzip", base, 1000);
+
+    std::vector<std::pair<const char *, sim::RunConfig>> variants;
+    auto add = [&](const char *what, auto &&mutate) {
+        sim::RunConfig c = base;
+        mutate(c);
+        variants.emplace_back(what, c);
+    };
+    add("machine", [](auto &c) { c.machine = sim::Machine::MopWiredOr; });
+    add("iqEntries", [](auto &c) { c.iqEntries = 16; });
+    add("extraStages", [](auto &c) { c.extraStages = 1; });
+    add("detectLatency", [](auto &c) { c.detectLatency = 100; });
+    add("lastArrivalFilter", [](auto &c) { c.lastArrivalFilter = false; });
+    add("independentMops", [](auto &c) { c.independentMops = false; });
+    add("cycleHeuristic", [](auto &c) { c.cycleHeuristic = false; });
+    add("mopSize", [](auto &c) { c.mopSize = 3; });
+    add("schedDepth", [](auto &c) { c.schedDepth = 3; });
+    add("faultRate",
+        [](auto &c) { c.faults[verify::FaultKind::SpuriousWakeup] = 0.01; });
+    add("faultSeed", [](auto &c) { c.faults.seed = 99; });
+
+    std::set<Fingerprint> seen{fp0};
+    for (const auto &[what, cfg] : variants) {
+        Fingerprint fp = sweep::fingerprintSim("gzip", cfg, 1000);
+        EXPECT_NE(fp, fp0) << what << " not folded into the fingerprint";
+        EXPECT_TRUE(seen.insert(fp).second)
+            << what << " collides with another variant";
+    }
+}
+
+TEST(FingerprintTest, BudgetBenchAndVersionChangeFingerprint)
+{
+    sim::RunConfig cfg;
+    Fingerprint fp = sweep::fingerprintSim("gzip", cfg, 1000);
+    EXPECT_NE(sweep::fingerprintSim("gzip", cfg, 2000), fp)
+        << "instruction budget not folded in (the old Runner bug)";
+    EXPECT_NE(sweep::fingerprintSim("bzip", cfg, 1000), fp);
+    EXPECT_NE(sweep::fingerprintSim("gzip", cfg, 1000, "other-version"),
+              fp)
+        << "simulator version must invalidate cached results";
+}
+
+TEST(FingerprintTest, AnalysisKindsAreDisjoint)
+{
+    Fingerprint d = sweep::fingerprintAnalysis(sweep::JobKind::Distance,
+                                               "gzip", 1000);
+    Fingerprint g2 = sweep::fingerprintAnalysis(sweep::JobKind::Grouping,
+                                                "gzip", 1000, 2);
+    Fingerprint g8 = sweep::fingerprintAnalysis(sweep::JobKind::Grouping,
+                                                "gzip", 1000, 8);
+    EXPECT_NE(d, g2);
+    EXPECT_NE(g2, g8);
+}
+
+// --- Persistent cache ---------------------------------------------------
+
+/** Fresh per-test cache directory (TempDir persists across runs). */
+std::string
+freshCacheDir(const std::string &name)
+{
+    std::string dir = testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(ResultCacheTest, RoundTripIsBitExact)
+{
+    sweep::ResultCache cache(freshCacheDir("mopsim-cache-rt"));
+    pipeline::SimResult r = sim::runBenchmark("gzip", {}, 2000);
+    Fingerprint fp = sweep::fingerprintSim("gzip", {}, 2000);
+    cache.store(fp, sweep::packSimResult(r));
+
+    sweep::CacheRecord rec;
+    ASSERT_TRUE(cache.load(fp, rec));
+    pipeline::SimResult loaded;
+    ASSERT_TRUE(sweep::unpackSimResult(rec, loaded));
+
+    EXPECT_EQ(loaded.cycles, r.cycles);
+    EXPECT_EQ(loaded.insts, r.insts);
+    EXPECT_EQ(loaded.uops, r.uops);
+    // Bit-exact doubles, not formatted-and-reparsed approximations.
+    EXPECT_EQ(std::memcmp(&loaded.ipc, &r.ipc, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&loaded.avgIqOccupancy, &r.avgIqOccupancy,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(loaded.groupCounts, r.groupCounts);
+    EXPECT_EQ(loaded.iqEntriesInserted, r.iqEntriesInserted);
+    EXPECT_EQ(loaded.filterDeletions, r.filterDeletions);
+}
+
+TEST(ResultCacheTest, MissingAndCorruptEntriesMiss)
+{
+    std::string dir = freshCacheDir("mopsim-cache-corrupt");
+    sweep::ResultCache cache(dir);
+    Fingerprint fp = sweep::fingerprintSim("gzip", {}, 2000);
+
+    sweep::CacheRecord rec;
+    EXPECT_FALSE(cache.load(fp, rec));
+
+    // Bad magic.
+    cache.store(fp, sweep::packSimResult(pipeline::SimResult{}));
+    {
+        std::ofstream f(dir + "/" + fp.hex() + ".res", std::ios::trunc);
+        f << "not-a-record 7\ncycles 1\n";
+    }
+    EXPECT_FALSE(cache.load(fp, rec));
+
+    // Right magic, but a required field is gone: load succeeds at the
+    // record level and unpack reports the miss.
+    {
+        std::ofstream f(dir + "/" + fp.hex() + ".res", std::ios::trunc);
+        f << "mopres 1\ncycles 1\n";
+    }
+    ASSERT_TRUE(cache.load(fp, rec));
+    pipeline::SimResult out;
+    EXPECT_FALSE(sweep::unpackSimResult(rec, out));
+}
+
+TEST(ResultCacheTest, DisabledCacheNeverHits)
+{
+    sweep::ResultCache cache;
+    EXPECT_FALSE(cache.enabled());
+    Fingerprint fp = sweep::fingerprintSim("gzip", {}, 2000);
+    cache.store(fp, sweep::packSimResult(pipeline::SimResult{}));
+    sweep::CacheRecord rec;
+    EXPECT_FALSE(cache.load(fp, rec));
+}
+
+// --- Determinism & parallel equivalence ---------------------------------
+
+TEST(SweepDeterminismTest, SameConfigTwiceIsIdentical)
+{
+    sim::RunConfig cfg;
+    cfg.machine = sim::Machine::MopWiredOr;
+    cfg.iqEntries = 32;
+    pipeline::SimResult a = sim::runBenchmark("gzip", cfg, 3000);
+    pipeline::SimResult b = sim::runBenchmark("gzip", cfg, 3000);
+    EXPECT_EQ(sweep::packSimResult(a).fields,
+              sweep::packSimResult(b).fields);
+}
+
+TEST(SweepExecutorTest, ParallelMatchesSerialBitForBit)
+{
+    std::vector<sweep::SweepJob> batch;
+    for (const char *bench : {"gzip", "mcf", "eon"}) {
+        for (auto m : {sim::Machine::Base, sim::Machine::TwoCycle,
+                       sim::Machine::MopWiredOr}) {
+            sweep::SweepJob j;
+            j.bench = bench;
+            j.cfg.machine = m;
+            j.insts = 2000;
+            batch.push_back(j);
+        }
+    }
+    sweep::SweepJob d;
+    d.kind = sweep::JobKind::Distance;
+    d.bench = "gzip";
+    d.insts = 2000;
+    batch.push_back(d);
+
+    auto serial = sweep::SweepExecutor(1).runAll(batch);
+    auto parallel = sweep::SweepExecutor(8).runAll(batch);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i].record.fields, parallel[i].record.fields)
+            << "job " << i << " diverged across worker counts";
+}
+
+TEST(SweepExecutorTest, JobExceptionsPropagate)
+{
+    std::vector<sweep::SweepJob> batch(3);
+    for (auto &j : batch) {
+        j.bench = "gzip";
+        j.insts = 1000;
+    }
+    batch[1].bench = "no-such-benchmark";
+    EXPECT_THROW(sweep::SweepExecutor(2).runAll(batch),
+                 std::invalid_argument);
+}
+
+// --- Suite driver -------------------------------------------------------
+
+void
+registerTestFigure()
+{
+    sweep::Suite::instance().add(
+        {"_test-mini", "suite-driver test figure",
+         [](sweep::Context &ctx, std::ostream &out) {
+             sim::RunConfig cfg;
+             out << "mini insts=" << ctx.insts() << "\n";
+             double base = ctx.baseIpc("gzip", 32);
+             cfg.machine = sim::Machine::MopWiredOr;
+             cfg.iqEntries = 32;
+             pipeline::SimResult r = ctx.run("gzip", cfg);
+             out << "norm " << stats::Table::fmt(r.ipc / base) << "\n";
+             analysis::GroupingResult g = ctx.grouping("gzip", 2);
+             out << "grouped " << stats::Table::pct(g.groupedFrac())
+                 << "\n";
+         }});
+}
+
+TEST(SuiteTest, ParallelRenderMatchesSerialByteForByte)
+{
+    registerTestFigure();
+    sweep::SuiteOptions opts;
+    opts.only = {"_test-mini"};
+    opts.insts = 2000;
+    opts.useCache = false;
+
+    std::ostringstream serial, parallel;
+    opts.jobs = 1;
+    ASSERT_EQ(sweep::runSuite(opts, serial), 0);
+    opts.jobs = 8;
+    ASSERT_EQ(sweep::runSuite(opts, parallel), 0);
+    EXPECT_FALSE(serial.str().empty());
+    EXPECT_EQ(serial.str(), parallel.str());
+}
+
+TEST(SuiteTest, WarmCacheRenderIsIdentical)
+{
+    registerTestFigure();
+    sweep::SuiteOptions opts;
+    opts.only = {"_test-mini"};
+    opts.insts = 2000;
+    opts.jobs = 2;
+    opts.cacheDir = freshCacheDir("mopsim-cache-suite");
+
+    std::ostringstream cold, warm;
+    ASSERT_EQ(sweep::runSuite(opts, cold), 0);
+    ASSERT_EQ(sweep::runSuite(opts, warm), 0);
+    EXPECT_EQ(cold.str(), warm.str());
+
+    // The warm pass served everything from disk: remove the cache dir
+    // and a third run still recomputes the same bytes.
+    std::filesystem::remove_all(opts.cacheDir);
+    std::ostringstream recomputed;
+    ASSERT_EQ(sweep::runSuite(opts, recomputed), 0);
+    EXPECT_EQ(cold.str(), recomputed.str());
+}
+
+TEST(SuiteTest, UnknownFigureFails)
+{
+    sweep::SuiteOptions opts;
+    opts.only = {"no-such-figure"};
+    std::ostringstream out;
+    EXPECT_EQ(sweep::runSuite(opts, out), 2);
+}
+
+// --- bench::Runner ------------------------------------------------------
+
+TEST(RunnerTest, BudgetIsPartOfTheKey)
+{
+    // Two runners with different budgets must not alias cache entries
+    // (the historical bug: the string key omitted MOP_INSTS).
+    sim::RunConfig cfg;
+    bench::Runner shortRun(1000);
+    bench::Runner longRun(4000);
+    pipeline::SimResult a = shortRun.run("gzip", cfg);
+    pipeline::SimResult b = longRun.run("gzip", cfg);
+    EXPECT_LT(a.insts, b.insts);
+
+    // And a repeated run inside one runner is served from cache,
+    // bit-identically.
+    pipeline::SimResult a2 = shortRun.run("gzip", cfg);
+    EXPECT_EQ(sweep::packSimResult(a).fields,
+              sweep::packSimResult(a2).fields);
+}
+
+TEST(RunnerTest, FaultSpecIsPartOfTheKey)
+{
+    bench::Runner runner(2000);
+    sim::RunConfig clean;
+    sim::RunConfig faulty;
+    faulty.faults[verify::FaultKind::SpuriousWakeup] = 0.05;
+    faulty.faults.seed = 7;
+    pipeline::SimResult a = runner.run("gzip", clean);
+    pipeline::SimResult b = runner.run("gzip", faulty);
+    // Distinct keys: the faulty run must not be served from the clean
+    // run's entry (identical cycles would mean aliasing).
+    EXPECT_NE(sweep::fingerprintSim("gzip", clean, 2000),
+              sweep::fingerprintSim("gzip", faulty, 2000));
+    EXPECT_NE(sweep::packSimResult(a).fields,
+              sweep::packSimResult(b).fields);
+}
+
+} // namespace
