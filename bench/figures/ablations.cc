@@ -241,6 +241,7 @@ registerAllFigures()
     registerCharacterizationFigures();
     registerPerformanceFigures();
     registerAblationFigures();
+    registerObservabilityFigures();
 }
 
 } // namespace mop::bench

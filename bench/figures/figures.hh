@@ -23,6 +23,7 @@ void registerAllFigures();
 void registerCharacterizationFigures();  ///< table1, fig6, fig7
 void registerPerformanceFigures();       ///< table2, fig13..fig16
 void registerAblationFigures();          ///< Section 5/6 ablations
+void registerObservabilityFigures();     ///< stall-attribution breakdown
 
 } // namespace mop::bench
 

@@ -144,6 +144,49 @@ BM_SchedulerWakeupSelect(benchmark::State &state)
 BENCHMARK(BM_SchedulerWakeupSelect)->Arg(32)->Arg(128);
 
 void
+BM_SchedulerStallProbe(benchmark::State &state)
+{
+    // Observability overhead on the scheduler hot path: the same
+    // wakeup/select workload as BM_SchedulerWakeupSelect (32 entries)
+    // with the stall probe enabled and a snapshot collected per cycle
+    // — the per-cycle cost the observability layer adds.
+    sched::SchedParams p;
+    p.policy = sched::SchedPolicy::TwoCycle;
+    p.numEntries = 32;
+    constexpr uint64_t kOps = 4096;
+    uint64_t total = 0;
+    std::vector<sched::ExecEvent> completed;
+    sched::StallSnapshot snap;
+    for (auto _ : state) {
+        sched::Scheduler s(p);
+        s.setStallProbe(true);
+        sched::Cycle now = 0;
+        uint64_t seq = 0, done = 0;
+        while (done < kOps) {
+            for (int w = 0; w < 4 && seq < kOps && s.canInsert(); ++w) {
+                sched::SchedOp op;
+                op.seq = seq;
+                op.dst = sched::Tag(seq);
+                op.src = {seq >= 4 ? sched::Tag(seq - 4) : sched::kNoTag,
+                          sched::kNoTag};
+                s.insert(op, now);
+                ++seq;
+            }
+            completed.clear();
+            s.tick(now, completed);
+            s.collectStallSnapshot(now, snap);
+            benchmark::DoNotOptimize(snap);
+            done += completed.size();
+            ++now;
+        }
+        total += kOps;
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(int64_t(total));
+}
+BENCHMARK(BM_SchedulerStallProbe);
+
+void
 BM_RunFingerprint(benchmark::State &state)
 {
     // Key derivation for the sweep result cache and bench::Runner:

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Stall-attribution breakdown across the benchmark suite.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only breakdown`).
+ */
+
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("breakdown", argc, argv);
+}

@@ -97,6 +97,9 @@ class MopFormation
 
     bool groupingEnabled() const { return enabled_; }
 
+    /** Heads currently awaiting their tail (MOP-pending occupancy). */
+    int pendingCount() const { return int(pending_.size()); }
+
     /** Attach a fault injector (corrupt-mop opportunity site; see
      *  verify/fault_injector.hh). Not owned. */
     void setFaultInjector(verify::FaultInjector *inj) { inj_ = inj; }

@@ -1,0 +1,107 @@
+#include "obs/observer.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace mop::obs
+{
+
+namespace
+{
+
+/** Buckets for an occupancy histogram over [0, cap]; bucket size 1
+ *  while it fits, coarser for very large structures. */
+size_t
+occBuckets(int cap)
+{
+    return size_t(std::clamp(cap + 1, 2, 65));
+}
+
+} // namespace
+
+Observer::Observer(const ObsConfig &cfg, int issueWidth, int iqCapacity,
+                   int robSize)
+    : cfg_(cfg), stalls_(issueWidth),
+      iqOcc_(0, iqCapacity + 1, occBuckets(iqCapacity)),
+      robOcc_(0, robSize + 1, occBuckets(robSize)),
+      frontendOcc_(0, 64, 32), mopPending_(0, 16, 16)
+{
+    if (!cfg_.traceOut.empty())
+        exporter_ = std::make_unique<TraceExporter>(cfg_.traceOut);
+}
+
+void
+Observer::onCycle(sched::Cycle now, const sched::StallSnapshot &snap,
+                  StallCause upstream, int iq_occ, int rob_occ,
+                  int frontend_occ, int mop_pending)
+{
+    stalls_.charge(snap, upstream);
+    iqOcc_.sample(iq_occ);
+    robOcc_.sample(rob_occ);
+    frontendOcc_.sample(frontend_occ);
+    mopPending_.sample(mop_pending);
+
+    if (exporter_ && cfg_.tracePeriod > 0 &&
+        now % cfg_.tracePeriod == 0) {
+        trace::CycleEvent ev;
+        ev.kind = trace::CycleEvent::Kind::Counter;
+        ev.insert = now;
+        ev.issue = uint64_t(iq_occ);
+        ev.execStart = uint64_t(rob_occ);
+        ev.complete = uint64_t(frontend_occ);
+        ev.commit = uint64_t(mop_pending);
+        exporter_->push(ev);
+    }
+}
+
+void
+Observer::onCommit(const trace::CycleEvent &ev)
+{
+    if (exporter_)
+        exporter_->push(ev);
+}
+
+void
+Observer::finish()
+{
+    stalls_.verifyInvariant();
+    if (exporter_)
+        exporter_->close();
+}
+
+void
+Observer::addStats(stats::StatGroup &g) const
+{
+    stalls_.addStats(g);
+    g.addHistogram("obs.occ.iq", &iqOcc_,
+                   "issue-queue occupancy per cycle");
+    g.addHistogram("obs.occ.rob", &robOcc_, "ROB occupancy per cycle");
+    g.addHistogram("obs.occ.frontend", &frontendOcc_,
+                   "frontend µops in flight per cycle");
+    g.addHistogram("obs.occ.mopPending", &mopPending_,
+                   "MOP heads pending their tail per cycle");
+    g.addFormula("obs.trace.events",
+                 [this] { return double(traceEventsEmitted()); },
+                 "cycle-trace events exported");
+}
+
+void
+Observer::printReport(std::ostream &os) const
+{
+    printBreakdown(os, stalls_.slots(), stalls_.width(),
+                   stalls_.cycles());
+    auto line = [&](const char *name, const stats::Histogram &h) {
+        os << "  " << std::left << std::setw(12) << name << std::right
+           << " mean " << std::setw(8) << std::fixed
+           << std::setprecision(2) << h.mean() << "   p50 "
+           << std::setw(5) << h.percentile(0.50) << "   p95 "
+           << std::setw(5) << h.percentile(0.95) << "\n";
+    };
+    os << "occupancy (per cycle):\n";
+    line("iq", iqOcc_);
+    line("rob", robOcc_);
+    line("frontend", frontendOcc_);
+    line("mop-pending", mopPending_);
+}
+
+} // namespace mop::obs

@@ -1,0 +1,111 @@
+#include "obs/trace_export.hh"
+
+#include <inttypes.h>
+
+#include <stdexcept>
+
+#include "isa/uop.hh"
+
+namespace mop::obs
+{
+
+namespace
+{
+
+bool
+hasJsonExtension(const std::string &path)
+{
+    const std::string ext = ".json";
+    return path.size() >= ext.size() &&
+           path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+} // namespace
+
+TraceExporter::TraceExporter(const std::string &path)
+    : path_(path), json_(hasJsonExtension(path))
+{
+    ring_.reserve(kRingCap);
+    if (json_) {
+        jsonFile_ = std::fopen(path.c_str(), "w");
+        if (!jsonFile_)
+            throw std::runtime_error("cannot create trace: " + path);
+        std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", jsonFile_);
+    } else {
+        bin_ = std::make_unique<trace::EventTraceWriter>(path);
+    }
+}
+
+TraceExporter::~TraceExporter()
+{
+    close();
+}
+
+void
+TraceExporter::push(const trace::CycleEvent &ev)
+{
+    ring_.push_back(ev);
+    if (ring_.size() >= kRingCap)
+        flush();
+}
+
+void
+TraceExporter::flush()
+{
+    for (const auto &ev : ring_) {
+        if (json_)
+            writeJson(ev);
+        else
+            bin_->write(ev);
+        ++emitted_;
+    }
+    ring_.clear();
+}
+
+void
+TraceExporter::writeJson(const trace::CycleEvent &ev)
+{
+    if (!firstJsonEvent_)
+        std::fputc(',', jsonFile_);
+    firstJsonEvent_ = false;
+    if (ev.kind == trace::CycleEvent::Kind::Counter) {
+        std::fprintf(jsonFile_,
+                     "\n{\"name\":\"occupancy\",\"ph\":\"C\",\"pid\":0,"
+                     "\"ts\":%" PRIu64 ",\"args\":{\"iq\":%" PRIu64
+                     ",\"rob\":%" PRIu64 ",\"frontend\":%" PRIu64
+                     ",\"mopPending\":%" PRIu64 "}}",
+                     ev.insert, ev.issue, ev.execStart, ev.complete,
+                     ev.commit);
+        return;
+    }
+    // One "X" slice per committed µop spanning insert -> commit, on a
+    // lane derived from its dynamic id so concurrent µops stack.
+    uint64_t dur = ev.commit >= ev.insert ? ev.commit - ev.insert : 0;
+    std::fprintf(jsonFile_,
+                 "\n{\"name\":\"%s\",\"cat\":\"uop\",\"ph\":\"X\","
+                 "\"pid\":0,\"tid\":%u,\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                 ",\"args\":{\"seq\":%" PRIu64 ",\"pc\":%" PRIu64
+                 ",\"issue\":%" PRIu64 ",\"execStart\":%" PRIu64
+                 ",\"complete\":%" PRIu64 "}}",
+                 isa::opClassName(isa::OpClass(ev.op)),
+                 unsigned(ev.seq % 16), ev.insert, dur, ev.seq, ev.pc,
+                 ev.issue, ev.execStart, ev.complete);
+}
+
+void
+TraceExporter::close()
+{
+    if (closed_)
+        return;
+    flush();
+    closed_ = true;
+    if (json_) {
+        std::fputs("\n]}\n", jsonFile_);
+        std::fclose(jsonFile_);
+        jsonFile_ = nullptr;
+    } else {
+        bin_->close();
+    }
+}
+
+} // namespace mop::obs

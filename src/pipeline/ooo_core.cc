@@ -52,6 +52,13 @@ OooCore::OooCore(const CoreParams &params, trace::TraceSource &source)
     }
     sched_->setEventRing(&ring_);
 
+    if (params_.obs.enabled) {
+        obs_ = std::make_unique<obs::Observer>(
+            params_.obs, sp.issueWidth, sched_->capacity(),
+            params_.robSize);
+        sched_->setStallProbe(true);
+    }
+
     if (params_.mopEnabled) {
         // MOP pointers live alongside IL1 lines (Section 5.1.3).
         mem_.il1().setEvictCallback([this](uint64_t line_addr) {
@@ -105,6 +112,7 @@ OooCore::handleCompletion(const sched::ExecEvent &ev)
     re->completed = true;
     re->completeCycle = ev.complete;
     re->execStart = ev.execStart;
+    re->issueCycle = ev.issued;
     prodComplete_[ev.seq % kProdRing] = {ev.seq, ev.complete};
     checkInvariant(*re, ev);
 
@@ -150,6 +158,20 @@ OooCore::doCommit()
             }
         }
 
+        if (obs_ && obs_->tracing()) {
+            trace::CycleEvent tev;
+            tev.kind = trace::CycleEvent::Kind::Uop;
+            tev.op = uint8_t(re.u.op);
+            tev.seq = re.dynId;
+            tev.pc = re.u.pc;
+            tev.insert = re.insertCycle;
+            tev.issue = re.issueCycle;
+            tev.execStart = re.execStart;
+            tev.complete = re.completeCycle;
+            tev.commit = now_;
+            obs_->onCommit(tev);
+        }
+
         if (re.u.op == isa::OpClass::StoreData)
             mem_.dataAccess(re.u.memAddr, true);  // commit the store
         if (re.u.firstUop) {
@@ -189,16 +211,22 @@ OooCore::doQueueInsert()
     bool bubble =
         frontend_.empty() || frontend_.front().queueReadyAt > now_;
 
+    insertStallRob_ = false;
+    insertStallIq_ = false;
     int inserted = 0;
     while (inserted < params_.renameWidth && !frontend_.empty()) {
         InFlight &f = frontend_.front();
         if (f.queueReadyAt > now_)
             break;
-        if (int(rob_.size()) >= params_.robSize)
+        if (int(rob_.size()) >= params_.robSize) {
+            insertStallRob_ = true;
             break;
+        }
         // Conservatively require one free entry even for MOP tails.
-        if (!sched_->canInsert(1))
+        if (!sched_->canInsert(1)) {
+            insertStallIq_ = true;
             break;
+        }
 
         core::FormOutcome out = formation_->process(f.u, f.dynId);
         if (out.clearPendingEntry >= 0)
@@ -213,6 +241,7 @@ OooCore::doQueueInsert()
         RobEntry re;
         re.u = f.u;
         re.dynId = f.dynId;
+        re.insertCycle = now_;
         for (int s = 0; s < 2; ++s) {
             int16_t r = f.u.src[size_t(s)];
             if (r != isa::kNoReg && r != isa::kZeroReg &&
@@ -401,6 +430,23 @@ OooCore::step()
     detector_->drain(now_);
     doFetch();
 
+    if (obs_) {
+        sched::StallSnapshot snap;
+        sched_->collectStallSnapshot(now_, snap);
+        // Residual slots go to the pipeline-level cause, most specific
+        // first: backpressure outranks drain outranks frontend supply.
+        obs::StallCause upstream = obs::StallCause::Frontend;
+        if (insertStallRob_)
+            upstream = obs::StallCause::RobFull;
+        else if (insertStallIq_)
+            upstream = obs::StallCause::IqFull;
+        else if (traceDone_)
+            upstream = obs::StallCause::Drain;
+        obs_->onCycle(now_, snap, upstream, sched_->occupancy(),
+                      int(rob_.size()), int(frontend_.size()),
+                      formation_->pendingCount());
+    }
+
     ++now_;
     return !(traceDone_ && !havePending_ && frontend_.empty() &&
              rob_.empty());
@@ -434,6 +480,11 @@ OooCore::run(uint64_t max_insts)
     res_.replays = sched_->replayInvalidations();
     res_.filterDeletions = ptrCache_.filterDeletions();
     res_.avgIqOccupancy = sched_->occupancyAvg().mean();
+    if (obs_) {
+        obs_->finish();
+        res_.stallSlots = obs_->stalls().slots();
+        res_.stallWidth = uint32_t(obs_->stalls().width());
+    }
     return res_;
 }
 
@@ -512,6 +563,8 @@ OooCore::addStats(stats::StatGroup &g) const
     }, "committed µops cross-checked against the oracle");
     integrity_.addStats(g, "core.integrity");
     sched_->addStats(g);
+    if (obs_)
+        obs_->addStats(g);
     mem_.addStats(g);
     bpred_.addStats(g);
 }

@@ -40,6 +40,7 @@
 
 #include "bpred/bpred.hh"
 #include "core/mop_detector.hh"
+#include "obs/observer.hh"
 #include "core/mop_formation.hh"
 #include "core/mop_pointer.hh"
 #include "mem/cache.hh"
@@ -77,6 +78,10 @@ struct CoreParams
     mem::HierarchyParams mem;
     bpred::BpredParams bpred;
 
+    /** Observability layer (stall attribution, occupancy histograms,
+     *  cycle-event trace); off by default and free when off. */
+    obs::ObsConfig obs;
+
     /** Fault campaign for the deterministic injector; empty = off. */
     verify::FaultSpec faults;
     /** Commit-progress watchdog: a non-empty ROB that commits nothing
@@ -112,6 +117,11 @@ struct SimResult
     uint64_t filterDeletions = 0;
     double avgIqOccupancy = 0;
 
+    /** Stall attribution (observability runs only; stallWidth == 0
+     *  otherwise). Indexed by obs::StallCause. */
+    std::array<uint64_t, obs::kNumStallCauses> stallSlots{};
+    uint32_t stallWidth = 0;
+
     double groupedFrac() const;
 };
 
@@ -135,6 +145,9 @@ class OooCore
     const core::MopPointerCache &pointerCache() const { return ptrCache_; }
     const mem::MemoryHierarchy &memory() const { return mem_; }
     const bpred::BranchPredictor &predictor() const { return bpred_; }
+    /** Null unless CoreParams::obs.enabled. */
+    const obs::Observer *observer() const { return obs_.get(); }
+    obs::Observer *observer() { return obs_.get(); }
     uint64_t cycles() const { return now_; }
 
     void addStats(stats::StatGroup &g) const;
@@ -172,6 +185,8 @@ class OooCore
         bool completed = false;
         sched::Cycle completeCycle = 0;
         sched::Cycle execStart = 0;
+        sched::Cycle insertCycle = 0;  ///< queue-insert cycle
+        sched::Cycle issueCycle = 0;   ///< last (re)issue cycle
         std::array<int64_t, 2> srcProducer = {-1, -1};  ///< dyn ids
         bool grouped = false;
         bool independent = false;
@@ -194,6 +209,7 @@ class OooCore
     std::unique_ptr<core::MopDetector> detector_;
     std::unique_ptr<core::MopFormation> formation_;
     std::unique_ptr<sched::Scheduler> sched_;
+    std::unique_ptr<obs::Observer> obs_;
 
     sched::Cycle now_ = 0;
     uint64_t nextDynId_ = 0;
@@ -226,6 +242,11 @@ class OooCore
     verify::GoldenModel *golden_ = nullptr;  ///< not owned
     uint64_t nextCommitDynId_ = 0;
     sched::Cycle lastCommit_ = 0;
+
+    /** Which backpressure cause stopped this cycle's queue insert
+     *  (consumed by the observability hook in step()). */
+    bool insertStallRob_ = false;
+    bool insertStallIq_ = false;
 
     SimResult res_;
     uint64_t targetInsts_ = 0;

@@ -45,6 +45,7 @@ FuPool::reserve(isa::OpClass op, Cycle c)
     if (kind >= isa::kNumFuKinds)
         return;
     assert(available(op, c));
+    ++totalReserved_[kind];
     auto &slot = reserved_[kind][c % kRing];
     if (slot.first != c)
         slot = {c, 0};
@@ -57,6 +58,20 @@ FuPool::reserve(isa::OpClass op, Cycle c)
             }
         }
         assert(false && "unpipelined reserve with no free unit");
+    }
+}
+
+void
+FuPool::addStats(stats::StatGroup &g) const
+{
+    static const char *kKindName[isa::kNumFuKinds] = {
+        "intAlu", "intMultDiv", "fpAlu", "fpMultDiv", "memPort",
+    };
+    for (size_t k = 0; k < isa::kNumFuKinds; ++k) {
+        const uint64_t *n = &totalReserved_[k];
+        g.addFormula(std::string("fu.") + kKindName[k] + ".reservations",
+                     [n] { return double(*n); },
+                     "ops initiated on this pool");
     }
 }
 

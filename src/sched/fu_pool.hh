@@ -14,10 +14,12 @@
 #define MOP_SCHED_FU_POOL_HH
 
 #include <array>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "sched/types.hh"
+#include "stats/stats.hh"
 
 namespace mop::sched
 {
@@ -34,6 +36,15 @@ class FuPool
      *  Must be preceded by a successful available() check. */
     void reserve(isa::OpClass op, Cycle c);
 
+    /** Cumulative reservations made against pool @p kind. */
+    uint64_t reservations(isa::FuKind kind) const
+    {
+        return totalReserved_[size_t(kind)];
+    }
+
+    /** Register per-pool utilization counters as fu.<kind>. */
+    void addStats(stats::StatGroup &g) const;
+
   private:
     static constexpr size_t kRing = 64;  ///< reservation horizon
 
@@ -46,6 +57,8 @@ class FuPool
     /** Stamped ring of initiation counts per cycle. */
     std::array<std::array<std::pair<Cycle, int>, kRing>,
                isa::kNumFuKinds> reserved_{};
+    /** Lifetime reservations per pool (utilization reporting). */
+    std::array<uint64_t, isa::kNumFuKinds> totalReserved_{};
 };
 
 } // namespace mop::sched

@@ -127,6 +127,7 @@ Scheduler::ensureTag(Tag t)
         tagReadyBits_.resize(bitWords(n), 0);
         tagValueReady_.resize(n, kNoCycle);
         tagReadyAt_.resize(n, kNoCycle);
+        tagMissPending_.resize(bitWords(n), 0);
         tagCap_ = n;
     }
 }
@@ -419,6 +420,8 @@ Scheduler::deliverTag(Tag tag, Cycle now)
         std::fprintf(stderr, "[tag] %lu: DELIVERED\n", (unsigned long)now);
     setBit(tagReadyBits_, size_t(tag));
     tagReadyAt_[size_t(tag)] = now;
+    if (stallProbe_)
+        clearBit(tagMissPending_, size_t(tag));
     record(now, verify::SchedEvent::Kind::Deliver, 0, tag);
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: deliver tag=%d\n",
@@ -488,6 +491,7 @@ Scheduler::invalidateEntry(int idx, Cycle now)
         std::fprintf(stderr, "[sched] %lu: invalidate seq=%lu\n",
                      (unsigned long)now, (unsigned long)e.ops[0].seq);
     e.issued = false;
+    e.replayed = true;
     ++e.gen;  // cancels in-flight completion/discovery/kill events
     e.completedOps = 0;
     e.minIssue = now + Cycle(params_.replayPenalty);
@@ -549,6 +553,7 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
 {
     Entry &e = entries_[size_t(idx)];
     e.issued = true;
+    e.replayed = false;
     e.issueCycle = now;
     e.completedOps = 0;
     clearBit(readyBits_, size_t(idx));
@@ -672,7 +677,9 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
                   return entries_[size_t(a)].age < entries_[size_t(b)].age;
               });
 
-    int width = params_.issueWidth - slotDebt(now);
+    const int debt0 = slotDebt(now);
+    int width = params_.issueWidth - debt0;
+    int issuedNow = 0;
     for (int idx : readyScratch_) {
         Entry &e = entries_[size_t(idx)];
         bool fu_ok = fu_.available(e.ops[0].op, now) &&
@@ -700,6 +707,7 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
             }
             issueEntry(idx, now, mop_issues);
             --width;
+            ++issuedNow;
             continue;
         }
         // Selection loss. Under select-free policies this is a
@@ -718,6 +726,51 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
             }
         }
     }
+    // Slots sequencing a MOP's later ops count as useful work too.
+    lastIssueSlots_ = std::min(params_.issueWidth, debt0 + issuedNow);
+}
+
+void
+Scheduler::collectStallSnapshot(Cycle now, StallSnapshot &snap) const
+{
+    snap = StallSnapshot{};
+    snap.issuedSlots = lastIssueSlots_;
+    forEachSetBit(validBits_, [&](size_t i) {
+        const Entry &e = entries_[i];
+        if (e.issued)
+            return;  // in flight; its slot was charged at issue time
+        if (e.pending) {
+            ++snap.pendingHeads;
+            return;
+        }
+        if (entryFullyReady(e)) {
+            if (e.minIssue <= now) {
+                // Requested selection this cycle and was not granted
+                // (width exhausted, FU conflict, or a dropped grant).
+                ++snap.readyLosers;
+            } else if (e.replayed) {
+                ++snap.replayWait;  // serving its replay penalty
+            } else {
+                ++snap.wakeupWait;  // insert-to-select latency
+            }
+            return;
+        }
+        bool miss = false;
+        for (int s = 0; s < e.numSrcs; ++s) {
+            Tag t = e.srcTags[size_t(s)];
+            if (!e.srcReady[size_t(s)] && t != kNoTag &&
+                size_t(t) < tagCap_ &&
+                testBit(tagMissPending_, size_t(t))) {
+                miss = true;
+            }
+        }
+        if (miss)
+            ++snap.missWait;
+        else if (e.replayed)
+            ++snap.replayWait;
+        else
+            ++snap.wakeupWait;
+    });
 }
 
 void
@@ -746,6 +799,10 @@ Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
             recallTag(e.dstTag, now);
             tagValueReady_[size_t(e.dstTag)] =
                 e.opComplete[size_t(e.numOps - 1)];
+            // Until the corrected wakeup fires, consumers of this tag
+            // are stalled by the miss, not by generic wakeup wait.
+            if (stallProbe_ && e.dstTag != kNoTag)
+                setBit(tagMissPending_, size_t(e.dstTag));
             scheduleBcast(ev.entry, ev.correctedBcast, false);
         }
         ring.clear();
@@ -1063,6 +1120,7 @@ Scheduler::addStats(stats::StatGroup &g) const
     g.addFormula("sched.avgOccupancy",
                  [this] { return occAvg_.mean(); },
                  "mean issue-queue entries occupied");
+    fu_.addStats(g);
     integrity_.addStats(g, "sched.integrity");
     if (inj_)
         inj_->addStats(g);

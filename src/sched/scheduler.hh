@@ -170,6 +170,22 @@ class Scheduler
     /** Human-readable snapshot of the issue queue (for --dump-on-error). */
     void dumpState(std::ostream &os) const;
 
+    // --- stall attribution probe (observability layer) -----------------
+
+    /** Enable bookkeeping for collectStallSnapshot (miss-pending tag
+     *  bits and the per-cycle issue-slot count). Off by default; the
+     *  hot path then carries only dead branches. */
+    void setStallProbe(bool on) { stallProbe_ = on; }
+    bool stallProbe() const { return stallProbe_; }
+
+    /**
+     * Classify every occupied entry for cycle @p now, after tick(now)
+     * has run. issuedSlots counts select slots spent on useful work
+     * this cycle (including MOP slot debt); every non-issued entry is
+     * charged to exactly one waiting cause. Requires setStallProbe.
+     */
+    void collectStallSnapshot(Cycle now, StallSnapshot &snap) const;
+
   private:
     struct Broadcast
     {
@@ -203,6 +219,7 @@ class Scheduler
         Cycle readyAt = kNoCycle;
         int outBcast = -1;      ///< outstanding broadcast pool index
         bool collided = false;  ///< select-free: lost a select once
+        bool replayed = false;  ///< invalidated at least once (replay)
         Cycle issueCycle = 0;
         int completedOps = 0;
         std::array<Cycle, kMaxMopOps> opComplete{};  ///< value-ready per op
@@ -298,6 +315,10 @@ class Scheduler
     std::vector<Cycle> tagValueReady_;
     /** tag -> cycle readiness was (re)asserted. */
     std::vector<Cycle> tagReadyAt_;
+    /** tag -> an uncorrected DL1-miss wakeup is outstanding (stall
+     *  probe only; consumers waiting on such a tag are charged to the
+     *  dcache-miss cause instead of generic wakeup wait). */
+    std::vector<uint64_t> tagMissPending_;
 
     std::vector<Broadcast> bcastPool_;
     std::vector<int> bcastFree_;
@@ -330,6 +351,10 @@ class Scheduler
     std::vector<std::pair<Cycle, Tag>> injRecalls_;
 
     bool debugTrace_ = false;
+
+    // Stall-attribution probe state (see collectStallSnapshot).
+    bool stallProbe_ = false;
+    int lastIssueSlots_ = 0;  ///< useful select slots last doSelect
 };
 
 } // namespace mop::sched

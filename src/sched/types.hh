@@ -84,6 +84,23 @@ struct ExecEvent
     bool wasMiss = false;
 };
 
+/**
+ * Per-cycle scheduler introspection for the observability layer
+ * (src/obs). Filled by Scheduler::collectStallSnapshot() after tick();
+ * every non-issued entry falls into exactly one waiting bucket, so the
+ * stall-attribution priority ladder can charge each issue slot to a
+ * single cause.
+ */
+struct StallSnapshot
+{
+    int issuedSlots = 0;   ///< slots doing useful work (incl. MOP debt)
+    int readyLosers = 0;   ///< ready entries that lost select (width/FU)
+    int missWait = 0;      ///< waiting on an outstanding DL1-miss wakeup
+    int replayWait = 0;    ///< replayed entries serving their penalty
+    int wakeupWait = 0;    ///< waiting on any other source operand
+    int pendingHeads = 0;  ///< MOP heads awaiting their tail
+};
+
 struct SchedParams
 {
     SchedPolicy policy = SchedPolicy::Atomic;

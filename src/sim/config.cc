@@ -33,6 +33,7 @@ makeCoreParams(const RunConfig &cfg)
     p.commitWidth = 4;
     p.robSize = 128;
     p.faults = cfg.faults;
+    p.obs = cfg.obs;
 
     p.sched.numEntries = cfg.iqEntries;
     p.sched.issueWidth = 4;

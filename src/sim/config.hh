@@ -45,6 +45,11 @@ struct RunConfig
     /** Wakeup+select pipeline depth override (0 = policy default);
      *  e.g. 3-cycle scheduling with 3-op MOPs. */
     int schedDepth = 0;
+    /** Observability: stall attribution, occupancy histograms and the
+     *  cycle-event trace (--trace-out / --report breakdown). Folded
+     *  into result fingerprints only when enabled, so existing cached
+     *  results keep their keys. */
+    obs::ObsConfig obs;
     /** Deterministic fault campaign (--inject/--seed); empty = off. */
     verify::FaultSpec faults;
     /** Dump a pipeline snapshot + event ring on fatal errors. */

@@ -52,6 +52,12 @@ usage()
         "  --mop-size <n>     max instructions per MOP (2-4)\n"
         "  --sched-depth <n>  wakeup+select pipeline depth override\n"
         "  --stats            dump the full statistics report\n"
+        "  --trace-out <f>    export a cycle-event trace; .json selects\n"
+        "                     Chrome trace-event format, anything else\n"
+        "                     the compact binary form\n"
+        "  --trace-period <n> cycles between trace occupancy samples\n"
+        "  --report breakdown print per-cause stall attribution and\n"
+        "                     occupancy summaries after the run\n"
         "  --inject <spec>    fault campaign: kind:rate[,kind:rate...]\n"
         "                     kinds: spurious-wakeup drop-grant\n"
         "                     delay-bcast replay-storm miss-burst\n"
@@ -96,6 +102,7 @@ main(int argc, char **argv)
     bool dump_stats = false;
     bool golden_enabled = true;
     bool selftest = false;
+    bool report_breakdown = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -131,7 +138,20 @@ main(int argc, char **argv)
             } else if (a == "--sched-depth") {
                 cfg.schedDepth = int(sim::parseIntOption(a, next(), 0, 8));
             } else if (a == "--stats") dump_stats = true;
-            else if (a == "--inject") inject = next();
+            else if (a == "--trace-out") {
+                cfg.obs.traceOut = next();
+                cfg.obs.enabled = true;
+            } else if (a == "--trace-period") {
+                cfg.obs.tracePeriod =
+                    uint32_t(sim::parseUintOption(a, next(), 1, 1u << 30));
+            } else if (a == "--report") {
+                std::string r = next();
+                if (r != "breakdown")
+                    throw std::invalid_argument("unknown report '" + r +
+                                                "'");
+                report_breakdown = true;
+                cfg.obs.enabled = true;
+            } else if (a == "--inject") inject = next();
             else if (a == "--seed") {
                 seed = sim::parseUintOption(a, next(), 0, ~0ULL);
             } else if (a == "--no-golden") golden_enabled = false;
@@ -214,6 +234,13 @@ main(int argc, char **argv)
             std::cout << "  golden  " << golden->compared()
                       << " committed µops cross-checked\n";
         }
+        if (core->observer() && !cfg.obs.traceOut.empty()) {
+            std::cout << "  trace   "
+                      << core->observer()->traceEventsEmitted()
+                      << " events -> " << cfg.obs.traceOut << "\n";
+        }
+        if (report_breakdown)
+            core->observer()->printReport(std::cout);
         if (dump_stats) {
             stats::StatGroup g("sim");
             core->addStats(g);

@@ -58,6 +58,25 @@ Histogram::countInRange(int64_t a, int64_t b) const
     return n;
 }
 
+int64_t
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return lo_;
+    uint64_t want = uint64_t(double(total_) * std::clamp(p, 0.0, 1.0));
+    if (want == 0)
+        want = 1;
+    uint64_t seen = underflow_;
+    if (seen >= want)
+        return lo_;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= want)
+            return lo_ + int64_t(i) * bucketSize_;
+    }
+    return hi_;
+}
+
 void
 StatGroup::addCounter(const std::string &name, const Counter *c,
                       const std::string &desc)
@@ -71,6 +90,22 @@ StatGroup::addAverage(const std::string &name, const Average *a,
                       const std::string &desc)
 {
     entries_.push_back({name, desc, [a]() { return a->mean(); }, false});
+}
+
+void
+StatGroup::addHistogram(const std::string &name, const Histogram *h,
+                        const std::string &desc)
+{
+    entries_.push_back({name + ".mean", desc,
+                        [h]() { return h->mean(); }, false});
+    entries_.push_back({name + ".p50", "",
+                        [h]() { return double(h->percentile(0.50)); },
+                        true});
+    entries_.push_back({name + ".p95", "",
+                        [h]() { return double(h->percentile(0.95)); },
+                        true});
+    entries_.push_back({name + ".samples", "",
+                        [h]() { return double(h->total()); }, true});
 }
 
 void

@@ -92,6 +92,13 @@ class Histogram
 
     double mean() const { return total_ ? sum_ / double(total_) : 0.0; }
 
+    /**
+     * Smallest bucket lower bound whose cumulative count reaches
+     * fraction @p p (0..1] of all samples; resolution is the bucket
+     * size. Underflow counts toward lo, overflow toward hi.
+     */
+    int64_t percentile(double p) const;
+
   private:
     int64_t lo_;
     int64_t hi_;
@@ -116,6 +123,9 @@ class StatGroup
                     const std::string &desc = "");
     void addAverage(const std::string &name, const Average *a,
                     const std::string &desc = "");
+    /** Registers <name>.mean / .p50 / .p95 / .samples entries. */
+    void addHistogram(const std::string &name, const Histogram *h,
+                      const std::string &desc = "");
     /** A derived value computed at dump time (ratios, IPC, ...). */
     void addFormula(const std::string &name, std::function<double()> f,
                     const std::string &desc = "");

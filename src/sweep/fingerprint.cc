@@ -70,6 +70,16 @@ hashRunConfig(Hasher &h, const sim::RunConfig &cfg)
         h.f64(r);
     h.u64(cfg.faults.seed);
     h.u64(cfg.dumpOnError);
+    // Observability never changes timing, but it adds stall vectors to
+    // the cached payload, so enabled runs get their own key. Hashing
+    // the block only when enabled keeps every pre-existing fingerprint
+    // (and its cached result) bit-identical. traceOut is excluded like
+    // traceTag: the file path does not influence any number.
+    if (cfg.obs.enabled) {
+        h.u64(0x0b5ULL);  // domain tag for the obs block
+        h.u64(cfg.obs.enabled);
+        h.u64(cfg.obs.tracePeriod);
+    }
 }
 
 Fingerprint

@@ -77,6 +77,13 @@ packSimResult(const pipeline::SimResult &r)
     rec.add("mispredicts", r.mispredicts);
     rec.add("filterDeletions", r.filterDeletions);
     rec.addF64("avgIqOccupancy", r.avgIqOccupancy);
+    // Stall attribution exists only for observability runs; plain runs
+    // keep the exact field set (and bytes) they had before it existed.
+    if (r.stallWidth > 0) {
+        rec.add("stallWidth", r.stallWidth);
+        for (size_t i = 0; i < r.stallSlots.size(); ++i)
+            rec.add("stall" + std::to_string(i), r.stallSlots[i]);
+    }
     return rec;
 }
 
@@ -94,6 +101,14 @@ unpackSimResult(const CacheRecord &rec, pipeline::SimResult &out)
               rec.getF64("avgIqOccupancy", r.avgIqOccupancy);
     for (size_t i = 0; ok && i < r.groupCounts.size(); ++i)
         ok = rec.get("group" + std::to_string(i), r.groupCounts[i]);
+    // Optional stall block: absent in records written before the
+    // observability layer (and in all non-observability runs).
+    uint64_t sw = 0;
+    if (ok && rec.get("stallWidth", sw) && sw > 0) {
+        r.stallWidth = uint32_t(sw);
+        for (size_t i = 0; ok && i < r.stallSlots.size(); ++i)
+            ok = rec.get("stall" + std::to_string(i), r.stallSlots[i]);
+    }
     if (ok)
         out = r;
     return ok;

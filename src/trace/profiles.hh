@@ -9,6 +9,24 @@
  * gap ~87% of candidate pairs within 8 instructions, vortex only ~54%),
  * and Table 2 base IPCs (e.g. mcf's 0.34 comes from a huge pointer-chasing
  * data footprint; gcc's 1.24 partly from instruction-cache misses).
+ *
+ * Determinism contract: a SyntheticSource draws from three independent
+ * RNG streams, each seeded by a distinct derivation of
+ * WorkloadProfile::seed (the constexpr helpers in synthetic.hh):
+ *
+ *  - buildSeed(seed)        — static program construction. Used once in
+ *    buildProgram(); two profiles with the same knobs and seed produce
+ *    byte-identical static code.
+ *  - walkSeed(seed)         — the dynamic control-flow walk. Re-applied
+ *    by reset(), so rewinding a source replays the exact same dynamic
+ *    stream without rebuilding the program.
+ *  - calibrationSeed(seed)  — the valueGenTarget mix calibration.
+ *    Separate from the walk stream so calibration's trial walk and
+ *    op-conversion shuffling cannot perturb the stream the simulator
+ *    later consumes.
+ *
+ * The derivations must stay distinct: collapsing any two correlates
+ * streams and silently changes every benchmark's dynamic trace.
  */
 
 #ifndef MOP_TRACE_PROFILES_HH

@@ -35,7 +35,7 @@ mix64(uint64_t x)
 } // namespace
 
 SyntheticSource::SyntheticSource(const WorkloadProfile &profile)
-    : profile_(profile), walkRng_(profile.seed * 77777 + 3)
+    : profile_(profile), walkRng_(walkSeed(profile.seed))
 {
     buildProgram();
     if (profile_.valueGenTarget > 0)
@@ -77,7 +77,7 @@ SyntheticSource::calibrate()
     int64_t delta = alu_count - target;
     int64_t tol = int64_t(insts / 200);  // 0.5%
 
-    std::mt19937_64 crng(profile_.seed ^ 0x5eedcafeULL);
+    std::mt19937_64 crng(calibrationSeed(profile_.seed));
     std::uniform_real_distribution<> uni(0, 1);
     std::vector<size_t> order(prog_.code.size());
     for (size_t i = 0; i < order.size(); ++i)
@@ -293,7 +293,7 @@ SyntheticSource::buildProgram()
     sinkCursor_ = 25;
     fpCursor_ = 32;
     lastLoadDst_ = isa::kNoReg;
-    std::mt19937_64 rng(profile_.seed);
+    std::mt19937_64 rng(buildSeed(profile_.seed));
     std::uniform_real_distribution<> uni(0, 1);
     const WorkloadProfile &p = profile_;
 
@@ -470,7 +470,7 @@ SyntheticSource::next(isa::MicroOp &out)
 void
 SyntheticSource::reset()
 {
-    walkRng_.seed(profile_.seed * 77777 + 3);
+    walkRng_.seed(walkSeed(profile_.seed));
     ip_ = 0;
     seq_ = 0;
     pendingStoreData_ = false;

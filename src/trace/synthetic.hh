@@ -32,6 +32,20 @@
 namespace mop::trace
 {
 
+/**
+ * Seed derivations for the three independent RNG streams a
+ * SyntheticSource draws from. Each stream gets its own derivation of
+ * WorkloadProfile::seed so the streams are decorrelated: reseeding or
+ * re-running one must not perturb the others (see profiles.hh for the
+ * stream-by-stream contract).
+ */
+constexpr uint64_t buildSeed(uint64_t seed) { return seed; }
+constexpr uint64_t walkSeed(uint64_t seed) { return seed * 77777ULL + 3; }
+constexpr uint64_t calibrationSeed(uint64_t seed)
+{
+    return seed ^ 0x5eedcafeULL;
+}
+
 /** Tunable knobs describing one benchmark-like workload. */
 struct WorkloadProfile
 {

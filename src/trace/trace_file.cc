@@ -153,4 +153,145 @@ recordTrace(TraceSource &src, const std::string &path, uint64_t max_uops)
     return n;
 }
 
+namespace
+{
+
+constexpr char kEventMagic[8] = {'M', 'O', 'P', 'E', 'V', 'T', 'R', 'C'};
+constexpr uint32_t kEventVersion = 1;
+
+/** On-disk cycle-event record, 64 bytes, little-endian host assumed. */
+struct EventRecord
+{
+    uint8_t kind;
+    uint8_t op;
+    uint8_t pad[6];
+    uint64_t seq;
+    uint64_t pc;
+    uint64_t insert;
+    uint64_t issue;
+    uint64_t execStart;
+    uint64_t complete;
+    uint64_t commit;
+};
+static_assert(sizeof(EventRecord) == 64, "event record must be 64 bytes");
+
+EventRecord
+packEvent(const CycleEvent &ev)
+{
+    EventRecord r{};
+    r.kind = uint8_t(ev.kind);
+    r.op = ev.op;
+    r.seq = ev.seq;
+    r.pc = ev.pc;
+    r.insert = ev.insert;
+    r.issue = ev.issue;
+    r.execStart = ev.execStart;
+    r.complete = ev.complete;
+    r.commit = ev.commit;
+    return r;
+}
+
+CycleEvent
+unpackEvent(const EventRecord &r)
+{
+    CycleEvent ev;
+    ev.kind = CycleEvent::Kind(r.kind);
+    ev.op = r.op;
+    ev.seq = r.seq;
+    ev.pc = r.pc;
+    ev.insert = r.insert;
+    ev.issue = r.issue;
+    ev.execStart = r.execStart;
+    ev.complete = r.complete;
+    ev.commit = r.commit;
+    return ev;
+}
+
+} // namespace
+
+EventTraceWriter::EventTraceWriter(const std::string &path)
+{
+    f_ = std::fopen(path.c_str(), "wb");
+    if (!f_)
+        throw std::runtime_error("cannot create event trace: " + path);
+    uint32_t version = kEventVersion, reserved = 0;
+    std::fwrite(kEventMagic, 1, sizeof(kEventMagic), f_);
+    std::fwrite(&version, sizeof(version), 1, f_);
+    std::fwrite(&reserved, sizeof(reserved), 1, f_);
+}
+
+EventTraceWriter::~EventTraceWriter()
+{
+    close();
+}
+
+void
+EventTraceWriter::write(const CycleEvent &ev)
+{
+    EventRecord r = packEvent(ev);
+    if (std::fwrite(&r, sizeof(r), 1, f_) != 1)
+        throw std::runtime_error("event trace write failed");
+    ++count_;
+}
+
+void
+EventTraceWriter::close()
+{
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+EventTraceReader::EventTraceReader(const std::string &path)
+{
+    f_ = std::fopen(path.c_str(), "rb");
+    if (!f_)
+        throw std::runtime_error("cannot open event trace: " + path);
+    char magic[8];
+    uint32_t version = 0, reserved = 0;
+    if (std::fread(magic, 1, 8, f_) != 8 ||
+        std::memcmp(magic, kEventMagic, 8) != 0 ||
+        std::fread(&version, sizeof(version), 1, f_) != 1 ||
+        std::fread(&reserved, sizeof(reserved), 1, f_) != 1 ||
+        version != kEventVersion) {
+        std::fclose(f_);
+        f_ = nullptr;
+        throw std::runtime_error("bad event trace header: " + path);
+    }
+}
+
+EventTraceReader::~EventTraceReader()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+bool
+EventTraceReader::next(CycleEvent &out)
+{
+    EventRecord r;
+    size_t n = std::fread(&r, 1, sizeof(r), f_);
+    if (n == 0)
+        return false;
+    if (n < sizeof(r)) {
+        throw std::runtime_error(
+            "truncated event record: got " + std::to_string(n) +
+            " bytes, expected " + std::to_string(sizeof(r)));
+    }
+    out = unpackEvent(r);
+    return true;
+}
+
+std::vector<CycleEvent>
+readEventTrace(const std::string &path)
+{
+    EventTraceReader rd(path);
+    std::vector<CycleEvent> events;
+    CycleEvent ev;
+    while (rd.next(ev))
+        events.push_back(ev);
+    return events;
+}
+
 } // namespace mop::trace

@@ -69,6 +69,78 @@ class FileSource : public TraceSource
 uint64_t recordTrace(TraceSource &src, const std::string &path,
                      uint64_t max_uops);
 
+/**
+ * One cycle-event record exported by the observability layer
+ * (obs/trace_export.hh). Uop events describe a committed micro-op's
+ * pipeline lifecycle; Counter events repurpose the cycle fields as
+ * periodic per-structure occupancy samples.
+ *
+ * Binary form: 16-byte header ("MOPEVTRC", u32 version, u32 reserved)
+ * followed by fixed 64-byte records.
+ */
+struct CycleEvent
+{
+    enum class Kind : uint8_t
+    {
+        Uop,      ///< committed micro-op lifecycle
+        Counter,  ///< occupancy sample (see field comments)
+    };
+
+    Kind kind = Kind::Uop;
+    uint8_t op = 0;          ///< isa::OpClass (Uop only)
+    uint64_t seq = 0;        ///< dynamic µop id
+    uint64_t pc = 0;
+    uint64_t insert = 0;     ///< Counter: sample cycle
+    uint64_t issue = 0;      ///< Counter: issue-queue occupancy
+    uint64_t execStart = 0;  ///< Counter: ROB occupancy
+    uint64_t complete = 0;   ///< Counter: frontend occupancy
+    uint64_t commit = 0;     ///< Counter: pending MOP heads
+
+    bool operator==(const CycleEvent &) const = default;
+};
+
+/** Writes cycle events to a compact binary file. */
+class EventTraceWriter
+{
+  public:
+    /** @throws std::runtime_error if the file cannot be created. */
+    explicit EventTraceWriter(const std::string &path);
+    ~EventTraceWriter();
+
+    EventTraceWriter(const EventTraceWriter &) = delete;
+    EventTraceWriter &operator=(const EventTraceWriter &) = delete;
+
+    void write(const CycleEvent &ev);
+    uint64_t written() const { return count_; }
+    /** Flush and close; further writes are invalid. */
+    void close();
+
+  private:
+    FILE *f_ = nullptr;
+    uint64_t count_ = 0;
+};
+
+/** Reads a binary cycle-event trace back, record by record. */
+class EventTraceReader
+{
+  public:
+    /** @throws std::runtime_error on open failure or bad header. */
+    explicit EventTraceReader(const std::string &path);
+    ~EventTraceReader();
+
+    EventTraceReader(const EventTraceReader &) = delete;
+    EventTraceReader &operator=(const EventTraceReader &) = delete;
+
+    /** @return false at end of file; throws on a truncated record. */
+    bool next(CycleEvent &out);
+
+  private:
+    FILE *f_ = nullptr;
+};
+
+/** Convenience: read a whole binary cycle-event trace into memory. */
+std::vector<CycleEvent> readEventTrace(const std::string &path);
+
 } // namespace mop::trace
 
 #endif // MOP_TRACE_TRACE_FILE_HH

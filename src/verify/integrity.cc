@@ -12,6 +12,7 @@ IntegrityChecker::checkName(Check c)
       case Check::TagLiveness: return "tag-liveness";
       case Check::MopPairing: return "mop-pairing";
       case Check::Dataflow: return "dataflow";
+      case Check::StallAccounting: return "stall-accounting";
       case Check::kCount: break;
     }
     return "unknown";

@@ -50,6 +50,7 @@ class IntegrityChecker
         TagLiveness,   ///< outstanding wakeup broadcasts stay coherent
         MopPairing,    ///< MOP head/tail pairing inside IQ entries
         Dataflow,      ///< execution never precedes a true producer
+        StallAccounting,  ///< every issue slot charged to one cause
         kCount,
     };
 

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 
+#include "obs/stall.hh"
 #include "sim/config.hh"
 #include "trace/profiles.hh"
 
@@ -119,6 +121,102 @@ TEST(Reproduction, Figure13GroupedFractionBand)
     }
     EXPECT_GT(grouped["gzip"], grouped["vortex"]);
     EXPECT_GT(grouped["gap"], grouped["eon"]);
+}
+
+// ---------------------------------------------------------------------
+// Golden-run regression pins. Unlike the shape tests above, these pin
+// *exact* values: the simulator is deterministic, so any drift in
+// cycles, committed counts or the stall-attribution vector is a real
+// behaviour change and must be acknowledged by re-pinning. The stall
+// vector is indexed by obs::StallCause (useful, frontend, iq-full,
+// rob-full, wakeup-wait, select-loss, replay, dcache-miss, drain).
+// Regenerate a row with:
+//   build/src/sim/mopsim --bench <b> --machine <m> --iq 32 \
+//       --insts 20000 --report breakdown
+// ---------------------------------------------------------------------
+
+struct GoldenRun
+{
+    const char *bench;
+    sim::Machine machine;
+    uint64_t cycles;
+    uint64_t insts;
+    uint64_t uops;
+    std::array<uint64_t, obs::kNumStallCauses> stall;
+};
+
+constexpr uint64_t kGoldenInsts = 20000;
+
+// clang-format off
+const GoldenRun kGolden[] = {
+    {"gzip", Machine::MopWiredOr, 15244, 20000, 21719,
+     {22316, 26161, 0, 6218, 5277, 97, 0, 907, 0}},
+    {"gap",  Machine::MopWiredOr, 15794, 20001, 22987,
+     {23094, 21759, 0, 2074, 11875, 113, 0, 4261, 0}},
+    {"mcf",  Machine::Base,       65237, 20000, 22371,
+     {25650, 10575, 0, 167, 8725, 1203, 1109, 213519, 0}},
+};
+// clang-format on
+
+std::string
+goldenRow(const GoldenRun &g, const pipeline::SimResult &r)
+{
+    std::ostringstream os;
+    os << "{\"" << g.bench << "\", Machine::"
+       << (g.machine == Machine::Base ? "Base" : "MopWiredOr") << ", "
+       << r.cycles << ", " << r.insts << ", " << r.uops << ", {";
+    for (size_t i = 0; i < obs::kNumStallCauses; ++i)
+        os << (i ? ", " : "") << r.stallSlots[i];
+    os << "}},";
+    return os.str();
+}
+
+TEST(Golden, PinnedIpcAndStallAttribution)
+{
+    for (const GoldenRun &g : kGolden) {
+        sim::RunConfig cfg;
+        cfg.machine = g.machine;
+        cfg.iqEntries = 32;
+        cfg.obs.enabled = true;
+        auto r = sim::runBenchmark(g.bench, cfg, kGoldenInsts);
+
+        bool match = r.cycles == g.cycles && r.insts == g.insts &&
+                     r.uops == g.uops && r.stallSlots == g.stall;
+        if (match)
+            continue;
+
+        std::ostringstream diff;
+        diff << g.bench << "/" << sim::machineName(g.machine)
+             << " drifted from the pinned golden run:\n";
+        auto field = [&](const char *name, uint64_t want, uint64_t got) {
+            if (want != got)
+                diff << "  " << name << ": pinned " << want << ", got "
+                     << got << "\n";
+        };
+        field("cycles", g.cycles, r.cycles);
+        field("insts", g.insts, r.insts);
+        field("uops", g.uops, r.uops);
+        for (size_t i = 0; i < obs::kNumStallCauses; ++i)
+            field(obs::stallCauseName(obs::StallCause(i)), g.stall[i],
+                  r.stallSlots[i]);
+        diff << "if the change is intended, re-pin with:\n  "
+             << goldenRow(g, r);
+        ADD_FAILURE() << diff.str();
+    }
+}
+
+TEST(Golden, PinnedIpcIsConsistent)
+{
+    // IPC is derived (insts / cycles); check the derivation so the pin
+    // above also pins the reported IPC bit for bit.
+    for (const GoldenRun &g : kGolden) {
+        sim::RunConfig cfg;
+        cfg.machine = g.machine;
+        cfg.iqEntries = 32;
+        cfg.obs.enabled = true;
+        auto r = sim::runBenchmark(g.bench, cfg, kGoldenInsts);
+        EXPECT_EQ(r.ipc, double(r.insts) / double(r.cycles)) << g.bench;
+    }
 }
 
 TEST(Reproduction, Section62DetectionDelayInsensitive)

@@ -35,6 +35,37 @@ TEST(Synthetic, DeterministicAcrossInstances)
     }
 }
 
+TEST(Synthetic, SeedDerivationsAreDistinct)
+{
+    // The three RNG streams (program build, dynamic walk, calibration)
+    // must stay decorrelated; see the contract in profiles.hh.
+    for (uint64_t s : {uint64_t(0), uint64_t(1), uint64_t(42),
+                       uint64_t(0xdeadbeef)}) {
+        EXPECT_NE(buildSeed(s), walkSeed(s)) << s;
+        EXPECT_NE(buildSeed(s), calibrationSeed(s)) << s;
+        EXPECT_NE(walkSeed(s), calibrationSeed(s)) << s;
+    }
+}
+
+TEST(Synthetic, DistinctSeedsGiveDistinctStreams)
+{
+    // Profiles that differ only in seed must not alias: both the
+    // static program and the dynamic walk should diverge.
+    WorkloadProfile p = profileFor("gzip");
+    WorkloadProfile q = p;
+    q.seed = p.seed + 1;
+    SyntheticSource a(p), b(q);
+    MicroOp ua, ub;
+    int diffs = 0;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(a.next(ua));
+        ASSERT_TRUE(b.next(ub));
+        diffs += ua.pc != ub.pc || ua.op != ub.op ||
+                 ua.memAddr != ub.memAddr || ua.taken != ub.taken;
+    }
+    EXPECT_GT(diffs, 0);
+}
+
 TEST(Synthetic, ResetReplays)
 {
     SyntheticSource s(profileFor("gap"));
