@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Critical-path accounting over a cycle-event trace.
+ *
+ * Takes the per-µop lifecycle records exported by the observability
+ * layer (trace::CycleEvent, MOPEVTRC v2) and answers the question the
+ * raw stall vectors cannot: *which scheduling-loop constraint bounds
+ * this run*. Three passes, all offline and simulator-independent:
+ *
+ *  - analyzeCritPath(): walks the in-order commit spine backwards and
+ *    charges every cycle of the run to the last-arriving lifecycle
+ *    segment of the ROB-head µop inside each commit gap, refining
+ *    dependence-bound waits through the recorded producer edges (the
+ *    interval-blame formulation of the dependence-graph model of
+ *    Fields et al.). By construction the per-cause cycles sum exactly
+ *    to the trace's cycle span, so the composition is a complete
+ *    decomposition of execution time, not a sampled profile.
+ *
+ *  - The same pass computes a *what-if* estimate for relaxed
+ *    scheduling atomicity (the paper's pipelined 2-cycle loop): a
+ *    forward pass over the dependence graph stretches every observed
+ *    producer->consumer issue gap to the 2-cycle minimum and
+ *    propagates the slack, yielding an estimated cycle count had the
+ *    same schedule run under a 2-cycle wakeup/select loop.
+ *
+ *  - analyzeTimeline(): per-interval IPC / MOP-coverage / replay-rate
+ *    samples with a simple phase segmentation (adjacent intervals
+ *    merge while their IPC stays within a relative band).
+ *
+ * Everything operates on plain event vectors so the moptrace CLI,
+ * tests and future figure harnesses share one implementation.
+ */
+
+#ifndef MOP_OBS_CRITPATH_HH
+#define MOP_OBS_CRITPATH_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_file.hh"
+
+namespace mop::obs
+{
+
+/** The cause each critical-path cycle is charged to. */
+enum class CritCause : uint8_t
+{
+    Frontend,     ///< fetch supply (mispredict, icache, taken-break)
+    Capacity,     ///< queue-insert backpressure (IQ/ROB full)
+    WakeupWait,   ///< waiting on a source wakeup beyond producer exec
+    ChainLatency, ///< producer/own execution latency (non-miss)
+    DcacheMiss,   ///< execution latency of DL1-missing loads
+    SelectLoss,   ///< ready but not selected (width/FU arbitration)
+    Replay,       ///< re-issue delay of selectively replayed entries
+    Dispatch,     ///< select-to-execute pipeline stages (fixed depth)
+    CommitWait,   ///< completed, waiting for in-order commit
+    kCount,
+};
+
+constexpr size_t kNumCritCauses = size_t(CritCause::kCount);
+
+const char *critCauseName(CritCause c);
+
+/** Complete decomposition of a traced run's cycles. */
+struct CritPathReport
+{
+    uint64_t uops = 0;
+    uint64_t insts = 0;         ///< first-µop records
+    uint64_t firstFetch = 0;
+    uint64_t lastCommit = 0;
+    /** lastCommit - firstFetch; equals the sum of causeCycles. */
+    uint64_t cycles = 0;
+    std::array<uint64_t, kNumCritCauses> causeCycles{};
+
+    /** Dependence edges observed with an issue-to-issue gap < 2
+     *  cycles -- exactly the edges a pipelined 2-cycle scheduling
+     *  loop would stretch. */
+    uint64_t tightEdges = 0;
+    uint64_t depEdges = 0;  ///< resolvable producer edges in the trace
+
+    /** Estimated cycle count for the same schedule under a 2-cycle
+     *  wakeup/select loop (>= cycles; see file comment). */
+    uint64_t whatIfTwoCycleCycles = 0;
+
+    double causeFrac(CritCause c) const
+    {
+        return cycles ? double(causeCycles[size_t(c)]) / double(cycles)
+                      : 0.0;
+    }
+    /** Cause with the largest share. */
+    CritCause dominant() const;
+    /** Largest *stall* cause: dominant() over the causes that map onto
+     *  the issue-slot stall taxonomy (excludes ChainLatency, Dispatch
+     *  and CommitWait, which represent useful pipelined work). */
+    CritCause dominantStall() const;
+};
+
+/** @p events in commit order (as written by the exporter); Counter
+ *  records are ignored. */
+CritPathReport analyzeCritPath(
+    const std::vector<trace::CycleEvent> &events);
+
+/** One timeline interval (fixed cycle window over commit time). */
+struct IntervalSample
+{
+    uint64_t startCycle = 0;
+    uint64_t endCycle = 0;   ///< exclusive
+    uint64_t uops = 0;
+    uint64_t insts = 0;
+    uint64_t grouped = 0;    ///< µops committed inside a MOP
+    uint64_t replayed = 0;
+    double ipc = 0;          ///< insts / window cycles
+    double mopCoverage = 0;  ///< grouped / uops
+    double replayRate = 0;   ///< replayed / uops
+};
+
+/** A maximal run of intervals with similar IPC. */
+struct Phase
+{
+    size_t firstInterval = 0;
+    size_t lastInterval = 0;  ///< inclusive
+    uint64_t startCycle = 0;
+    uint64_t endCycle = 0;
+    double meanIpc = 0;
+};
+
+struct TimelineReport
+{
+    uint64_t intervalCycles = 0;
+    std::vector<IntervalSample> intervals;
+    std::vector<Phase> phases;
+};
+
+/** Bucket committed µops into @p interval_cycles windows and segment
+ *  phases. @p interval_cycles == 0 picks ~64 intervals. */
+TimelineReport analyzeTimeline(
+    const std::vector<trace::CycleEvent> &events,
+    uint64_t interval_cycles = 0);
+
+/** Headline metrics of a trace (moptrace report / diff). */
+struct TraceSummary
+{
+    uint64_t events = 0;
+    uint64_t uops = 0;
+    uint64_t insts = 0;
+    uint64_t counters = 0;
+    uint64_t firstFetch = 0;
+    uint64_t lastCommit = 0;
+    uint64_t cycles = 0;
+    uint64_t grouped = 0;
+    uint64_t replayed = 0;
+    uint64_t loads = 0;
+    uint64_t dl1Misses = 0;
+    double ipc = 0;
+    double mopCoverage = 0;
+    double replayRate = 0;
+    double avgIqOcc = 0;   ///< mean of Counter IQ samples
+    double avgRobOcc = 0;  ///< mean of Counter ROB samples
+};
+
+TraceSummary summarizeTrace(const std::vector<trace::CycleEvent> &events);
+
+// --- renderers (shared by moptrace and tests) -------------------------
+
+void printSummary(std::ostream &os, const TraceSummary &s);
+void printCritPath(std::ostream &os, const CritPathReport &r);
+void printTimeline(std::ostream &os, const TimelineReport &t);
+
+} // namespace mop::obs
+
+#endif // MOP_OBS_CRITPATH_HH

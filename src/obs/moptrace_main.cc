@@ -1,0 +1,204 @@
+/**
+ * @file
+ * moptrace: offline analysis of MOPEVTRC cycle-event traces.
+ *
+ *   moptrace report   <trace>            headline metrics
+ *   moptrace timeline <trace> [--interval N]
+ *                                        per-interval IPC / MOP coverage /
+ *                                        replay rate + phase segmentation
+ *   moptrace critpath <trace>            critical-path composition and
+ *                                        2-cycle-loop what-if estimate
+ *   moptrace diff     <A> <B> [--fail-on PCT]
+ *                                        field-level regression triage
+ *
+ * Traces come from `mopsim --trace-out file.evt` (any MOPEVTRC
+ * version; v1 files load with the lifecycle extension defaulted, so
+ * report/diff work but critpath attribution degrades gracefully).
+ */
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/critpath.hh"
+#include "trace/trace_file.hh"
+
+namespace
+{
+
+using namespace mop;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: moptrace report   <trace.evt>\n"
+        << "       moptrace timeline <trace.evt> [--interval CYCLES]\n"
+        << "       moptrace critpath <trace.evt>\n"
+        << "       moptrace diff     <A.evt> <B.evt> [--fail-on PCT]\n";
+    return 2;
+}
+
+struct LoadedTrace
+{
+    uint32_t version = 0;
+    std::vector<trace::CycleEvent> events;
+};
+
+LoadedTrace
+load(const std::string &path)
+{
+    LoadedTrace t;
+    trace::EventTraceReader rd(path);
+    t.version = rd.version();
+    trace::CycleEvent ev;
+    while (rd.next(ev))
+        t.events.push_back(ev);
+    return t;
+}
+
+int
+cmdReport(const std::string &path)
+{
+    LoadedTrace t = load(path);
+    std::cout << "trace         " << path << " (MOPEVTRC v" << t.version
+              << ")\n";
+    obs::printSummary(std::cout, obs::summarizeTrace(t.events));
+    return 0;
+}
+
+int
+cmdTimeline(const std::string &path, uint64_t interval)
+{
+    LoadedTrace t = load(path);
+    obs::printTimeline(std::cout, obs::analyzeTimeline(t.events, interval));
+    return 0;
+}
+
+int
+cmdCritpath(const std::string &path)
+{
+    LoadedTrace t = load(path);
+    if (t.version < 2)
+        std::cerr << "note: v" << t.version
+                  << " trace lacks lifecycle records; attribution is "
+                     "coarse\n";
+    obs::printCritPath(std::cout, obs::analyzeCritPath(t.events));
+    return 0;
+}
+
+/** One compared field of the diff: printed, and counted as a
+ *  regression when it moved against @p goodDir by more than the
+ *  threshold. goodDir > 0 means larger-is-better, < 0 smaller-is-
+ *  better, 0 neutral (informational only). */
+struct DiffRow
+{
+    const char *name;
+    double a, b;
+    int goodDir;
+};
+
+int
+cmdDiff(const std::string &pa, const std::string &pb, double fail_on)
+{
+    LoadedTrace ta = load(pa), tb = load(pb);
+    obs::TraceSummary sa = obs::summarizeTrace(ta.events);
+    obs::TraceSummary sb = obs::summarizeTrace(tb.events);
+    obs::CritPathReport ca = obs::analyzeCritPath(ta.events);
+    obs::CritPathReport cb = obs::analyzeCritPath(tb.events);
+
+    std::vector<DiffRow> rows = {
+        {"cycles", double(sa.cycles), double(sb.cycles), -1},
+        {"insts", double(sa.insts), double(sb.insts), 0},
+        {"uops", double(sa.uops), double(sb.uops), 0},
+        {"ipc", sa.ipc, sb.ipc, +1},
+        {"mop_coverage", sa.mopCoverage, sb.mopCoverage, +1},
+        {"replay_rate", sa.replayRate, sb.replayRate, -1},
+        {"dl1_misses", double(sa.dl1Misses), double(sb.dl1Misses), -1},
+        {"avg_iq_occ", sa.avgIqOcc, sb.avgIqOcc, 0},
+        {"avg_rob_occ", sa.avgRobOcc, sb.avgRobOcc, 0},
+    };
+    for (size_t i = 0; i < obs::kNumCritCauses; ++i) {
+        static std::string names[obs::kNumCritCauses];
+        names[i] = std::string("crit_") +
+                   obs::critCauseName(obs::CritCause(i));
+        // Critical-path stall cycles: smaller is better, except the
+        // useful-work segments which are informational.
+        obs::CritCause c = obs::CritCause(i);
+        int dir = (c == obs::CritCause::ChainLatency ||
+                   c == obs::CritCause::Dispatch ||
+                   c == obs::CritCause::CommitWait)
+                      ? 0
+                      : -1;
+        rows.push_back({names[i].c_str(), double(ca.causeCycles[i]),
+                        double(cb.causeCycles[i]), dir});
+    }
+
+    std::printf("%-18s %14s %14s %10s %8s\n", "field", pa.size() > 14
+                                                           ? "A"
+                                                           : pa.c_str(),
+                pb.size() > 14 ? "B" : pb.c_str(), "delta", "pct");
+    int regressions = 0;
+    for (const auto &row : rows) {
+        double delta = row.b - row.a;
+        double pct = row.a != 0 ? 100.0 * delta / std::fabs(row.a)
+                                : (row.b != 0 ? 100.0 : 0.0);
+        bool bad = row.goodDir != 0 && fail_on > 0 &&
+                   std::fabs(pct) >= fail_on &&
+                   ((row.goodDir > 0) ? delta < 0 : delta > 0);
+        if (bad)
+            ++regressions;
+        std::printf("%-18s %14.4g %14.4g %+10.4g %+7.2f%% %s\n", row.name,
+                    row.a, row.b, delta, pct, bad ? "REGRESSED" : "");
+    }
+    if (regressions) {
+        std::printf("%d field(s) regressed beyond %.2f%%\n", regressions,
+                    fail_on);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "report")
+            return cmdReport(argv[2]);
+        if (cmd == "critpath")
+            return cmdCritpath(argv[2]);
+        if (cmd == "timeline") {
+            uint64_t interval = 0;
+            for (int i = 3; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc)
+                    interval = std::stoull(argv[++i]);
+                else
+                    return usage();
+            }
+            return cmdTimeline(argv[2], interval);
+        }
+        if (cmd == "diff") {
+            if (argc < 4)
+                return usage();
+            double failOn = 0;
+            for (int i = 4; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--fail-on") == 0 && i + 1 < argc)
+                    failOn = std::stod(argv[++i]);
+                else
+                    return usage();
+            }
+            return cmdDiff(argv[2], argv[3], failOn);
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "moptrace: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}

@@ -95,15 +95,16 @@ printBreakdown(std::ostream &os,
                const std::array<uint64_t, kNumStallCauses> &slots,
                int width, uint64_t cycles)
 {
-    uint64_t total = uint64_t(width) * cycles;
     os << "stall attribution (" << width << " slots x " << cycles
        << " cycles):\n";
+    // Largest-remainder rounding: the printed column sums to exactly
+    // 100.00 (independent rounding could reach 99.99 or 100.01).
+    std::vector<double> pct = stats::largestRemainderPercents(
+        std::vector<uint64_t>(slots.begin(), slots.end()), 2);
     for (size_t i = 0; i < kNumStallCauses; ++i) {
-        double pct =
-            total ? 100.0 * double(slots[i]) / double(total) : 0.0;
         os << "  " << std::left << std::setw(12)
            << stallCauseName(StallCause(i)) << std::right << std::setw(7)
-           << std::fixed << std::setprecision(2) << pct << "%  "
+           << std::fixed << std::setprecision(2) << pct[i] << "%  "
            << std::setw(12) << slots[i] << "\n";
     }
 }

@@ -1,0 +1,186 @@
+#include "obs/telemetry.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mop::obs
+{
+
+TelemetrySink::TelemetrySink(std::string path, int workers)
+    : path_(std::move(path)), workers_(workers < 1 ? 1 : workers)
+{
+}
+
+void
+TelemetrySink::beginBatch(uint64_t total_runs, uint64_t cache_hits)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    totalRuns_ = total_runs;
+    cacheHits_ = cache_hits;
+    completedRuns_ = 0;
+    simulatedInsts_ = 0;
+    busySeconds_ = 0;
+    start_ = Clock::now();
+    flushedOnce_ = false;
+}
+
+void
+TelemetrySink::onRunCompleted(double seconds, uint64_t insts)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++completedRuns_;
+    busySeconds_ += seconds;
+    simulatedInsts_ += insts;
+}
+
+TelemetrySink::Snapshot
+TelemetrySink::snapshotLocked() const
+{
+    Snapshot s;
+    s.totalRuns = totalRuns_;
+    s.completedRuns = completedRuns_;
+    s.cacheHits = cacheHits_;
+    uint64_t done = completedRuns_ + cacheHits_;
+    s.queuedRuns = totalRuns_ > done ? totalRuns_ - done : 0;
+    s.simulatedInsts = simulatedInsts_;
+    s.workers = workers_;
+    s.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    s.busySeconds = busySeconds_;
+    double span = s.elapsedSeconds * double(workers_);
+    s.utilization = span > 0 ? busySeconds_ / span : 0;
+    if (s.utilization > 1)
+        s.utilization = 1;
+    if (completedRuns_ > 0 && s.queuedRuns > 0) {
+        double meanRun = busySeconds_ / double(completedRuns_);
+        s.etaSeconds = double(s.queuedRuns) * meanRun / double(workers_);
+    }
+    return s;
+}
+
+TelemetrySink::Snapshot
+TelemetrySink::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return snapshotLocked();
+}
+
+std::string
+renderPrometheus(const TelemetrySink::Snapshot &s)
+{
+    std::ostringstream os;
+    auto gauge = [&os](const char *name, const char *help, double v) {
+        os << "# HELP " << name << " " << help << "\n"
+           << "# TYPE " << name << " gauge\n"
+           << name << " " << v << "\n";
+    };
+    gauge("mop_sweep_runs_total", "Jobs in the sweep batch.",
+          double(s.totalRuns));
+    gauge("mop_sweep_runs_completed", "Jobs simulated to completion.",
+          double(s.completedRuns));
+    gauge("mop_sweep_runs_cached", "Jobs satisfied by the result cache.",
+          double(s.cacheHits));
+    gauge("mop_sweep_runs_queued", "Jobs not yet finished.",
+          double(s.queuedRuns));
+    gauge("mop_sweep_workers", "Executor worker threads.",
+          double(s.workers));
+    gauge("mop_sweep_elapsed_seconds", "Wall time since batch start.",
+          s.elapsedSeconds);
+    gauge("mop_sweep_busy_seconds", "Summed per-run worker time.",
+          s.busySeconds);
+    gauge("mop_sweep_worker_utilization",
+          "busy_seconds / (elapsed * workers), 0-1.", s.utilization);
+    gauge("mop_sweep_eta_seconds",
+          "Estimated seconds until the batch drains.", s.etaSeconds);
+    gauge("mop_sweep_simulated_insts_total",
+          "Instructions simulated so far.", double(s.simulatedInsts));
+    return os.str();
+}
+
+std::string
+renderProgressLine(const TelemetrySink::Snapshot &s)
+{
+    uint64_t done = s.completedRuns + s.cacheHits;
+    char buf[160];
+    if (s.queuedRuns > 0 && s.etaSeconds > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "runs %llu/%llu (%llu cached, %llu queued) | "
+                      "workers %d @ %3.0f%% | eta %.0fs",
+                      (unsigned long long)done,
+                      (unsigned long long)s.totalRuns,
+                      (unsigned long long)s.cacheHits,
+                      (unsigned long long)s.queuedRuns, s.workers,
+                      100.0 * s.utilization, std::ceil(s.etaSeconds));
+    } else {
+        std::snprintf(buf, sizeof buf,
+                      "runs %llu/%llu (%llu cached, %llu queued) | "
+                      "workers %d @ %3.0f%%",
+                      (unsigned long long)done,
+                      (unsigned long long)s.totalRuns,
+                      (unsigned long long)s.cacheHits,
+                      (unsigned long long)s.queuedRuns, s.workers,
+                      100.0 * s.utilization);
+    }
+    return buf;
+}
+
+std::string
+TelemetrySink::prometheusText() const
+{
+    return renderPrometheus(snapshot());
+}
+
+std::string
+TelemetrySink::progressLine() const
+{
+    return renderProgressLine(snapshot());
+}
+
+void
+TelemetrySink::flush()
+{
+    Snapshot s;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (path_.empty())
+            return;
+        s = snapshotLocked();
+        path = path_;
+        lastFlush_ = Clock::now();
+        flushedOnce_ = true;
+    }
+    const std::string text = renderPrometheus(s);
+    const std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        throw std::runtime_error("cannot write telemetry: " + tmp);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot publish telemetry: " + path);
+    }
+}
+
+void
+TelemetrySink::maybeFlush(double min_interval_s)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (path_.empty())
+            return;
+        if (flushedOnce_) {
+            double since = std::chrono::duration<double>(Clock::now() -
+                                                         lastFlush_)
+                               .count();
+            if (since < min_interval_s)
+                return;
+        }
+    }
+    flush();
+}
+
+} // namespace mop::obs

@@ -78,18 +78,20 @@ TraceExporter::writeJson(const trace::CycleEvent &ev)
                      ev.commit);
         return;
     }
-    // One "X" slice per committed µop spanning insert -> commit, on a
+    // One "X" slice per committed µop spanning fetch -> commit, on a
     // lane derived from its dynamic id so concurrent µops stack.
-    uint64_t dur = ev.commit >= ev.insert ? ev.commit - ev.insert : 0;
+    uint64_t dur = ev.commit >= ev.fetch ? ev.commit - ev.fetch : 0;
     std::fprintf(jsonFile_,
                  "\n{\"name\":\"%s\",\"cat\":\"uop\",\"ph\":\"X\","
                  "\"pid\":0,\"tid\":%u,\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
                  ",\"args\":{\"seq\":%" PRIu64 ",\"pc\":%" PRIu64
+                 ",\"insert\":%" PRIu64 ",\"ready\":%" PRIu64
                  ",\"issue\":%" PRIu64 ",\"execStart\":%" PRIu64
-                 ",\"complete\":%" PRIu64 "}}",
+                 ",\"complete\":%" PRIu64 ",\"flags\":%u}}",
                  isa::opClassName(isa::OpClass(ev.op)),
-                 unsigned(ev.seq % 16), ev.insert, dur, ev.seq, ev.pc,
-                 ev.issue, ev.execStart, ev.complete);
+                 unsigned(ev.seq % 16), ev.fetch, dur, ev.seq, ev.pc,
+                 ev.insert, ev.ready, ev.issue, ev.execStart, ev.complete,
+                 unsigned(ev.flags));
 }
 
 void

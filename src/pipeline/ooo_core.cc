@@ -112,7 +112,10 @@ OooCore::handleCompletion(const sched::ExecEvent &ev)
     re->completed = true;
     re->completeCycle = ev.complete;
     re->execStart = ev.execStart;
+    re->readyCycle = ev.ready;
     re->issueCycle = ev.issued;
+    re->replayed = ev.replayed;
+    re->wasMiss = ev.wasMiss;
     prodComplete_[ev.seq % kProdRing] = {ev.seq, ev.complete};
     checkInvariant(*re, ev);
 
@@ -164,11 +167,29 @@ OooCore::doCommit()
             tev.op = uint8_t(re.u.op);
             tev.seq = re.dynId;
             tev.pc = re.u.pc;
+            tev.fetch = re.fetchCycle;
+            tev.queueReady = re.queueReadyAt;
             tev.insert = re.insertCycle;
+            tev.ready = re.readyCycle;
             tev.issue = re.issueCycle;
             tev.execStart = re.execStart;
             tev.complete = re.completeCycle;
             tev.commit = now_;
+            for (int s = 0; s < 2; ++s) {
+                if (re.srcProducer[size_t(s)] >= 0)
+                    tev.dep[size_t(s)] =
+                        uint64_t(re.srcProducer[size_t(s)]);
+            }
+            if (re.mopHeadId >= 0)
+                tev.mopId = uint64_t(re.mopHeadId);
+            tev.flags = uint8_t(
+                (re.u.firstUop ? trace::CycleEvent::kFlagFirstUop : 0) |
+                (re.grouped ? trace::CycleEvent::kFlagGrouped : 0) |
+                (re.isHead ? trace::CycleEvent::kFlagMopHead : 0) |
+                (re.replayed ? trace::CycleEvent::kFlagReplayed : 0) |
+                (re.u.isLoad() ? trace::CycleEvent::kFlagLoad : 0) |
+                (re.wasMiss ? trace::CycleEvent::kFlagDl1Miss : 0) |
+                (re.mispredicted ? trace::CycleEvent::kFlagMispredict : 0));
             obs_->onCommit(tev);
         }
 
@@ -241,6 +262,9 @@ OooCore::doQueueInsert()
         RobEntry re;
         re.u = f.u;
         re.dynId = f.dynId;
+        re.fetchCycle = f.fetchCycle;
+        re.queueReadyAt = f.queueReadyAt;
+        re.mispredicted = f.mispredict;
         re.insertCycle = now_;
         for (int s = 0; s < 2; ++s) {
             int16_t r = f.u.src[size_t(s)];
@@ -267,9 +291,11 @@ OooCore::doQueueInsert()
                                    out.moreExpected)) {
                 re.grouped = true;
                 re.independent = out.independent;
+                re.mopHeadId = int64_t(out.headDynId);
                 if (RobEntry *head = robByDynId(out.headDynId)) {
                     head->grouped = true;
                     head->independent = out.independent;
+                    head->mopHeadId = int64_t(out.headDynId);
                 }
             } else {
                 // Source-union overflow: fall back to a solo entry.
@@ -334,7 +360,7 @@ OooCore::doFetch()
 
         uint64_t dyn_id = nextDynId_++;
         frontend_.push_back(InFlight{
-            u, dyn_id,
+            u, dyn_id, now_,
             now_ + sched::Cycle(params_.frontendDepth +
                                 params_.extraFormationStages)});
 
@@ -350,6 +376,7 @@ OooCore::doFetch()
                     ++res_.mispredicts;
                     waitingBranch_ = true;
                     waitingBranchDynId_ = dyn_id;
+                    frontend_.back().mispredict = true;
                 } else {
                     // Direction right, target unknown until decode.
                     fetchStallUntil_ =
@@ -379,6 +406,7 @@ OooCore::doFetch()
                 ++res_.mispredicts;
                 waitingBranch_ = true;
                 waitingBranchDynId_ = dyn_id;
+                frontend_.back().mispredict = true;
             }
             return;
         }

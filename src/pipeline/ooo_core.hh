@@ -175,7 +175,9 @@ class OooCore
     {
         isa::MicroOp u;
         uint64_t dynId = 0;
+        sched::Cycle fetchCycle = 0;
         sched::Cycle queueReadyAt = 0;
+        bool mispredict = false;  ///< this µop will redirect fetch
     };
 
     struct RobEntry
@@ -185,12 +187,19 @@ class OooCore
         bool completed = false;
         sched::Cycle completeCycle = 0;
         sched::Cycle execStart = 0;
+        sched::Cycle fetchCycle = 0;   ///< fetch cycle
+        sched::Cycle queueReadyAt = 0; ///< eligible for queue insert
         sched::Cycle insertCycle = 0;  ///< queue-insert cycle
+        sched::Cycle readyCycle = 0;   ///< last became fully ready
         sched::Cycle issueCycle = 0;   ///< last (re)issue cycle
         std::array<int64_t, 2> srcProducer = {-1, -1};  ///< dyn ids
+        int64_t mopHeadId = -1;        ///< pairing id (head dyn id)
         bool grouped = false;
         bool independent = false;
         bool isHead = false;
+        bool replayed = false;
+        bool wasMiss = false;
+        bool mispredicted = false;
     };
 
     void doFetch();

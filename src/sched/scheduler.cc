@@ -552,6 +552,7 @@ void
 Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
 {
     Entry &e = entries_[size_t(idx)];
+    const bool wasReplayed = e.replayed;
     e.issued = true;
     e.replayed = false;
     e.issueCycle = now;
@@ -625,11 +626,13 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
         e.opComplete[size_t(o)] = complete;
         ExecEvent ev;
         ev.seq = op.seq;
+        ev.ready = e.readyAt == kNoCycle ? now : e.readyAt;
         ev.issued = now;
         ev.execStart = exec_start;
         ev.complete = complete;
         ev.isLoad = op.op == isa::OpClass::Load;
         ev.wasMiss = was_miss;
+        ev.replayed = wasReplayed;
         compRing_[complete % kRing].push_back(
             CompletionEv{idx, e.gen, o, ev});
     }

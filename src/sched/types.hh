@@ -77,11 +77,13 @@ struct SchedOp
 struct ExecEvent
 {
     uint64_t seq = 0;
+    Cycle ready = 0;       ///< entry last became fully ready (wakeup)
     Cycle issued = 0;      ///< select cycle
     Cycle execStart = 0;   ///< first execution cycle
     Cycle complete = 0;    ///< value available at start of this cycle
     bool isLoad = false;
     bool wasMiss = false;
+    bool replayed = false; ///< entry was selectively replayed >= once
 };
 
 /**

@@ -1,7 +1,9 @@
 #include "stats/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <numeric>
 #include <stdexcept>
 
 namespace mop::stats
@@ -63,9 +65,17 @@ Histogram::percentile(double p) const
 {
     if (total_ == 0)
         return lo_;
-    uint64_t want = uint64_t(double(total_) * std::clamp(p, 0.0, 1.0));
+    // Rank of the requested sample, 1-based: the smallest observed
+    // value whose cumulative count covers p of the distribution.
+    // ceil() (rather than truncation) makes p0 the minimum observed
+    // sample and p100 the maximum, with interior percentiles rounding
+    // up to the next held sample instead of down past it.
+    uint64_t want =
+        uint64_t(std::ceil(double(total_) * std::clamp(p, 0.0, 1.0)));
     if (want == 0)
-        want = 1;
+        want = 1;  // p0: minimum observed sample
+    if (want > total_)
+        want = total_;
     uint64_t seen = underflow_;
     if (seen >= want)
         return lo_;
@@ -74,7 +84,7 @@ Histogram::percentile(double p) const
         if (seen >= want)
             return lo_ + int64_t(i) * bucketSize_;
     }
-    return hi_;
+    return hi_;  // rank falls in the overflow bucket
 }
 
 void
@@ -149,6 +159,47 @@ StatGroup::printCsv(std::ostream &os, const std::string &prefix) const
         os << path << "." << e.name << "," << e.eval() << "\n";
     for (const auto *c : children_)
         c->printCsv(os, path);
+}
+
+std::vector<double>
+largestRemainderPercents(const std::vector<uint64_t> &counts, int decimals)
+{
+    std::vector<double> out(counts.size(), 0.0);
+    uint64_t total = std::accumulate(counts.begin(), counts.end(),
+                                     uint64_t(0));
+    if (total == 0 || counts.empty())
+        return out;
+
+    decimals = std::clamp(decimals, 0, 6);
+    uint64_t scale = 1;
+    for (int d = 0; d < decimals; ++d)
+        scale *= 10;
+    const uint64_t units = 100 * scale;  // whole pie in output units
+
+    // Integer quotas: floor(counts[i] * units / total) never loses
+    // precision (128-bit intermediate), remainders order the leftover.
+    std::vector<uint64_t> quota(counts.size());
+    std::vector<unsigned __int128> rem(counts.size());
+    unsigned __int128 assigned = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        unsigned __int128 num =
+            (unsigned __int128)counts[i] * (unsigned __int128)units;
+        quota[i] = uint64_t(num / total);
+        rem[i] = num % total;
+        assigned += quota[i];
+    }
+    uint64_t leftover = units - uint64_t(assigned);
+
+    std::vector<size_t> order(counts.size());
+    std::iota(order.begin(), order.end(), size_t(0));
+    std::stable_sort(order.begin(), order.end(),
+                     [&rem](size_t a, size_t b) { return rem[a] > rem[b]; });
+    for (uint64_t k = 0; k < leftover; ++k)
+        ++quota[order[k % order.size()]];
+
+    for (size_t i = 0; i < counts.size(); ++i)
+        out[i] = double(quota[i]) / double(scale);
+    return out;
 }
 
 } // namespace mop::stats

@@ -94,8 +94,11 @@ class Histogram
 
     /**
      * Smallest bucket lower bound whose cumulative count reaches
-     * fraction @p p (0..1] of all samples; resolution is the bucket
-     * size. Underflow counts toward lo, overflow toward hi.
+     * fraction @p p (clamped to [0, 1]) of all samples; resolution is
+     * the bucket size. Underflow counts toward lo, overflow toward
+     * hi. Edge semantics: p <= 0 is the minimum observed sample's
+     * bucket, p >= 1 the maximum's (hi when samples overflowed); an
+     * empty histogram returns lo.
      */
     int64_t percentile(double p) const;
 
@@ -151,6 +154,17 @@ class StatGroup
     std::vector<Entry> entries_;
     std::vector<const StatGroup *> children_;
 };
+
+/**
+ * Round @p counts to percentages of their sum that add up to exactly
+ * 100 at @p decimals digits (largest-remainder / Hamilton method:
+ * floor every quota, then hand the leftover units to the largest
+ * fractional remainders, lowest index first on ties). Independent
+ * rounding can print columns summing to 99.99 or 100.01; these always
+ * sum to 100.00. All-zero input returns all zeros.
+ */
+std::vector<double> largestRemainderPercents(
+    const std::vector<uint64_t> &counts, int decimals = 2);
 
 } // namespace mop::stats
 

@@ -61,10 +61,18 @@ SweepExecutor::runAll(
     if (batch.empty())
         return results;
 
+    auto report = [this](const SweepOutcome &out) {
+        if (!telemetry_)
+            return;
+        telemetry_->onRunCompleted(out.seconds, out.simulatedInsts);
+        telemetry_->maybeFlush();
+    };
+
     int workers = int(std::min(size_t(jobs_), batch.size()));
     if (workers <= 1) {
         for (size_t i = 0; i < batch.size(); ++i) {
             results[i] = computeJob(batch[i]);
+            report(results[i]);
             if (progress)
                 progress(i + 1, batch.size());
         }
@@ -83,6 +91,7 @@ SweepExecutor::runAll(
                 return;
             try {
                 results[i] = computeJob(batch[i]);
+                report(results[i]);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mu);
                 if (!firstError)

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "pipeline/ooo_core.hh"
 #include "sim/config.hh"
 #include "sweep/fingerprint.hh"
@@ -61,6 +62,11 @@ class SweepExecutor
 
     int jobs() const { return jobs_; }
 
+    /** Attach a live telemetry sink (not owned; may be null). Each
+     *  completed job reports its wall time and simulated instruction
+     *  count, followed by a rate-limited flush. */
+    void setTelemetry(obs::TelemetrySink *t) { telemetry_ = t; }
+
     /**
      * Run every job; result i corresponds to job i. @p progress (may
      * be empty) is invoked from worker threads under a lock with the
@@ -74,6 +80,7 @@ class SweepExecutor
 
   private:
     int jobs_;
+    obs::TelemetrySink *telemetry_ = nullptr;  ///< not owned
 };
 
 } // namespace mop::sweep

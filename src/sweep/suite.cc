@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -267,8 +268,22 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
     }
 
     SweepExecutor exec(opts.jobs);
+    std::unique_ptr<obs::TelemetrySink> telemetry;
+    if (!opts.telemetryPath.empty() || opts.progress) {
+        telemetry = std::make_unique<obs::TelemetrySink>(
+            opts.telemetryPath, exec.jobs());
+        telemetry->beginBatch(jobs.size(), jobs.size() - misses.size());
+        telemetry->flush();
+        exec.setTelemetry(telemetry.get());
+    }
     std::function<void(size_t, size_t)> progress;
-    if (opts.verbose) {
+    if (opts.progress) {
+        obs::TelemetrySink *sink = telemetry.get();
+        progress = [sink](size_t, size_t) {
+            std::cerr << "\r[sweep] " << sink->progressLine()
+                      << std::flush;
+        };
+    } else if (opts.verbose) {
         progress = [](size_t done, size_t total) {
             std::cerr << "[sweep] " << done << "/" << total
                       << " runs done\n";
@@ -276,6 +291,12 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
     }
     uint64_t simulatedInsts = 0;
     std::vector<SweepOutcome> outcomes = exec.runAll(misses, progress);
+    if (telemetry) {
+        telemetry->flush();
+        if (opts.progress)
+            std::cerr << "\r[sweep] " << telemetry->progressLine()
+                      << "\n";
+    }
     for (size_t k = 0; k < outcomes.size(); ++k) {
         const Fingerprint &fp = jobFps[missIdx[k]];
         cache.store(fp, outcomes[k].record);
@@ -438,7 +459,13 @@ usage(std::ostream &os)
           "                  (default: $MOP_CACHE_DIR or "
           "~/.cache/mopsim)\n"
           "  --no-cache      disable the persistent result cache\n"
-          "  --quiet         suppress progress lines on stderr\n";
+          "  --quiet         suppress progress lines on stderr\n"
+          "  --progress      single updating progress line on stderr\n"
+          "                  (runs done/queued, cache hits, worker\n"
+          "                  utilization, ETA)\n"
+          "  --telemetry F   write live batch telemetry to F as a\n"
+          "                  Prometheus-style text file (rewritten\n"
+          "                  atomically as runs complete)\n";
 }
 
 /** Shared flag parsing for suiteMain and figureMain. Returns an exit
@@ -474,6 +501,10 @@ parseArgs(int argc, char **argv, SuiteOptions &opts)
             opts.cacheDir = value("--cache-dir");
         } else if (a == "--no-cache") {
             opts.useCache = false;
+        } else if (a == "--telemetry") {
+            opts.telemetryPath = value("--telemetry");
+        } else if (a == "--progress") {
+            opts.progress = true;
         } else if (a == "--quiet") {
             opts.verbose = false;
         } else if (a == "--verbose") {

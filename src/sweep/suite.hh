@@ -105,6 +105,12 @@ struct SuiteOptions
     bool useCache = true;
     uint64_t insts = 0;  ///< 0 = MOP_INSTS env or 200k default
     bool verbose = false;  ///< progress lines on stderr
+    /** Prometheus-style telemetry text file, rewritten atomically as
+     *  runs complete ("" = off). */
+    std::string telemetryPath;
+    /** Single updating TTY progress line on stderr (replaces the
+     *  per-run verbose lines). */
+    bool progress = false;
 };
 
 /** CLI driver behind the mopsuite binary. */

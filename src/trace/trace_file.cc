@@ -157,10 +157,13 @@ namespace
 {
 
 constexpr char kEventMagic[8] = {'M', 'O', 'P', 'E', 'V', 'T', 'R', 'C'};
-constexpr uint32_t kEventVersion = 1;
+constexpr uint32_t kEventVersionV1 = 1;
+constexpr uint32_t kEventVersion = 2;
 
-/** On-disk cycle-event record, 64 bytes, little-endian host assumed. */
-struct EventRecord
+/** On-disk v1 cycle-event record, 64 bytes, little-endian host
+ *  assumed. Still readable: v1 files predate the lifecycle
+ *  extension. */
+struct EventRecordV1
 {
     uint8_t kind;
     uint8_t op;
@@ -173,7 +176,34 @@ struct EventRecord
     uint64_t complete;
     uint64_t commit;
 };
-static_assert(sizeof(EventRecord) == 64, "event record must be 64 bytes");
+static_assert(sizeof(EventRecordV1) == 64,
+              "v1 event record must be 64 bytes");
+
+/** On-disk v2 cycle-event record, 112 bytes: the v1 prefix plus the
+ *  full lifecycle (fetch/queue-ready/wakeup-ready), dependence edges
+ *  and MOP-pairing id. */
+struct EventRecord
+{
+    uint8_t kind;
+    uint8_t op;
+    uint8_t flags;
+    uint8_t pad[5];
+    uint64_t seq;
+    uint64_t pc;
+    uint64_t insert;
+    uint64_t issue;
+    uint64_t execStart;
+    uint64_t complete;
+    uint64_t commit;
+    uint64_t fetch;
+    uint64_t queueReady;
+    uint64_t ready;
+    uint64_t dep0;
+    uint64_t dep1;
+    uint64_t mopId;
+};
+static_assert(sizeof(EventRecord) == 112,
+              "v2 event record must be 112 bytes");
 
 EventRecord
 packEvent(const CycleEvent &ev)
@@ -181,6 +211,7 @@ packEvent(const CycleEvent &ev)
     EventRecord r{};
     r.kind = uint8_t(ev.kind);
     r.op = ev.op;
+    r.flags = ev.flags;
     r.seq = ev.seq;
     r.pc = ev.pc;
     r.insert = ev.insert;
@@ -188,11 +219,39 @@ packEvent(const CycleEvent &ev)
     r.execStart = ev.execStart;
     r.complete = ev.complete;
     r.commit = ev.commit;
+    r.fetch = ev.fetch;
+    r.queueReady = ev.queueReady;
+    r.ready = ev.ready;
+    r.dep0 = ev.dep[0];
+    r.dep1 = ev.dep[1];
+    r.mopId = ev.mopId;
     return r;
 }
 
 CycleEvent
 unpackEvent(const EventRecord &r)
+{
+    CycleEvent ev;
+    ev.kind = CycleEvent::Kind(r.kind);
+    ev.op = r.op;
+    ev.flags = r.flags;
+    ev.seq = r.seq;
+    ev.pc = r.pc;
+    ev.insert = r.insert;
+    ev.issue = r.issue;
+    ev.execStart = r.execStart;
+    ev.complete = r.complete;
+    ev.commit = r.commit;
+    ev.fetch = r.fetch;
+    ev.queueReady = r.queueReady;
+    ev.ready = r.ready;
+    ev.dep = {r.dep0, r.dep1};
+    ev.mopId = r.mopId;
+    return ev;
+}
+
+CycleEvent
+unpackEventV1(const EventRecordV1 &r)
 {
     CycleEvent ev;
     ev.kind = CycleEvent::Kind(r.kind);
@@ -204,6 +263,13 @@ unpackEvent(const EventRecord &r)
     ev.execStart = r.execStart;
     ev.complete = r.complete;
     ev.commit = r.commit;
+    // v1 records carry no lifecycle extension: fall back to the
+    // nearest recorded event so downstream passes see a consistent
+    // (if coarse) fetch <= queueReady <= insert <= ready <= issue
+    // ordering, and no dep/MOP information.
+    ev.fetch = r.insert;
+    ev.queueReady = r.insert;
+    ev.ready = r.issue;
     return ev;
 }
 
@@ -253,12 +319,20 @@ EventTraceReader::EventTraceReader(const std::string &path)
     if (std::fread(magic, 1, 8, f_) != 8 ||
         std::memcmp(magic, kEventMagic, 8) != 0 ||
         std::fread(&version, sizeof(version), 1, f_) != 1 ||
-        std::fread(&reserved, sizeof(reserved), 1, f_) != 1 ||
-        version != kEventVersion) {
+        std::fread(&reserved, sizeof(reserved), 1, f_) != 1) {
         std::fclose(f_);
         f_ = nullptr;
         throw std::runtime_error("bad event trace header: " + path);
     }
+    if (version != kEventVersionV1 && version != kEventVersion) {
+        std::fclose(f_);
+        f_ = nullptr;
+        throw std::runtime_error(
+            "unsupported event trace version " + std::to_string(version) +
+            " (reader supports 1-" + std::to_string(kEventVersion) +
+            "): " + path);
+    }
+    version_ = version;
 }
 
 EventTraceReader::~EventTraceReader()
@@ -270,6 +344,19 @@ EventTraceReader::~EventTraceReader()
 bool
 EventTraceReader::next(CycleEvent &out)
 {
+    if (version_ == kEventVersionV1) {
+        EventRecordV1 r;
+        size_t n = std::fread(&r, 1, sizeof(r), f_);
+        if (n == 0)
+            return false;
+        if (n < sizeof(r)) {
+            throw std::runtime_error(
+                "truncated v1 event record: got " + std::to_string(n) +
+                " bytes, expected " + std::to_string(sizeof(r)));
+        }
+        out = unpackEventV1(r);
+        return true;
+    }
     EventRecord r;
     size_t n = std::fread(&r, 1, sizeof(r), f_);
     if (n == 0)

@@ -72,11 +72,16 @@ uint64_t recordTrace(TraceSource &src, const std::string &path,
 /**
  * One cycle-event record exported by the observability layer
  * (obs/trace_export.hh). Uop events describe a committed micro-op's
- * pipeline lifecycle; Counter events repurpose the cycle fields as
- * periodic per-structure occupancy samples.
+ * full pipeline lifecycle; Counter events repurpose the v1 cycle
+ * fields as periodic per-structure occupancy samples.
  *
  * Binary form: 16-byte header ("MOPEVTRC", u32 version, u32 reserved)
- * followed by fixed 64-byte records.
+ * followed by fixed-size records. Version 1 wrote 64-byte records
+ * (kind/op + seq/pc + the five v1 cycle fields); version 2 appends
+ * the rest of the lifecycle (fetch / queue-ready / wakeup-ready
+ * timestamps), the dependence edges and the MOP-pairing id in
+ * 112-byte records. The reader accepts both versions; v1 records
+ * load with the v2-only fields at their documented defaults.
  */
 struct CycleEvent
 {
@@ -86,8 +91,21 @@ struct CycleEvent
         Counter,  ///< occupancy sample (see field comments)
     };
 
+    /** "No producer / not grouped" marker for dep[] and mopId. */
+    static constexpr uint64_t kNone = ~0ULL;
+
+    // Lifecycle flag bits (Uop only; v2 files, 0 on v1 reads).
+    static constexpr uint8_t kFlagFirstUop = 1u << 0;  ///< 1st µop of inst
+    static constexpr uint8_t kFlagGrouped = 1u << 1;   ///< inside a MOP
+    static constexpr uint8_t kFlagMopHead = 1u << 2;   ///< MOP head op
+    static constexpr uint8_t kFlagReplayed = 1u << 3;  ///< replayed >= once
+    static constexpr uint8_t kFlagLoad = 1u << 4;
+    static constexpr uint8_t kFlagDl1Miss = 1u << 5;   ///< load missed DL1
+    static constexpr uint8_t kFlagMispredict = 1u << 6; ///< fetch redirect
+
     Kind kind = Kind::Uop;
     uint8_t op = 0;          ///< isa::OpClass (Uop only)
+    uint8_t flags = 0;       ///< kFlag* bits (Uop only, v2)
     uint64_t seq = 0;        ///< dynamic µop id
     uint64_t pc = 0;
     uint64_t insert = 0;     ///< Counter: sample cycle
@@ -95,6 +113,16 @@ struct CycleEvent
     uint64_t execStart = 0;  ///< Counter: ROB occupancy
     uint64_t complete = 0;   ///< Counter: frontend occupancy
     uint64_t commit = 0;     ///< Counter: pending MOP heads
+
+    // --- v2 lifecycle extension (Uop only) ---------------------------
+    uint64_t fetch = 0;       ///< fetch cycle (v1 reads: == insert)
+    uint64_t queueReady = 0;  ///< eligible for queue insert (v1: insert)
+    uint64_t ready = 0;       ///< last became fully ready (v1: == issue)
+    /** Producing dynamic ids of the true register sources (kNone when
+     *  absent or too old to resolve). */
+    std::array<uint64_t, 2> dep = {kNone, kNone};
+    /** MOP-pairing id: the group head's dynamic id (kNone: ungrouped). */
+    uint64_t mopId = kNone;
 
     bool operator==(const CycleEvent &) const = default;
 };
@@ -120,11 +148,14 @@ class EventTraceWriter
     uint64_t count_ = 0;
 };
 
-/** Reads a binary cycle-event trace back, record by record. */
+/** Reads a binary cycle-event trace back, record by record. Accepts
+ *  both format versions: v2 files load in full, v1 files load with
+ *  the lifecycle-extension fields at their documented defaults. */
 class EventTraceReader
 {
   public:
-    /** @throws std::runtime_error on open failure or bad header. */
+    /** @throws std::runtime_error on open failure, bad header, or an
+     *  unsupported format version. */
     explicit EventTraceReader(const std::string &path);
     ~EventTraceReader();
 
@@ -134,8 +165,12 @@ class EventTraceReader
     /** @return false at end of file; throws on a truncated record. */
     bool next(CycleEvent &out);
 
+    /** Format version declared by the file header (1 or 2). */
+    uint32_t version() const { return version_; }
+
   private:
     FILE *f_ = nullptr;
+    uint32_t version_ = 0;
 };
 
 /** Convenience: read a whole binary cycle-event trace into memory. */

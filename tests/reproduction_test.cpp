@@ -8,12 +8,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
+#include <numeric>
 #include <sstream>
 
+#include "obs/critpath.hh"
 #include "obs/stall.hh"
+#include "prog/interpreter.hh"
+#include "prog/kernels.hh"
 #include "sim/config.hh"
 #include "trace/profiles.hh"
+#include "trace/trace_file.hh"
 
 namespace
 {
@@ -217,6 +223,235 @@ TEST(Golden, PinnedIpcIsConsistent)
         auto r = sim::runBenchmark(g.bench, cfg, kGoldenInsts);
         EXPECT_EQ(r.ipc, double(r.insts) / double(r.cycles)) << g.bench;
     }
+}
+
+// ---------------------------------------------------------------------
+// Critical-path composition pins and cross-checks. The critpath pass
+// (obs/critpath) is a second, independent decomposition of the same
+// pinned runs: its golden vector is pinned next to the stall vectors
+// above, its dominant stall cause must agree with the slot-based
+// attribution, and its what-if 2-cycle estimate must track the
+// cycle-accurate ablation on the assembly kernels.
+// ---------------------------------------------------------------------
+
+std::string
+tmpPath(const std::string &name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+/** Re-run a pinned configuration with the event trace on and analyze
+ *  it. Tracing is pure observability, so this is the same simulation
+ *  the golden pins above check. */
+obs::CritPathReport
+critPathOf(const GoldenRun &g)
+{
+    std::string path =
+        tmpPath(std::string("critpin_") + g.bench + ".evt");
+    sim::RunConfig cfg;
+    cfg.machine = g.machine;
+    cfg.iqEntries = 32;
+    cfg.obs.enabled = true;
+    cfg.obs.traceOut = path;
+    sim::runBenchmark(g.bench, cfg, kGoldenInsts);
+    auto events = trace::readEventTrace(path);
+    std::remove(path.c_str());
+    return obs::analyzeCritPath(events);
+}
+
+/** Pinned critical-path composition for the gzip golden run. The
+ *  cause vector is indexed by obs::CritCause (frontend, capacity,
+ *  wakeup-wait, chain-latency, dcache-miss, select-loss, replay,
+ *  dispatch, commit-wait). Regenerate with:
+ *    build/src/sim/mopsim --bench gzip --machine mop-wiredor --iq 32 \
+ *        --insts 20000 --trace-out t.evt && build/src/obs/moptrace \
+ *        critpath t.evt */
+struct GoldenCritPath
+{
+    uint64_t cycles;
+    uint64_t uops;
+    uint64_t insts;
+    std::array<uint64_t, obs::kNumCritCauses> cause;
+    uint64_t depEdges;
+    uint64_t tightEdges;
+    uint64_t whatIfTwoCycle;
+};
+
+// clang-format off
+const GoldenCritPath kGoldenCritGzip = {
+    15133, 21719, 20000,
+    {4827, 0, 134, 1278, 3216, 0, 0, 840, 4838},
+    22428, 3793, 17975};
+// clang-format on
+
+TEST(Golden, PinnedCritPathComposition)
+{
+    auto r = critPathOf(kGolden[0]);  // the gzip pin
+    const GoldenCritPath &g = kGoldenCritGzip;
+
+    // The composition is a complete decomposition whatever the pin
+    // says: every cycle of the span charged to exactly one cause.
+    EXPECT_EQ(std::accumulate(r.causeCycles.begin(), r.causeCycles.end(),
+                              uint64_t(0)),
+              r.cycles);
+
+    bool match = r.cycles == g.cycles && r.uops == g.uops &&
+                 r.insts == g.insts && r.causeCycles == g.cause &&
+                 r.depEdges == g.depEdges &&
+                 r.tightEdges == g.tightEdges &&
+                 r.whatIfTwoCycleCycles == g.whatIfTwoCycle;
+    if (match)
+        return;
+
+    std::ostringstream diff;
+    diff << "gzip critical-path composition drifted from the pin:\n";
+    auto field = [&](const char *name, uint64_t want, uint64_t got) {
+        if (want != got)
+            diff << "  " << name << ": pinned " << want << ", got "
+                 << got << "\n";
+    };
+    field("cycles", g.cycles, r.cycles);
+    field("uops", g.uops, r.uops);
+    field("insts", g.insts, r.insts);
+    for (size_t i = 0; i < obs::kNumCritCauses; ++i)
+        field(obs::critCauseName(obs::CritCause(i)), g.cause[i],
+              r.causeCycles[i]);
+    field("depEdges", g.depEdges, r.depEdges);
+    field("tightEdges", g.tightEdges, r.tightEdges);
+    field("whatIfTwoCycle", g.whatIfTwoCycle, r.whatIfTwoCycleCycles);
+    diff << "if the change is intended, re-pin with:\n  {" << r.cycles
+         << ", " << r.uops << ", " << r.insts << ",\n   {";
+    for (size_t i = 0; i < obs::kNumCritCauses; ++i)
+        diff << (i ? ", " : "") << r.causeCycles[i];
+    diff << "},\n   " << r.depEdges << ", " << r.tightEdges << ", "
+         << r.whatIfTwoCycleCycles << "};";
+    ADD_FAILURE() << diff.str();
+}
+
+TEST(Golden, CritPathDominantAgreesWithStallAttribution)
+{
+    // Two independent decompositions of the same pinned runs — the
+    // slot-based stall attribution and the critical-path composition —
+    // must name the same dominant bottleneck. The models answer
+    // slightly different questions (the slot model multiplies
+    // partial-width frontend starvation by the issue width; the time
+    // model does not), so when the critpath's top two stall causes are
+    // within 5% of the span of each other the slot winner only has to
+    // appear among them.
+    auto slotToCrit = [](obs::StallCause c) {
+        switch (c) {
+          case obs::StallCause::Frontend:
+            return obs::CritCause::Frontend;
+          case obs::StallCause::IqFull:
+          case obs::StallCause::RobFull:
+            return obs::CritCause::Capacity;
+          case obs::StallCause::WakeupWait:
+            return obs::CritCause::WakeupWait;
+          case obs::StallCause::SelectLoss:
+            return obs::CritCause::SelectLoss;
+          case obs::StallCause::Replay:
+            return obs::CritCause::Replay;
+          case obs::StallCause::DcacheMiss:
+            return obs::CritCause::DcacheMiss;
+          default:
+            return obs::CritCause::kCount;
+        }
+    };
+    for (const GoldenRun &g : kGolden) {
+        // Dominant stall of the pinned slot vector (the pin itself, so
+        // no re-simulation needed), excluding useful work and drain.
+        size_t slotBest = size_t(obs::StallCause::Frontend);
+        for (size_t i = 0; i < obs::kNumStallCauses; ++i) {
+            auto c = obs::StallCause(i);
+            if (c == obs::StallCause::Useful || c == obs::StallCause::Drain)
+                continue;
+            if (g.stall[i] > g.stall[slotBest])
+                slotBest = i;
+        }
+        obs::CritCause want = slotToCrit(obs::StallCause(slotBest));
+
+        auto r = critPathOf(g);
+        static constexpr obs::CritCause kStallish[] = {
+            obs::CritCause::Frontend,   obs::CritCause::Capacity,
+            obs::CritCause::WakeupWait, obs::CritCause::DcacheMiss,
+            obs::CritCause::SelectLoss, obs::CritCause::Replay,
+        };
+        obs::CritCause top1 = kStallish[0], top2 = kStallish[1];
+        for (obs::CritCause c : kStallish) {
+            if (r.causeCycles[size_t(c)] >= r.causeCycles[size_t(top1)]) {
+                top2 = top1;
+                top1 = c;
+            } else if (r.causeCycles[size_t(c)] >
+                       r.causeCycles[size_t(top2)]) {
+                top2 = c;
+            }
+        }
+        EXPECT_EQ(top1, r.dominantStall()) << g.bench;
+        uint64_t margin = r.causeCycles[size_t(top1)] -
+                          r.causeCycles[size_t(top2)];
+        if (margin > r.cycles / 20) {
+            EXPECT_EQ(top1, want)
+                << g.bench << ": critpath says "
+                << obs::critCauseName(top1) << ", stall vector says "
+                << obs::critCauseName(want);
+        } else {
+            EXPECT_TRUE(want == top1 || want == top2)
+                << g.bench << ": stall-vector dominant "
+                << obs::critCauseName(want)
+                << " not among critpath near-tie {"
+                << obs::critCauseName(top1) << ", "
+                << obs::critCauseName(top2) << "}";
+        }
+    }
+}
+
+TEST(Golden, WhatIfTwoCycleTracksAblationOnKernels)
+{
+    // Acceptance criterion for the what-if estimator: the statically
+    // estimated slowdown of the pipelined 2-cycle loop must land
+    // within 10% of the cycle-accurate ablation (aggregated over the
+    // kernels; individual kernels with second-order select/capacity
+    // effects may miss in either direction).
+    uint64_t estTotal = 0, measTotal = 0;
+    for (const auto &k : prog::kernelNames()) {
+        auto runKernel = [&](Machine m, const std::string &trace) {
+            prog::Program p = prog::assemble(prog::kernelSource(k));
+            prog::Interpreter src(p);
+            sim::RunConfig cfg;
+            cfg.machine = m;
+            cfg.iqEntries = 32;
+            if (!trace.empty()) {
+                cfg.obs.enabled = true;
+                cfg.obs.traceOut = trace;
+            }
+            pipeline::OooCore core(sim::makeCoreParams(cfg), src);
+            return core.run(10'000'000);
+        };
+        std::string path = tmpPath("whatif_" + k + ".evt");
+        auto base = runKernel(Machine::Base, path);
+        auto two = runKernel(Machine::TwoCycle, "");
+        auto events = trace::readEventTrace(path);
+        std::remove(path.c_str());
+        auto r = obs::analyzeCritPath(events);
+
+        ASSERT_GE(two.cycles, base.cycles) << k;
+        ASSERT_GE(r.whatIfTwoCycleCycles, r.cycles) << k;
+        uint64_t est = r.whatIfTwoCycleCycles - r.cycles;
+        uint64_t meas = two.cycles - base.cycles;
+        estTotal += est;
+        measTotal += meas;
+        // Spot checks on the kernels dominated by tight dependence
+        // chains, where the static model should be accurate.
+        if (k == "hash" || k == "crc") {
+            EXPECT_NEAR(double(est), double(meas), 0.10 * double(meas))
+                << k;
+        }
+    }
+    ASSERT_GT(measTotal, 0u);
+    double err = (double(estTotal) - double(measTotal)) /
+                 double(measTotal);
+    EXPECT_LT(std::abs(err), 0.10)
+        << "estimated " << estTotal << " vs measured " << measTotal;
 }
 
 TEST(Reproduction, Section62DetectionDelayInsensitive)

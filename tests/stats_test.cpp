@@ -79,6 +79,92 @@ TEST(HistogramStat, WeightedMean)
     EXPECT_DOUBLE_EQ(h.mean(), (30.0 + 50.0) / 4.0);
 }
 
+TEST(HistogramStat, PercentileBoundaries)
+{
+    Histogram h(0, 100, 100);  // unit buckets
+    for (int v = 10; v < 20; ++v)
+        h.sample(v);
+    // p0 is the minimum observed sample, p100 the maximum.
+    EXPECT_EQ(h.percentile(0.0), 10);
+    EXPECT_EQ(h.percentile(1.0), 19);
+    // Interior percentiles round up to the next held sample: with 10
+    // samples, p50 is the 5th (value 14), p95 the 10th (value 19).
+    EXPECT_EQ(h.percentile(0.5), 14);
+    EXPECT_EQ(h.percentile(0.95), 19);
+    // Out-of-range p clamps rather than walking off the histogram.
+    EXPECT_EQ(h.percentile(-3.0), 10);
+    EXPECT_EQ(h.percentile(7.0), 19);
+}
+
+TEST(HistogramStat, PercentileEmptyAndOverflow)
+{
+    Histogram empty(0, 10, 5);
+    // Documented: an empty histogram reads as lo at every p.
+    EXPECT_EQ(empty.percentile(0.0), 0);
+    EXPECT_EQ(empty.percentile(0.5), 0);
+    EXPECT_EQ(empty.percentile(1.0), 0);
+
+    Histogram h(0, 10, 5);
+    h.sample(-4);   // underflow counts toward lo
+    h.sample(3);
+    h.sample(99);   // overflow counts toward hi
+    EXPECT_EQ(h.percentile(0.0), 0);
+    EXPECT_EQ(h.percentile(0.5), 2);   // bucket [2,4) lower bound
+    EXPECT_EQ(h.percentile(1.0), 10);  // overflow resolves to hi
+}
+
+TEST(HistogramStat, PercentileSingleSample)
+{
+    Histogram h(0, 10, 10);
+    h.sample(7);
+    for (double p : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.percentile(p), 7) << "p=" << p;
+}
+
+TEST(LargestRemainder, SumsToExactly100)
+{
+    // Classic case independent rounding gets wrong: thirds.
+    std::vector<double> pct =
+        largestRemainderPercents({1, 1, 1}, 2);
+    double sum = pct[0] + pct[1] + pct[2];
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+    // 33.34 + 33.33 + 33.33, extra unit to the lowest index on a tie.
+    EXPECT_NEAR(pct[0], 33.34, 1e-9);
+    EXPECT_NEAR(pct[1], 33.33, 1e-9);
+    EXPECT_NEAR(pct[2], 33.33, 1e-9);
+}
+
+TEST(LargestRemainder, HandsLeftoverToLargestRemainders)
+{
+    // 7/8, 1/8 at one decimal: 87.5 + 12.5 needs no correction...
+    std::vector<double> pct = largestRemainderPercents({7, 1}, 1);
+    EXPECT_NEAR(pct[0], 87.5, 1e-9);
+    EXPECT_NEAR(pct[1], 12.5, 1e-9);
+    // ...but 1/6, 5/6 does: 16.7 + 83.3, not 16.6 + 83.3 (99.9).
+    pct = largestRemainderPercents({1, 5}, 1);
+    EXPECT_NEAR(pct[0] + pct[1], 100.0, 1e-9);
+    EXPECT_NEAR(pct[0], 16.7, 1e-9);
+    EXPECT_NEAR(pct[1], 83.3, 1e-9);
+}
+
+TEST(LargestRemainder, ZeroTotalAndEmpty)
+{
+    std::vector<double> pct = largestRemainderPercents({0, 0, 0}, 2);
+    for (double p : pct)
+        EXPECT_EQ(p, 0.0);
+    EXPECT_TRUE(largestRemainderPercents({}, 2).empty());
+}
+
+TEST(LargestRemainder, LargeCountsNoOverflow)
+{
+    // Counts near 2^40 scaled by 10^4 would overflow 64-bit math.
+    uint64_t big = uint64_t(1) << 40;
+    std::vector<double> pct =
+        largestRemainderPercents({big, big, big, big}, 2);
+    EXPECT_NEAR(pct[0] + pct[1] + pct[2] + pct[3], 100.0, 1e-9);
+    EXPECT_NEAR(pct[0], 25.0, 1e-9);
+}
+
 TEST(HistogramStat, RejectsDegenerateShape)
 {
     // These used to be assert()s, stripped from release builds; a bad

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/matrix_render.hh"
 #include "trace/profiles.hh"
@@ -157,6 +158,173 @@ TEST(TraceFile, WriterReportsCount)
         w.write(u);
     EXPECT_EQ(w.written(), 7u);
     w.close();
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// MOPEVTRC cycle-event trace: format version negotiation.
+// ---------------------------------------------------------------------
+
+/** Handcraft a v1 (64-byte record) event trace file, byte for byte,
+ *  the way the pre-lifecycle writer laid it out. */
+void
+writeV1EventFile(const std::string &path,
+                 const std::vector<CycleEvent> &events)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    uint32_t version = 1, reserved = 0;
+    std::fwrite("MOPEVTRC", 1, 8, f);
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fwrite(&reserved, sizeof(reserved), 1, f);
+    for (const CycleEvent &ev : events) {
+        uint8_t head[8] = {uint8_t(ev.kind), ev.op, 0, 0, 0, 0, 0, 0};
+        std::fwrite(head, 1, sizeof(head), f);
+        uint64_t words[7] = {ev.seq, ev.pc, ev.insert, ev.issue,
+                             ev.execStart, ev.complete, ev.commit};
+        std::fwrite(words, sizeof(uint64_t), 7, f);
+    }
+    std::fclose(f);
+}
+
+TEST(EventTraceVersion, V1FileLoadsWithDocumentedDefaults)
+{
+    std::string path = tmpPath("v1compat.evt");
+    CycleEvent in;
+    in.kind = CycleEvent::Kind::Uop;
+    in.op = 3;
+    in.seq = 42;
+    in.pc = 0x400100;
+    in.insert = 10;
+    in.issue = 15;
+    in.execStart = 16;
+    in.complete = 17;
+    in.commit = 20;
+    writeV1EventFile(path, {in});
+
+    EventTraceReader rd(path);
+    EXPECT_EQ(rd.version(), 1u);
+    CycleEvent out;
+    ASSERT_TRUE(rd.next(out));
+    EXPECT_EQ(out.seq, in.seq);
+    EXPECT_EQ(out.pc, in.pc);
+    EXPECT_EQ(out.insert, in.insert);
+    EXPECT_EQ(out.issue, in.issue);
+    EXPECT_EQ(out.commit, in.commit);
+    // v1 records predate the lifecycle extension: fetch/queueReady
+    // collapse onto insert, ready onto issue, and there is no dep /
+    // MOP-pairing / flag information.
+    EXPECT_EQ(out.fetch, in.insert);
+    EXPECT_EQ(out.queueReady, in.insert);
+    EXPECT_EQ(out.ready, in.issue);
+    EXPECT_EQ(out.dep[0], CycleEvent::kNone);
+    EXPECT_EQ(out.dep[1], CycleEvent::kNone);
+    EXPECT_EQ(out.mopId, CycleEvent::kNone);
+    EXPECT_EQ(out.flags, 0);
+    EXPECT_FALSE(rd.next(out));
+    std::remove(path.c_str());
+}
+
+TEST(EventTraceVersion, V2RoundTripPreservesLifecycle)
+{
+    std::string path = tmpPath("v2full.evt");
+    CycleEvent in;
+    in.kind = CycleEvent::Kind::Uop;
+    in.op = 5;
+    in.flags = CycleEvent::kFlagGrouped | CycleEvent::kFlagLoad |
+               CycleEvent::kFlagDl1Miss;
+    in.seq = 7;
+    in.pc = 0x400200;
+    in.fetch = 1;
+    in.queueReady = 3;
+    in.insert = 4;
+    in.ready = 9;
+    in.issue = 11;
+    in.execStart = 12;
+    in.complete = 30;
+    in.commit = 33;
+    in.dep = {2, 5};
+    in.mopId = 6;
+    {
+        EventTraceWriter w(path);
+        w.write(in);
+    }
+    EventTraceReader rd(path);
+    EXPECT_EQ(rd.version(), 2u);
+    CycleEvent out;
+    ASSERT_TRUE(rd.next(out));
+    EXPECT_EQ(out, in);
+    std::remove(path.c_str());
+}
+
+TEST(EventTraceVersion, RejectsFutureVersionWithClearError)
+{
+    std::string path = tmpPath("v9.evt");
+    FILE *f = std::fopen(path.c_str(), "wb");
+    uint32_t version = 9, reserved = 0;
+    std::fwrite("MOPEVTRC", 1, 8, f);
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fwrite(&reserved, sizeof(reserved), 1, f);
+    std::fclose(f);
+    try {
+        EventTraceReader rd(path);
+        FAIL() << "future version must be rejected";
+    } catch (const std::runtime_error &e) {
+        // The error must name the offending version and the supported
+        // range, so a user with a newer trace knows what happened.
+        EXPECT_NE(std::string(e.what()).find("version 9"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("1-2"), std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(EventTraceVersion, RejectsBadMagicAndTruncatedHeader)
+{
+    std::string path = tmpPath("badmagic.evt");
+    FILE *f = std::fopen(path.c_str(), "wb");
+    std::fwrite("NOTEVTRC\x02\x00\x00\x00\x00\x00\x00\x00", 1, 16, f);
+    std::fclose(f);
+    EXPECT_THROW(EventTraceReader rd(path), std::runtime_error);
+
+    // Right magic, version word cut off.
+    f = std::fopen(path.c_str(), "wb");
+    std::fwrite("MOPEVTRC\x02", 1, 9, f);
+    std::fclose(f);
+    EXPECT_THROW(EventTraceReader rd(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(EventTraceVersion, ThrowsOnTruncatedRecordBothVersions)
+{
+    // v2: cut the only 112-byte record short.
+    std::string path = tmpPath("shortv2.evt");
+    {
+        EventTraceWriter w(path);
+        w.write(CycleEvent{});
+    }
+    ASSERT_EQ(truncate(path.c_str(), 16 + 112 - 5), 0);
+    {
+        EventTraceReader rd(path);
+        CycleEvent ev;
+        EXPECT_THROW(rd.next(ev), std::runtime_error);
+    }
+    std::remove(path.c_str());
+
+    // v1: two whole records plus a ragged tail; the reader must
+    // deliver both and then raise rather than report clean EOF.
+    path = tmpPath("shortv1.evt");
+    writeV1EventFile(path, {CycleEvent{}, CycleEvent{}, CycleEvent{}});
+    ASSERT_EQ(truncate(path.c_str(), 16 + 2 * 64 + 7), 0);
+    {
+        EventTraceReader rd(path);
+        CycleEvent ev;
+        EXPECT_TRUE(rd.next(ev));
+        EXPECT_TRUE(rd.next(ev));
+        EXPECT_THROW(rd.next(ev), std::runtime_error);
+    }
     std::remove(path.c_str());
 }
 
