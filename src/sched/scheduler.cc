@@ -473,8 +473,21 @@ Scheduler::deliverBcasts(Cycle now)
             deliverTag(tag, now);
         }
         bcastFree_.push_back(id);
+        if (b.entry >= 0) {
+            Entry &src = entries_[size_t(b.entry)];
+            if (src.valid && src.gen == b.gen)
+                maybeReapShrunken(b.entry);
+        }
     }
     ring.clear();
+}
+
+void
+Scheduler::maybeReapShrunken(int idx)
+{
+    Entry &e = entries_[size_t(idx)];
+    if (e.valid && e.issued && e.completedOps >= e.numOps && e.outBcast < 0)
+        freeEntry(idx);
 }
 
 void
@@ -685,8 +698,12 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
     int issuedNow = 0;
     for (int idx : readyScratch_) {
         Entry &e = entries_[size_t(idx)];
-        bool fu_ok = fu_.available(e.ops[0].op, now) &&
-                     (e.numOps < 2 || fu_.available(e.ops[1].op, now + 1));
+        // issueEntry reserves a unit for every op of the MOP at
+        // consecutive cycles, so the grant must check every slot;
+        // with 3/4-op MOPs a two-op check overbooks units.
+        bool fu_ok = true;
+        for (int k = 0; k < e.numOps && fu_ok; ++k)
+            fu_ok = fu_.available(e.ops[size_t(k)].op, now + Cycle(k));
         if (width > 0 && fu_ok) {
             if (inj_ && inj_->fire(verify::FaultKind::DropGrant)) {
                 // Injected grant loss: the select arbiter granted this
@@ -1068,9 +1085,9 @@ Scheduler::dumpState(std::ostream &os) const
 }
 
 void
-Scheduler::squashAfter(uint64_t seq)
+Scheduler::squashAfter(uint64_t seq, Cycle now)
 {
-    record(lastProgress_, verify::SchedEvent::Kind::Squash, seq);
+    record(now, verify::SchedEvent::Kind::Squash, seq);
     forEachSetBit(validBits_, [&](size_t i) {
         Entry &e = entries_[i];
         if (e.minSeq > seq) {
@@ -1094,6 +1111,33 @@ Scheduler::squashAfter(uint64_t seq)
             }
             if (e.pending)
                 e.pending = false;
+            if (e.issued) {
+                // The in-flight entry's value and broadcast timing
+                // still reference the squashed last op; recompute both
+                // from the surviving prefix. The dropped ops' queued
+                // completions are skipped by the opIdx guard in
+                // tick(), so if every surviving op has already
+                // completed nothing is left to free the entry — reap
+                // it here (or when its rescheduled broadcast fires).
+                if (e.dstTag != kNoTag) {
+                    tagValueReady_[size_t(e.dstTag)] =
+                        e.opComplete[size_t(e.numOps - 1)];
+                }
+                if (e.outBcast >= 0) {
+                    cancelBcast(int(i));
+                    // The ring indexes by fire % kRing: a fire cycle
+                    // in the past would alias into a future slot, so
+                    // floor the reschedule at now + 1.
+                    scheduleBcast(int(i),
+                                  std::max(now + 1,
+                                           e.issueCycle +
+                                               Cycle(schedLatency(e))),
+                                  false);
+                }
+                maybeReapShrunken(int(i));
+                if (!e.valid)
+                    return;
+            }
         }
         if (e.pending && e.maxSeq <= seq) {
             // The expected tail will never arrive.

@@ -116,10 +116,12 @@ class Scheduler
     void tick(Cycle now, std::vector<ExecEvent> &completed,
               std::vector<MopIssue> *mop_issues = nullptr);
 
-    /** Squash every op younger than @p seq (exclusive). MOP entries
-     *  split by the squash point keep their head; tail-contributed
-     *  source operands are forced ready (Section 5.3.2). */
-    void squashAfter(uint64_t seq);
+    /** Squash every op younger than @p seq (exclusive) during cycle
+     *  @p now. MOP entries split by the squash point keep their head;
+     *  tail-contributed source operands are forced ready
+     *  (Section 5.3.2). Issued entries shrunken by the split get their
+     *  value/broadcast timing recomputed from the surviving prefix. */
+    void squashAfter(uint64_t seq, Cycle now);
 
     // --- introspection -------------------------------------------------
     int occupancy() const { return occupied_; }
@@ -307,6 +309,10 @@ class Scheduler
     std::vector<uint64_t> readyBits_;
     /** Recompute entry @p idx's readyBits_ bit from its state. */
     void refreshReady(int idx);
+    /** Free a squash-shrunken issued entry whose surviving ops have
+     *  all completed once its broadcast has left the bus; no
+     *  completion event remains to free it through the normal path. */
+    void maybeReapShrunken(int idx);
 
     /** tag -> architecturally-ready bit (may be unset by recalls). */
     std::vector<uint64_t> tagReadyBits_;

@@ -25,6 +25,7 @@
 #include "sim/selftest.hh"
 #include "stats/stats.hh"
 #include "trace/profiles.hh"
+#include "verify/difftest.hh"
 #include "verify/golden.hh"
 
 namespace
@@ -70,6 +71,16 @@ usage()
         "                     events on deadlock/integrity errors\n"
         "  --selftest         run the fault matrix over all machines;\n"
         "                     exits nonzero if any cell FAILED\n"
+        "  --difftest <n>     run n random schedules through the\n"
+        "                     production scheduler and the reference\n"
+        "                     oracle in lockstep (--difftest=<n> works\n"
+        "                     too); on divergence the script is shrunk\n"
+        "                     to a minimal repro and printed; exits\n"
+        "                     nonzero on any divergence\n"
+        "  --difftest-seed <n> base seed for --difftest scripts\n"
+        "                     (default 1; printed for replay)\n"
+        "  --difftest-repro <f> also write the first shrunken repro\n"
+        "                     to this file\n"
         "  --list             list workloads, kernels and machines\n";
 }
 
@@ -103,6 +114,9 @@ main(int argc, char **argv)
     bool golden_enabled = true;
     bool selftest = false;
     bool report_breakdown = false;
+    int difftest_n = 0;
+    uint64_t difftest_seed = 1;
+    std::string difftest_repro;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -157,6 +171,15 @@ main(int argc, char **argv)
             } else if (a == "--no-golden") golden_enabled = false;
             else if (a == "--dump-on-error") cfg.dumpOnError = true;
             else if (a == "--selftest") selftest = true;
+            else if (a == "--difftest") {
+                difftest_n =
+                    int(sim::parseIntOption(a, next(), 1, 1'000'000));
+            } else if (a.rfind("--difftest=", 0) == 0) {
+                difftest_n = int(sim::parseIntOption(
+                    "--difftest", a.substr(11), 1, 1'000'000));
+            } else if (a == "--difftest-seed") {
+                difftest_seed = sim::parseUintOption(a, next(), 0, ~0ULL);
+            } else if (a == "--difftest-repro") difftest_repro = next();
             else if (a == "--list") {
                 std::cout << "workloads:";
                 for (const auto &b : trace::specCint2000())
@@ -187,6 +210,15 @@ main(int argc, char **argv)
     if (selftest) {
         sim::SelftestResult r = sim::runSelftest(std::cout);
         return r.ok() ? 0 : 1;
+    }
+
+    if (difftest_n > 0) {
+        std::cout << "difftest: base seed " << difftest_seed
+                  << " (replay with --difftest-seed " << difftest_seed
+                  << ")\n";
+        int bad = verify::runDifftestCampaign(difftest_n, difftest_seed,
+                                              difftest_repro);
+        return bad == 0 ? 0 : 1;
     }
 
     if (bench.empty() == kernel.empty()) {

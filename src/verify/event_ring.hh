@@ -87,6 +87,13 @@ class EventRing
     size_t size() const { return size_; }
     size_t capacity() const { return buf_.size(); }
 
+    /** Retained event @p i, oldest first (i < size()). */
+    const SchedEvent &
+    at(size_t i) const
+    {
+        return buf_[(head_ + buf_.size() - size_ + i) % buf_.size()];
+    }
+
     /** Oldest-first dump of the retained events. */
     void
     dump(std::ostream &os) const

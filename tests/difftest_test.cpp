@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Differential-oracle tests: fixed-seed fuzz corpora must show zero
+ * production/oracle divergence, the generator must be seed-stable, and
+ * — mutation testing — re-enabling either historical scheduler bug
+ * inside the oracle must make the fuzzer find it and shrink it to a
+ * small repro.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/difftest.hh"
+
+namespace
+{
+
+using mop::verify::DivergenceReport;
+using mop::verify::makeRandomScript;
+using mop::verify::RefQuirks;
+using mop::verify::runLockstep;
+using mop::verify::ScheduleScript;
+using mop::verify::ScriptConfig;
+using mop::verify::ScriptItem;
+using mop::verify::scriptOpCount;
+using mop::verify::shrinkScript;
+
+ScriptConfig
+adversarialMopConfig()
+{
+    ScriptConfig cfg;
+    cfg.sweepParams = false;  // TwoCycle, 4-op MOPs, starved FUs
+    cfg.numOps = 80;
+    return cfg;
+}
+
+/**
+ * Fuzz under @p quirks and shrink divergences until a repro smaller
+ * than @p target_ops emerges (ddmin can plateau on an unlucky script,
+ * so keep fuzzing past it like a real campaign would). Returns false
+ * if no divergence at all was found.
+ */
+bool
+fuzzAndShrink(const RefQuirks &quirks, const ScriptConfig &cfg,
+              uint64_t max_seeds, int target_ops, ScheduleScript *min)
+{
+    bool any = false;
+    int best = INT32_MAX;
+    for (uint64_t seed = 1; seed <= max_seeds; ++seed) {
+        ScheduleScript s = makeRandomScript(seed, cfg);
+        DivergenceReport rep;
+        if (runLockstep(s, quirks, &rep))
+            continue;
+        any = true;
+        ScheduleScript m = shrinkScript(s, quirks);
+        if (scriptOpCount(m) < best) {
+            best = scriptOpCount(m);
+            *min = m;
+        }
+        if (best < target_ops)
+            break;
+    }
+    return any;
+}
+
+TEST(Difftest, FixedSeedCorpusHasNoDivergence)
+{
+    // The CI corpus: parameter-sweeping scripts over all four policies.
+    for (uint64_t seed = 1; seed <= 120; ++seed) {
+        ScheduleScript s = makeRandomScript(seed);
+        DivergenceReport rep;
+        ASSERT_TRUE(runLockstep(s, RefQuirks{}, &rep))
+            << "seed " << seed << " cycle " << rep.cycle << " ["
+            << rep.what << "] " << rep.detail;
+    }
+}
+
+TEST(Difftest, AdversarialMopCorpusHasNoDivergence)
+{
+    for (uint64_t seed = 1; seed <= 80; ++seed) {
+        ScheduleScript s = makeRandomScript(seed, adversarialMopConfig());
+        DivergenceReport rep;
+        ASSERT_TRUE(runLockstep(s, RefQuirks{}, &rep))
+            << "seed " << seed << " cycle " << rep.cycle << " ["
+            << rep.what << "] " << rep.detail;
+    }
+}
+
+TEST(Difftest, GeneratorIsDeterministic)
+{
+    ScheduleScript a = makeRandomScript(42);
+    ScheduleScript b = makeRandomScript(42);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t i = 0; i < a.items.size(); ++i) {
+        const ScriptItem &x = a.items[i];
+        const ScriptItem &y = b.items[i];
+        EXPECT_EQ(int(x.kind), int(y.kind)) << i;
+        EXPECT_EQ(int(x.op), int(y.op)) << i;
+        EXPECT_EQ(x.src0, y.src0) << i;
+        EXPECT_EQ(x.src1, y.src1) << i;
+        EXPECT_EQ(x.head, y.head) << i;
+        EXPECT_EQ(x.ref, y.ref) << i;
+        EXPECT_EQ(x.memLat, y.memLat) << i;
+        EXPECT_EQ(x.cycles, y.cycles) << i;
+    }
+    EXPECT_EQ(a.params.policy, b.params.policy);
+    EXPECT_EQ(a.params.numEntries, b.params.numEntries);
+}
+
+/** Mutation test: the FU-overbooking bug (select checked only the
+ *  first two ops' units) re-enabled inside the oracle must be found
+ *  by the fuzzer and shrink to a small repro. */
+TEST(Difftest, FuzzerFindsReintroducedFuBookingBug)
+{
+    RefQuirks quirks;
+    quirks.fuHeadOnlyCheck = true;
+
+    ScheduleScript min;
+    ASSERT_TRUE(fuzzAndShrink(quirks, adversarialMopConfig(), 400, 20,
+                              &min))
+        << "no script distinguished the buggy FU check in 400 seeds";
+    EXPECT_LT(scriptOpCount(min), 20)
+        << "ddmin left " << scriptOpCount(min) << " ops";
+
+    DivergenceReport mrep;
+    EXPECT_FALSE(runLockstep(min, quirks, &mrep))
+        << "shrunken script no longer reproduces";
+    DivergenceReport crep;
+    EXPECT_TRUE(runLockstep(min, RefQuirks{}, &crep))
+        << "fixed production diverges from the clean oracle: "
+        << crep.what << ": " << crep.detail;
+}
+
+/** Mutation test: the squashed-MOP entry leak (squashAfter shrank an
+ *  issued MOP without re-checking completion or broadcast timing). */
+TEST(Difftest, FuzzerFindsReintroducedSquashLeakBug)
+{
+    RefQuirks quirks;
+    quirks.squashLeak = true;
+
+    ScheduleScript min;
+    ASSERT_TRUE(fuzzAndShrink(quirks, adversarialMopConfig(), 400, 20,
+                              &min))
+        << "no script distinguished the squash leak in 400 seeds";
+    EXPECT_LT(scriptOpCount(min), 20)
+        << "ddmin left " << scriptOpCount(min) << " ops";
+
+    DivergenceReport mrep;
+    EXPECT_FALSE(runLockstep(min, quirks, &mrep))
+        << "shrunken script no longer reproduces";
+    DivergenceReport crep;
+    EXPECT_TRUE(runLockstep(min, RefQuirks{}, &crep))
+        << "fixed production diverges from the clean oracle: "
+        << crep.what << ": " << crep.detail;
+}
+
+TEST(Difftest, ReproOutputIsPasteReady)
+{
+    RefQuirks quirks;
+    quirks.fuHeadOnlyCheck = true;
+    ScheduleScript min;
+    ASSERT_TRUE(fuzzAndShrink(quirks, adversarialMopConfig(), 400, 20,
+                              &min));
+    DivergenceReport rep;
+    EXPECT_FALSE(runLockstep(min, quirks, &rep));
+    std::string repro = mop::verify::formatRepro(min, rep);
+    EXPECT_NE(repro.find("verify::ScheduleScript s;"), std::string::npos);
+    EXPECT_NE(repro.find("s.params.policy"), std::string::npos);
+    EXPECT_NE(repro.find("runLockstep"), std::string::npos);
+    EXPECT_NE(repro.find("EXPECT_TRUE"), std::string::npos);
+}
+
+} // namespace

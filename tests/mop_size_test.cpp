@@ -130,12 +130,57 @@ TEST(MopSize, SquashTruncatesChainSuffix)
     ASSERT_TRUE(h.s.appendTail(e, Harness::alu(5, 0, 0, 9), h.now, true));
     ASSERT_TRUE(h.s.appendTail(e, Harness::alu(6, 0, 0), h.now));
     h.tick();
-    h.s.squashAfter(1);  // ops 5 and 6 squashed, 0 and 1 stay
+    h.s.squashAfter(1, h.now);  // ops 5 and 6 squashed, 0 and 1 stay
     h.runUntilIdle();
     EXPECT_TRUE(h.done.count(0));
     EXPECT_TRUE(h.done.count(1));
     EXPECT_FALSE(h.done.count(5));
     EXPECT_FALSE(h.done.count(6));
+}
+
+TEST(MopSize, GrantChecksEveryFuSlotOfAWideMop)
+{
+    // Regression: select used to check unit availability only for the
+    // first two ops of a MOP, so a 3-op MOP whose third op needed a
+    // busy unit issued anyway and overbooked the pool.
+    SchedParams p = mopParams(3);
+    p.fuCounts[size_t(mop::isa::FuKind::IntMultDiv)] = 1;
+    Harness h(p);
+    // Occupy the only IntMultDiv unit with an unpipelined divide.
+    h.s.insert(Harness::op(0, OpClass::IntDiv, 0), h.now);
+    h.tick();
+    int e = h.s.insert(Harness::alu(1, 1), h.now, true);
+    ASSERT_TRUE(h.s.appendTail(e, Harness::alu(2, 1, 1), h.now, true));
+    ASSERT_TRUE(h.s.appendTail(e, Harness::op(3, OpClass::IntMult, 1, 1),
+                               h.now));
+    h.runUntilIdle();
+    EXPECT_EQ(h.issuedAt(0), 1u);
+    // The divide holds the unit until cycle 21, so the MOP whose third
+    // op wants it at issue+2 cannot issue before cycle 19. The buggy
+    // two-slot check granted it at cycle 2.
+    EXPECT_EQ(h.issuedAt(1), 19u);
+    EXPECT_EQ(h.execAt(3), 19u + 4 + 2);
+}
+
+TEST(MopSize, SquashAfterCompletedPrefixFreesShrunkenEntry)
+{
+    // Regression: squashAfter shrank an issued MOP whose surviving
+    // prefix had already completed without re-running the completion
+    // check, leaking the entry until the watchdog fired.
+    Harness h(mopParams(3));
+    int e = h.s.insert(Harness::alu(0, 0), h.now, true);
+    ASSERT_TRUE(h.s.appendTail(e, Harness::alu(1, 0, 0), h.now, true));
+    ASSERT_TRUE(h.s.appendTail(e, Harness::alu(2, 0, 0), h.now));
+    // The MOP issues at cycle 1 and its ops complete on consecutive
+    // cycles; wait until the first two are done but the third is still
+    // in flight, then squash the third away.
+    while (!h.done.count(1))
+        h.tick();
+    h.s.squashAfter(1, h.now);
+    h.runUntilIdle();
+    EXPECT_TRUE(h.done.count(0));
+    EXPECT_TRUE(h.done.count(1));
+    EXPECT_FALSE(h.done.count(2));
 }
 
 TEST(MopSizeFormation, ChainsFollowPerInstructionPointers)

@@ -159,7 +159,7 @@ TEST(Mop, SquashSplitsEntryAndForcesTailSources)
     int e = h.s.insert(Harness::alu(0, 0), h.now, true);
     ASSERT_TRUE(h.s.appendTail(e, Harness::alu(5, 0, 0, 7), h.now));
     h.tick();
-    h.s.squashAfter(3);  // squashes seq 5, keeps seq 0
+    h.s.squashAfter(3, h.now);  // squashes seq 5, keeps seq 0
     h.runUntilIdle();
     EXPECT_TRUE(h.done.count(0));
     EXPECT_FALSE(h.done.count(5));
@@ -171,9 +171,34 @@ TEST(Mop, SquashRemovesWholeYoungEntries)
     h.s.insert(Harness::alu(0, 0), h.now);
     h.s.insert(Harness::alu(10, 1, 5), h.now);  // waits forever
     EXPECT_EQ(h.s.occupancy(), 2);
-    h.s.squashAfter(0);
+    h.s.squashAfter(0, h.now);
     EXPECT_EQ(h.s.occupancy(), 1);
     h.runUntilIdle();
+}
+
+TEST(Mop, SquashEventRecordedAtCurrentCycle)
+{
+    // Regression: the squash event used to be stamped with the cycle
+    // of the last scheduler progress instead of the cycle the flush
+    // actually happened, which scrambled event-ring forensics.
+    Harness h(Harness::params(SchedPolicy::TwoCycle));
+    mop::verify::EventRing ring(64);
+    h.s.setEventRing(&ring);
+    h.s.insert(Harness::alu(0, 0), h.now);
+    h.runUntilIdle();
+    for (int i = 0; i < 10; ++i)  // idle cycles: no progress
+        h.tick();
+    Cycle at = h.now;
+    h.s.squashAfter(0, h.now);
+    bool found = false;
+    for (size_t i = 0; i < ring.size(); ++i) {
+        const mop::verify::SchedEvent &ev = ring.at(i);
+        if (ev.kind == mop::verify::SchedEvent::Kind::Squash) {
+            found = true;
+            EXPECT_EQ(ev.cycle, at);
+        }
+    }
+    EXPECT_TRUE(found);
 }
 
 TEST(Deadlock, MopCycleCaughtByWatchdog)
