@@ -51,16 +51,28 @@ Interpreter::next(isa::MicroOp &out)
 
     auto ra = [&]() { return reg(ins.ra); };
     auto rb = [&]() { return reg(ins.rb); };
+    // Register arithmetic is two's-complement wraparound; compute in
+    // uint64_t so it stays defined behaviour (UBSan-clean).
+    auto wadd = [](int64_t a, int64_t b) {
+        return int64_t(uint64_t(a) + uint64_t(b));
+    };
+    auto wsub = [](int64_t a, int64_t b) {
+        return int64_t(uint64_t(a) - uint64_t(b));
+    };
+    auto wmul = [](int64_t a, int64_t b) {
+        return int64_t(uint64_t(a) * uint64_t(b));
+    };
+    auto wshl = [](int64_t a, int s) { return int64_t(uint64_t(a) << s); };
 
     int next_index = cur + 1;
     switch (ins.kind) {
-      case Mnemonic::Add: writeReg(ins.rd, ra() + rb()); break;
-      case Mnemonic::Sub: writeReg(ins.rd, ra() - rb()); break;
+      case Mnemonic::Add: writeReg(ins.rd, wadd(ra(), rb())); break;
+      case Mnemonic::Sub: writeReg(ins.rd, wsub(ra(), rb())); break;
       case Mnemonic::And: writeReg(ins.rd, ra() & rb()); break;
       case Mnemonic::Or:  writeReg(ins.rd, ra() | rb()); break;
       case Mnemonic::Xor: writeReg(ins.rd, ra() ^ rb()); break;
       case Mnemonic::Sll:
-        writeReg(ins.rd, ra() << (rb() & 63));
+        writeReg(ins.rd, wshl(ra(), rb() & 63));
         break;
       case Mnemonic::Srl:
         writeReg(ins.rd, int64_t(uint64_t(ra()) >> (rb() & 63)));
@@ -68,15 +80,17 @@ Interpreter::next(isa::MicroOp &out)
       case Mnemonic::Sra: writeReg(ins.rd, ra() >> (rb() & 63)); break;
       case Mnemonic::Slt: writeReg(ins.rd, ra() < rb() ? 1 : 0); break;
       case Mnemonic::Not: writeReg(ins.rd, ~ra()); break;
-      case Mnemonic::Mul: writeReg(ins.rd, ra() * rb()); break;
+      case Mnemonic::Mul: writeReg(ins.rd, wmul(ra(), rb())); break;
       case Mnemonic::Div:
         writeReg(ins.rd, rb() == 0 ? 0 : ra() / rb());
         break;
-      case Mnemonic::Addi: writeReg(ins.rd, ra() + ins.imm); break;
+      case Mnemonic::Addi: writeReg(ins.rd, wadd(ra(), ins.imm)); break;
       case Mnemonic::Andi: writeReg(ins.rd, ra() & ins.imm); break;
       case Mnemonic::Ori:  writeReg(ins.rd, ra() | ins.imm); break;
       case Mnemonic::Xori: writeReg(ins.rd, ra() ^ ins.imm); break;
-      case Mnemonic::Slli: writeReg(ins.rd, ra() << (ins.imm & 63)); break;
+      case Mnemonic::Slli:
+        writeReg(ins.rd, wshl(ra(), int(ins.imm & 63)));
+        break;
       case Mnemonic::Srli:
         writeReg(ins.rd, int64_t(uint64_t(ra()) >> (ins.imm & 63)));
         break;
@@ -84,13 +98,13 @@ Interpreter::next(isa::MicroOp &out)
       case Mnemonic::Li:
       case Mnemonic::La:  writeReg(ins.rd, ins.imm); break;
       case Mnemonic::Lw: {
-        uint64_t addr = uint64_t(ra() + ins.imm) & ~7ULL;
+        uint64_t addr = uint64_t(wadd(ra(), ins.imm)) & ~7ULL;
         writeReg(ins.rd, mem(addr));
         u.memAddr = addr;
         break;
       }
       case Mnemonic::Sw: {
-        uint64_t addr = uint64_t(rb() + ins.imm) & ~7ULL;
+        uint64_t addr = uint64_t(wadd(rb(), ins.imm)) & ~7ULL;
         mem_[addr] = ra();
         u.memAddr = addr;
         break;

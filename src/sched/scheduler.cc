@@ -486,7 +486,7 @@ void
 Scheduler::maybeReapShrunken(int idx)
 {
     Entry &e = entries_[size_t(idx)];
-    if (e.valid && e.issued && e.completedOps >= e.numOps && e.outBcast < 0)
+    if (e.valid && e.issued && prefixDone(e) && e.outBcast < 0)
         freeEntry(idx);
 }
 
@@ -506,7 +506,7 @@ Scheduler::invalidateEntry(int idx, Cycle now)
     e.issued = false;
     e.replayed = true;
     ++e.gen;  // cancels in-flight completion/discovery/kill events
-    e.completedOps = 0;
+    e.opDone = 0;
     e.minIssue = now + Cycle(params_.replayPenalty);
     cancelBcast(idx);
     if (e.dstTag != kNoTag)
@@ -569,7 +569,7 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
     e.issued = true;
     e.replayed = false;
     e.issueCycle = now;
-    e.completedOps = 0;
+    e.opDone = 0;
     clearBit(readyBits_, size_t(idx));
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: issue seq=%lu tag=%d\n",
@@ -878,7 +878,8 @@ Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
             }
             completed.push_back(ev.ev);
             any = true;
-            if (++e.completedOps == e.numOps)
+            e.opDone |= 1u << unsigned(ev.opIdx);
+            if (prefixDone(e))
                 freeEntry(ev.entry);
         }
         ring.clear();

@@ -223,7 +223,12 @@ class Scheduler
         bool collided = false;  ///< select-free: lost a select once
         bool replayed = false;  ///< invalidated at least once (replay)
         Cycle issueCycle = 0;
-        int completedOps = 0;
+        /** Bit o set iff ops[o]'s completion has been reported. A
+         *  bitmask, not a count: squashAfter can shrink numOps after
+         *  later ops already completed, and a dropped tail's
+         *  completion must not stand in for a surviving op still in
+         *  flight. */
+        uint32_t opDone = 0;
         std::array<Cycle, kMaxMopOps> opComplete{};  ///< value-ready per op
     };
 
@@ -249,6 +254,14 @@ class Scheduler
     };
 
     static constexpr size_t kRing = 512;
+
+    /** Every surviving op ([0, numOps)) has reported its completion. */
+    static bool
+    prefixDone(const Entry &e)
+    {
+        uint32_t want = (1u << unsigned(e.numOps)) - 1u;
+        return (e.opDone & want) == want;
+    }
 
     bool entryFullyReady(const Entry &e) const;
     /** Effective wakeup+select pipeline depth. */

@@ -243,7 +243,15 @@ makeRandomScript(uint64_t seed, const ScriptConfig &cfg)
         } else {
             if (mops && roll < 30 && emitted + 2 <= cfg.numOps) {
                 ScriptItem it;
-                it.op = isa::OpClass::IntAlu;
+                // Mostly single-cycle heads like real formation, but
+                // some long-latency ones: a multi-cycle op in the
+                // surviving prefix of a squash-split MOP is what keeps
+                // the entry in flight after shorter dropped tails have
+                // already completed (the premature-reap corner).
+                int hc = rng.range(100);
+                it.op = hc < 80   ? isa::OpClass::IntAlu
+                        : hc < 90 ? isa::OpClass::IntMult
+                                  : isa::OpClass::IntDiv;
                 it.expectTail = true;
                 it.src0 = pickSrc();
                 it.src1 = rng.chance(30) ? pickSrc() : -1;

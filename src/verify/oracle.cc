@@ -70,6 +70,24 @@ RefScheduler::fullyReady(const REntry &e) const
     return true;
 }
 
+bool
+RefScheduler::entryComplete(const REntry &e) const
+{
+    if (quirks_.countedCompletion) {
+        // Historical bug: completion was a bare count of completion
+        // events, so a squash-dropped tail that completed before the
+        // squash stands in for a surviving op still in flight.
+        int n = 0;
+        for (int o = 0; o < kMaxMopOps; ++o)
+            n += int(e.opDone[size_t(o)]);
+        return n >= e.numOps;
+    }
+    for (int o = 0; o < e.numOps; ++o)
+        if (!e.opDone[size_t(o)])
+            return false;
+    return true;
+}
+
 RefScheduler::REntry *
 RefScheduler::byUid(uint64_t uid)
 {
@@ -311,7 +329,7 @@ RefScheduler::invalidateEntry(REntry &e, Cycle now)
 {
     e.issued = false;
     e.replayed = true;
-    e.completedOps = 0;
+    e.opDone.fill(false);
     e.minIssue = now + Cycle(params_.replayPenalty);
     cancelBcast(e.uid);
     eraseEvents(e.uid);
@@ -398,10 +416,8 @@ RefScheduler::reapIfComplete(REntry &e)
     // A squash-shrunken issued entry whose surviving ops have all
     // completed has no completion left to free it; reap it as soon as
     // its broadcast has left the bus.
-    if (e.live && e.issued && e.completedOps >= e.numOps &&
-        !hasBcast(e.uid)) {
+    if (e.live && e.issued && entryComplete(e) && !hasBcast(e.uid))
         freeEntry(e);
-    }
 }
 
 void
@@ -412,7 +428,7 @@ RefScheduler::issueEntry(REntry &e, Cycle now,
     e.issued = true;
     e.replayed = false;
     e.issueCycle = now;
-    e.completedOps = 0;
+    e.opDone.fill(false);
     ++issuedEntries_;
     issuedOps_ += uint64_t(e.numOps);
 
@@ -649,7 +665,8 @@ RefScheduler::tick(Cycle now, std::vector<sched::ExecEvent> &completed,
             if (!e || !e->issued || c.opIdx >= e->numOps)
                 continue;
             completed.push_back(c.ev);
-            if (++e->completedOps == e->numOps)
+            e->opDone[size_t(c.opIdx)] = true;
+            if (entryComplete(*e))
                 freeEntry(*e);
         }
     }

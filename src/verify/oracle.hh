@@ -69,6 +69,12 @@ struct RefQuirks
     /** squashAfter shrinks issued MOPs without re-checking completion
      *  or broadcast/value timing (the squashed-MOP entry-leak bug). */
     bool squashLeak = false;
+    /** Entry completion is judged by a bare count of completion events
+     *  instead of per-op truth, so a squash-dropped tail that
+     *  completed before the squash stands in for a surviving op still
+     *  in flight and the entry is reaped early (the premature-free
+     *  bug). */
+    bool countedCompletion = false;
 };
 
 class RefScheduler
@@ -130,7 +136,9 @@ class RefScheduler
         sched::Cycle minIssue = 0;
         sched::Cycle readyAt = sched::kNoCycle;
         sched::Cycle issueCycle = 0;
-        int completedOps = 0;
+        /** Per-op completion truth (not a count): squashAfter can
+         *  shrink numOps after later ops already completed. */
+        std::array<bool, sched::kMaxMopOps> opDone{};
         std::array<sched::Cycle, sched::kMaxMopOps> opComplete{};
     };
 
@@ -176,6 +184,9 @@ class RefScheduler
     int schedLatency(const REntry &e) const;
     static int execLatency(const sched::SchedOp &op);
     bool fullyReady(const REntry &e) const;
+    /** Completion truth for the entry: every surviving op done (or,
+     *  under the countedCompletion quirk, the historical count test). */
+    bool entryComplete(const REntry &e) const;
 
     REntry *byUid(uint64_t uid);
     REntry *byHandle(int handle);

@@ -2,7 +2,7 @@
  * @file
  * Differential-oracle tests: fixed-seed fuzz corpora must show zero
  * production/oracle divergence, the generator must be seed-stable, and
- * — mutation testing — re-enabling either historical scheduler bug
+ * — mutation testing — re-enabling any historical scheduler bug
  * inside the oracle must make the fuzzer find it and shrink it to a
  * small repro.
  */
@@ -141,6 +141,31 @@ TEST(Difftest, FuzzerFindsReintroducedSquashLeakBug)
     ASSERT_TRUE(fuzzAndShrink(quirks, adversarialMopConfig(), 400, 20,
                               &min))
         << "no script distinguished the squash leak in 400 seeds";
+    EXPECT_LT(scriptOpCount(min), 20)
+        << "ddmin left " << scriptOpCount(min) << " ops";
+
+    DivergenceReport mrep;
+    EXPECT_FALSE(runLockstep(min, quirks, &mrep))
+        << "shrunken script no longer reproduces";
+    DivergenceReport crep;
+    EXPECT_TRUE(runLockstep(min, RefQuirks{}, &crep))
+        << "fixed production diverges from the clean oracle: "
+        << crep.what << ": " << crep.detail;
+}
+
+/** Mutation test: the premature-free bug (entry completion judged by
+ *  a bare count of completion events, so a squash-dropped tail that
+ *  completed before the squash stood in for a long-latency surviving
+ *  op still in flight). */
+TEST(Difftest, FuzzerFindsReintroducedCountedCompletionBug)
+{
+    RefQuirks quirks;
+    quirks.countedCompletion = true;
+
+    ScheduleScript min;
+    ASSERT_TRUE(fuzzAndShrink(quirks, adversarialMopConfig(), 400, 20,
+                              &min))
+        << "no script distinguished counted completion in 400 seeds";
     EXPECT_LT(scriptOpCount(min), 20)
         << "ddmin left " << scriptOpCount(min) << " ops";
 

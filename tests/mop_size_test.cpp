@@ -183,6 +183,28 @@ TEST(MopSize, SquashAfterCompletedPrefixFreesShrunkenEntry)
     EXPECT_FALSE(h.done.count(2));
 }
 
+TEST(MopSize, SquashedTailCompletionsDoNotRetireLongLatencyHead)
+{
+    // Regression: completion is tracked per op, not as a count. The
+    // short ALU tails of this MOP complete while the divide at its
+    // head is still executing; squashing the tails away then shrank
+    // numOps below the number of completions already counted and the
+    // entry was reaped with the head in flight, so the head's
+    // completion was dropped by the generation guard and never
+    // reported.
+    Harness h(mopParams(3));
+    int e = h.s.insert(Harness::op(0, OpClass::IntDiv, 0), h.now, true);
+    ASSERT_TRUE(h.s.appendTail(e, Harness::alu(1, 0, 0), h.now, true));
+    ASSERT_TRUE(h.s.appendTail(e, Harness::alu(2, 0, 0), h.now));
+    while (!h.done.count(2))
+        h.tick();
+    ASSERT_FALSE(h.done.count(0));  // the divide is still in flight
+    h.s.squashAfter(0, h.now);      // both tails squashed, head stays
+    h.runUntilIdle();
+    ASSERT_TRUE(h.done.count(0));   // head completion still reported
+    EXPECT_EQ(h.completeAt(0), h.execAt(0) + 20);
+}
+
 TEST(MopSizeFormation, ChainsFollowPerInstructionPointers)
 {
     // Pointers: I0 -> I1, I1 -> I2 (each instruction carries one
