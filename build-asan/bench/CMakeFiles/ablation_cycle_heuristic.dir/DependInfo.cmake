@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_cycle_heuristic.cc" "bench/CMakeFiles/ablation_cycle_heuristic.dir/ablation_cycle_heuristic.cc.o" "gcc" "bench/CMakeFiles/ablation_cycle_heuristic.dir/ablation_cycle_heuristic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/bench/CMakeFiles/mop_figures.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sweep/CMakeFiles/mop_sweep.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/mop_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/analysis/CMakeFiles/mop_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pipeline/CMakeFiles/mop_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/mop_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/mop_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sched/CMakeFiles/mop_sched.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/verify/CMakeFiles/mop_verify.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/prog/CMakeFiles/mop_prog.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/mop_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/mop_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/bpred/CMakeFiles/mop_bpred.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/mop_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/mop_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

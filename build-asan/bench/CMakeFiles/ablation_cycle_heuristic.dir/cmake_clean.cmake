@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cycle_heuristic.dir/ablation_cycle_heuristic.cc.o"
+  "CMakeFiles/ablation_cycle_heuristic.dir/ablation_cycle_heuristic.cc.o.d"
+  "ablation_cycle_heuristic"
+  "ablation_cycle_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cycle_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

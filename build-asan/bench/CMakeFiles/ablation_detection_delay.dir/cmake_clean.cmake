@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detection_delay.dir/ablation_detection_delay.cc.o"
+  "CMakeFiles/ablation_detection_delay.dir/ablation_detection_delay.cc.o.d"
+  "ablation_detection_delay"
+  "ablation_detection_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detection_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_independent_mops.dir/ablation_independent_mops.cc.o"
+  "CMakeFiles/ablation_independent_mops.dir/ablation_independent_mops.cc.o.d"
+  "ablation_independent_mops"
+  "ablation_independent_mops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_independent_mops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

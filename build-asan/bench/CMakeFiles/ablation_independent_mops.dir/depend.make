@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_independent_mops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_last_arrival_filter.
+# This may be replaced when dependencies are built.

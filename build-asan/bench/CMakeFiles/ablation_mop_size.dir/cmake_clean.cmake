@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mop_size.dir/ablation_mop_size.cc.o"
+  "CMakeFiles/ablation_mop_size.dir/ablation_mop_size.cc.o.d"
+  "ablation_mop_size"
+  "ablation_mop_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mop_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

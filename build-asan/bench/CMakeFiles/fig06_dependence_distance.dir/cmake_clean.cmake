@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dependence_distance.dir/fig06_dependence_distance.cc.o"
+  "CMakeFiles/fig06_dependence_distance.dir/fig06_dependence_distance.cc.o.d"
+  "fig06_dependence_distance"
+  "fig06_dependence_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dependence_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

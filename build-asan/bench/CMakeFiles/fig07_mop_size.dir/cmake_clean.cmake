@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mop_size.dir/fig07_mop_size.cc.o"
+  "CMakeFiles/fig07_mop_size.dir/fig07_mop_size.cc.o.d"
+  "fig07_mop_size"
+  "fig07_mop_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mop_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

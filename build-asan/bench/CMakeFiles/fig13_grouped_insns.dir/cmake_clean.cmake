@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_grouped_insns.dir/fig13_grouped_insns.cc.o"
+  "CMakeFiles/fig13_grouped_insns.dir/fig13_grouped_insns.cc.o.d"
+  "fig13_grouped_insns"
+  "fig13_grouped_insns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_grouped_insns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

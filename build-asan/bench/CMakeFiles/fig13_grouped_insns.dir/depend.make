@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_grouped_insns.
+# This may be replaced when dependencies are built.

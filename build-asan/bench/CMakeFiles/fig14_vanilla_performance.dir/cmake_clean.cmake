@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_vanilla_performance.dir/fig14_vanilla_performance.cc.o"
+  "CMakeFiles/fig14_vanilla_performance.dir/fig14_vanilla_performance.cc.o.d"
+  "fig14_vanilla_performance"
+  "fig14_vanilla_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vanilla_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

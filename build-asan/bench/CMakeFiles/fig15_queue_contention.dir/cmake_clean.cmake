@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_queue_contention.dir/fig15_queue_contention.cc.o"
+  "CMakeFiles/fig15_queue_contention.dir/fig15_queue_contention.cc.o.d"
+  "fig15_queue_contention"
+  "fig15_queue_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_queue_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_selectfree_comparison.dir/fig16_selectfree_comparison.cc.o"
+  "CMakeFiles/fig16_selectfree_comparison.dir/fig16_selectfree_comparison.cc.o.d"
+  "fig16_selectfree_comparison"
+  "fig16_selectfree_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_selectfree_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

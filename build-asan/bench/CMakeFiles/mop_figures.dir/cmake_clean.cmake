@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_figures.dir/figures/ablations.cc.o"
+  "CMakeFiles/mop_figures.dir/figures/ablations.cc.o.d"
+  "CMakeFiles/mop_figures.dir/figures/characterization.cc.o"
+  "CMakeFiles/mop_figures.dir/figures/characterization.cc.o.d"
+  "CMakeFiles/mop_figures.dir/figures/observability.cc.o"
+  "CMakeFiles/mop_figures.dir/figures/observability.cc.o.d"
+  "CMakeFiles/mop_figures.dir/figures/performance.cc.o"
+  "CMakeFiles/mop_figures.dir/figures/performance.cc.o.d"
+  "libmop_figures.a"
+  "libmop_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

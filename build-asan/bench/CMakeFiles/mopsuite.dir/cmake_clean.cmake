@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopsuite.dir/mopsuite.cc.o"
+  "CMakeFiles/mopsuite.dir/mopsuite.cc.o.d"
+  "mopsuite"
+  "mopsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_breakdown.dir/report_breakdown.cc.o"
+  "CMakeFiles/report_breakdown.dir/report_breakdown.cc.o.d"
+  "report_breakdown"
+  "report_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_machine_config.dir/table1_machine_config.cc.o"
+  "CMakeFiles/table1_machine_config.dir/table1_machine_config.cc.o.d"
+  "table1_machine_config"
+  "table1_machine_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_machine_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_base_ipc.dir/table2_base_ipc.cc.o"
+  "CMakeFiles/table2_base_ipc.dir/table2_base_ipc.cc.o.d"
+  "table2_base_ipc"
+  "table2_base_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_base_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_walkthrough.dir/mop_walkthrough.cpp.o"
+  "CMakeFiles/mop_walkthrough.dir/mop_walkthrough.cpp.o.d"
+  "mop_walkthrough"
+  "mop_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

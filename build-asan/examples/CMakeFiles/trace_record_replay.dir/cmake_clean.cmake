@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_record_replay.dir/trace_record_replay.cpp.o"
+  "CMakeFiles/trace_record_replay.dir/trace_record_replay.cpp.o.d"
+  "trace_record_replay"
+  "trace_record_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_record_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

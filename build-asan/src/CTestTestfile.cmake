@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("isa")
+subdirs("prog")
+subdirs("verify")
+subdirs("trace")
+subdirs("mem")
+subdirs("bpred")
+subdirs("sched")
+subdirs("obs")
+subdirs("core")
+subdirs("pipeline")
+subdirs("analysis")
+subdirs("sim")
+subdirs("sweep")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_analysis.dir/characterize.cc.o"
+  "CMakeFiles/mop_analysis.dir/characterize.cc.o.d"
+  "libmop_analysis.a"
+  "libmop_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

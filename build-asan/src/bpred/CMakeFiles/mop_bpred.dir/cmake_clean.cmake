@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_bpred.dir/bpred.cc.o"
+  "CMakeFiles/mop_bpred.dir/bpred.cc.o.d"
+  "libmop_bpred.a"
+  "libmop_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/matrix_render.cc" "src/core/CMakeFiles/mop_core.dir/matrix_render.cc.o" "gcc" "src/core/CMakeFiles/mop_core.dir/matrix_render.cc.o.d"
+  "/root/repo/src/core/mop_detector.cc" "src/core/CMakeFiles/mop_core.dir/mop_detector.cc.o" "gcc" "src/core/CMakeFiles/mop_core.dir/mop_detector.cc.o.d"
+  "/root/repo/src/core/mop_formation.cc" "src/core/CMakeFiles/mop_core.dir/mop_formation.cc.o" "gcc" "src/core/CMakeFiles/mop_core.dir/mop_formation.cc.o.d"
+  "/root/repo/src/core/mop_pointer.cc" "src/core/CMakeFiles/mop_core.dir/mop_pointer.cc.o" "gcc" "src/core/CMakeFiles/mop_core.dir/mop_pointer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/isa/CMakeFiles/mop_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sched/CMakeFiles/mop_sched.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/mop_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/verify/CMakeFiles/mop_verify.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/prog/CMakeFiles/mop_prog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

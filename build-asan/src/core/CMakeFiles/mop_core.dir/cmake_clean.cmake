@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_core.dir/matrix_render.cc.o"
+  "CMakeFiles/mop_core.dir/matrix_render.cc.o.d"
+  "CMakeFiles/mop_core.dir/mop_detector.cc.o"
+  "CMakeFiles/mop_core.dir/mop_detector.cc.o.d"
+  "CMakeFiles/mop_core.dir/mop_formation.cc.o"
+  "CMakeFiles/mop_core.dir/mop_formation.cc.o.d"
+  "CMakeFiles/mop_core.dir/mop_pointer.cc.o"
+  "CMakeFiles/mop_core.dir/mop_pointer.cc.o.d"
+  "libmop_core.a"
+  "libmop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_isa.dir/uop.cc.o"
+  "CMakeFiles/mop_isa.dir/uop.cc.o.d"
+  "libmop_isa.a"
+  "libmop_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_mem.dir/cache.cc.o"
+  "CMakeFiles/mop_mem.dir/cache.cc.o.d"
+  "libmop_mem.a"
+  "libmop_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/critpath.cc" "src/obs/CMakeFiles/mop_obs.dir/critpath.cc.o" "gcc" "src/obs/CMakeFiles/mop_obs.dir/critpath.cc.o.d"
+  "/root/repo/src/obs/observer.cc" "src/obs/CMakeFiles/mop_obs.dir/observer.cc.o" "gcc" "src/obs/CMakeFiles/mop_obs.dir/observer.cc.o.d"
+  "/root/repo/src/obs/stall.cc" "src/obs/CMakeFiles/mop_obs.dir/stall.cc.o" "gcc" "src/obs/CMakeFiles/mop_obs.dir/stall.cc.o.d"
+  "/root/repo/src/obs/telemetry.cc" "src/obs/CMakeFiles/mop_obs.dir/telemetry.cc.o" "gcc" "src/obs/CMakeFiles/mop_obs.dir/telemetry.cc.o.d"
+  "/root/repo/src/obs/trace_export.cc" "src/obs/CMakeFiles/mop_obs.dir/trace_export.cc.o" "gcc" "src/obs/CMakeFiles/mop_obs.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/stats/CMakeFiles/mop_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/mop_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/verify/CMakeFiles/mop_verify.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/mop_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/prog/CMakeFiles/mop_prog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

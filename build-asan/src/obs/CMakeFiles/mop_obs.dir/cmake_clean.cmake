@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_obs.dir/critpath.cc.o"
+  "CMakeFiles/mop_obs.dir/critpath.cc.o.d"
+  "CMakeFiles/mop_obs.dir/observer.cc.o"
+  "CMakeFiles/mop_obs.dir/observer.cc.o.d"
+  "CMakeFiles/mop_obs.dir/stall.cc.o"
+  "CMakeFiles/mop_obs.dir/stall.cc.o.d"
+  "CMakeFiles/mop_obs.dir/telemetry.cc.o"
+  "CMakeFiles/mop_obs.dir/telemetry.cc.o.d"
+  "CMakeFiles/mop_obs.dir/trace_export.cc.o"
+  "CMakeFiles/mop_obs.dir/trace_export.cc.o.d"
+  "libmop_obs.a"
+  "libmop_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moptrace.dir/moptrace_main.cc.o"
+  "CMakeFiles/moptrace.dir/moptrace_main.cc.o.d"
+  "moptrace"
+  "moptrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moptrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

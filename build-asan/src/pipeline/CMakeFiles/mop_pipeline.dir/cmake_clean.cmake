@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_pipeline.dir/ooo_core.cc.o"
+  "CMakeFiles/mop_pipeline.dir/ooo_core.cc.o.d"
+  "libmop_pipeline.a"
+  "libmop_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

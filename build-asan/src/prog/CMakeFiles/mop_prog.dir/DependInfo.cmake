@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prog/interpreter.cc" "src/prog/CMakeFiles/mop_prog.dir/interpreter.cc.o" "gcc" "src/prog/CMakeFiles/mop_prog.dir/interpreter.cc.o.d"
+  "/root/repo/src/prog/kernels.cc" "src/prog/CMakeFiles/mop_prog.dir/kernels.cc.o" "gcc" "src/prog/CMakeFiles/mop_prog.dir/kernels.cc.o.d"
+  "/root/repo/src/prog/program.cc" "src/prog/CMakeFiles/mop_prog.dir/program.cc.o" "gcc" "src/prog/CMakeFiles/mop_prog.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/isa/CMakeFiles/mop_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

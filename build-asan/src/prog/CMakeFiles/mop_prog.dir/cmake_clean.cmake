@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_prog.dir/interpreter.cc.o"
+  "CMakeFiles/mop_prog.dir/interpreter.cc.o.d"
+  "CMakeFiles/mop_prog.dir/kernels.cc.o"
+  "CMakeFiles/mop_prog.dir/kernels.cc.o.d"
+  "CMakeFiles/mop_prog.dir/program.cc.o"
+  "CMakeFiles/mop_prog.dir/program.cc.o.d"
+  "libmop_prog.a"
+  "libmop_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/fu_pool.cc" "src/sched/CMakeFiles/mop_sched.dir/fu_pool.cc.o" "gcc" "src/sched/CMakeFiles/mop_sched.dir/fu_pool.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/mop_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/mop_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/isa/CMakeFiles/mop_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/mop_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/verify/CMakeFiles/mop_verify.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/prog/CMakeFiles/mop_prog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

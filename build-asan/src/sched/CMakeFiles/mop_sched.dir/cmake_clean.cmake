@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_sched.dir/fu_pool.cc.o"
+  "CMakeFiles/mop_sched.dir/fu_pool.cc.o.d"
+  "CMakeFiles/mop_sched.dir/scheduler.cc.o"
+  "CMakeFiles/mop_sched.dir/scheduler.cc.o.d"
+  "libmop_sched.a"
+  "libmop_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmop_sched.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_sim.dir/cli_opts.cc.o"
+  "CMakeFiles/mop_sim.dir/cli_opts.cc.o.d"
+  "CMakeFiles/mop_sim.dir/config.cc.o"
+  "CMakeFiles/mop_sim.dir/config.cc.o.d"
+  "CMakeFiles/mop_sim.dir/selftest.cc.o"
+  "CMakeFiles/mop_sim.dir/selftest.cc.o.d"
+  "libmop_sim.a"
+  "libmop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopsim.dir/main.cc.o"
+  "CMakeFiles/mopsim.dir/main.cc.o.d"
+  "mopsim"
+  "mopsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mopsim.
+# This may be replaced when dependencies are built.

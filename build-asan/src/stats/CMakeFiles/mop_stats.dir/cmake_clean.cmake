@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_stats.dir/stats.cc.o"
+  "CMakeFiles/mop_stats.dir/stats.cc.o.d"
+  "CMakeFiles/mop_stats.dir/table.cc.o"
+  "CMakeFiles/mop_stats.dir/table.cc.o.d"
+  "libmop_stats.a"
+  "libmop_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_sweep.dir/executor.cc.o"
+  "CMakeFiles/mop_sweep.dir/executor.cc.o.d"
+  "CMakeFiles/mop_sweep.dir/fingerprint.cc.o"
+  "CMakeFiles/mop_sweep.dir/fingerprint.cc.o.d"
+  "CMakeFiles/mop_sweep.dir/result_cache.cc.o"
+  "CMakeFiles/mop_sweep.dir/result_cache.cc.o.d"
+  "CMakeFiles/mop_sweep.dir/suite.cc.o"
+  "CMakeFiles/mop_sweep.dir/suite.cc.o.d"
+  "libmop_sweep.a"
+  "libmop_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_trace.dir/profiles.cc.o"
+  "CMakeFiles/mop_trace.dir/profiles.cc.o.d"
+  "CMakeFiles/mop_trace.dir/synthetic.cc.o"
+  "CMakeFiles/mop_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/mop_trace.dir/trace_file.cc.o"
+  "CMakeFiles/mop_trace.dir/trace_file.cc.o.d"
+  "libmop_trace.a"
+  "libmop_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_difftest.dir/difftest.cc.o"
+  "CMakeFiles/mop_difftest.dir/difftest.cc.o.d"
+  "CMakeFiles/mop_difftest.dir/oracle.cc.o"
+  "CMakeFiles/mop_difftest.dir/oracle.cc.o.d"
+  "libmop_difftest.a"
+  "libmop_difftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_difftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_verify.dir/fault_injector.cc.o"
+  "CMakeFiles/mop_verify.dir/fault_injector.cc.o.d"
+  "CMakeFiles/mop_verify.dir/golden.cc.o"
+  "CMakeFiles/mop_verify.dir/golden.cc.o.d"
+  "CMakeFiles/mop_verify.dir/integrity.cc.o"
+  "CMakeFiles/mop_verify.dir/integrity.cc.o.d"
+  "libmop_verify.a"
+  "libmop_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mop_slow_tests.dir/fault_injection_test.cpp.o"
+  "CMakeFiles/mop_slow_tests.dir/fault_injection_test.cpp.o.d"
+  "CMakeFiles/mop_slow_tests.dir/obs_test.cpp.o"
+  "CMakeFiles/mop_slow_tests.dir/obs_test.cpp.o.d"
+  "CMakeFiles/mop_slow_tests.dir/pipeline_test.cpp.o"
+  "CMakeFiles/mop_slow_tests.dir/pipeline_test.cpp.o.d"
+  "CMakeFiles/mop_slow_tests.dir/reproduction_test.cpp.o"
+  "CMakeFiles/mop_slow_tests.dir/reproduction_test.cpp.o.d"
+  "CMakeFiles/mop_slow_tests.dir/sweep_test.cpp.o"
+  "CMakeFiles/mop_slow_tests.dir/sweep_test.cpp.o.d"
+  "mop_slow_tests"
+  "mop_slow_tests.pdb"
+  "mop_slow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mop_slow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/mop_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/asm_test.cpp" "tests/CMakeFiles/mop_tests.dir/asm_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/asm_test.cpp.o.d"
+  "/root/repo/tests/bpred_test.cpp" "tests/CMakeFiles/mop_tests.dir/bpred_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/bpred_test.cpp.o.d"
+  "/root/repo/tests/cache_test.cpp" "tests/CMakeFiles/mop_tests.dir/cache_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/cli_opts_test.cpp" "tests/CMakeFiles/mop_tests.dir/cli_opts_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/cli_opts_test.cpp.o.d"
+  "/root/repo/tests/critpath_test.cpp" "tests/CMakeFiles/mop_tests.dir/critpath_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/critpath_test.cpp.o.d"
+  "/root/repo/tests/detector_test.cpp" "tests/CMakeFiles/mop_tests.dir/detector_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/detector_test.cpp.o.d"
+  "/root/repo/tests/difftest_test.cpp" "tests/CMakeFiles/mop_tests.dir/difftest_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/difftest_test.cpp.o.d"
+  "/root/repo/tests/fetch_test.cpp" "tests/CMakeFiles/mop_tests.dir/fetch_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/fetch_test.cpp.o.d"
+  "/root/repo/tests/formation_test.cpp" "tests/CMakeFiles/mop_tests.dir/formation_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/formation_test.cpp.o.d"
+  "/root/repo/tests/fu_pool_test.cpp" "tests/CMakeFiles/mop_tests.dir/fu_pool_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/fu_pool_test.cpp.o.d"
+  "/root/repo/tests/misc_coverage_test.cpp" "tests/CMakeFiles/mop_tests.dir/misc_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/misc_coverage_test.cpp.o.d"
+  "/root/repo/tests/mop_size_test.cpp" "tests/CMakeFiles/mop_tests.dir/mop_size_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/mop_size_test.cpp.o.d"
+  "/root/repo/tests/pointer_cache_test.cpp" "tests/CMakeFiles/mop_tests.dir/pointer_cache_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/pointer_cache_test.cpp.o.d"
+  "/root/repo/tests/sched_property_test.cpp" "tests/CMakeFiles/mop_tests.dir/sched_property_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/sched_property_test.cpp.o.d"
+  "/root/repo/tests/sched_timing_test.cpp" "tests/CMakeFiles/mop_tests.dir/sched_timing_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/sched_timing_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/mop_tests.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim_config_test.cpp" "tests/CMakeFiles/mop_tests.dir/sim_config_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/sim_config_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/mop_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/synthetic_structure_test.cpp" "tests/CMakeFiles/mop_tests.dir/synthetic_structure_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/synthetic_structure_test.cpp.o.d"
+  "/root/repo/tests/trace_file_test.cpp" "tests/CMakeFiles/mop_tests.dir/trace_file_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/trace_file_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/mop_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/uop_test.cpp" "tests/CMakeFiles/mop_tests.dir/uop_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/uop_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/mop_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/verify_test.cpp.o.d"
+  "/root/repo/tests/wired_or_test.cpp" "tests/CMakeFiles/mop_tests.dir/wired_or_test.cpp.o" "gcc" "tests/CMakeFiles/mop_tests.dir/wired_or_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sweep/CMakeFiles/mop_sweep.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/mop_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/analysis/CMakeFiles/mop_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/verify/CMakeFiles/mop_difftest.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pipeline/CMakeFiles/mop_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/mop_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sched/CMakeFiles/mop_sched.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/mop_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/verify/CMakeFiles/mop_verify.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/prog/CMakeFiles/mop_prog.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/mop_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/mop_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/bpred/CMakeFiles/mop_bpred.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/mop_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/mop_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
