@@ -11,6 +11,11 @@
  *   mopsuite --only table2 --jobs 2   # one figure, two workers
  *   mopsuite --json results.json      # machine-readable results
  *   mopsuite --list                   # registered figures
+ *   mopsuite --isolate                # fork each run; crashes/hangs
+ *                                     # are retried, then quarantined
+ *   mopsuite --resume                 # replay the journal of a sweep
+ *                                     # that was killed mid-flight
+ *   mopsuite --cache-verify           # audit + repair the result cache
  */
 
 #include "figures/figures.hh"

@@ -22,8 +22,42 @@ TelemetrySink::beginBatch(uint64_t total_runs, uint64_t cache_hits)
     completedRuns_ = 0;
     simulatedInsts_ = 0;
     busySeconds_ = 0;
+    retries_ = 0;
+    crashes_ = 0;
+    quarantinedJobs_ = 0;
+    cacheCorrupt_ = 0;
+    cacheEvictions_ = 0;
     start_ = Clock::now();
     flushedOnce_ = false;
+}
+
+void
+TelemetrySink::onRetry()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++retries_;
+}
+
+void
+TelemetrySink::onCrash()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++crashes_;
+}
+
+void
+TelemetrySink::onQuarantine()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++quarantinedJobs_;
+}
+
+void
+TelemetrySink::setCacheHealth(uint64_t corrupt, uint64_t evictions)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    cacheCorrupt_ = corrupt;
+    cacheEvictions_ = evictions;
 }
 
 void
@@ -42,9 +76,16 @@ TelemetrySink::snapshotLocked() const
     s.totalRuns = totalRuns_;
     s.completedRuns = completedRuns_;
     s.cacheHits = cacheHits_;
-    uint64_t done = completedRuns_ + cacheHits_;
+    // Quarantined jobs will never complete: they are resolved holes,
+    // not queued work, so the queue drains to zero around them.
+    uint64_t done = completedRuns_ + cacheHits_ + quarantinedJobs_;
     s.queuedRuns = totalRuns_ > done ? totalRuns_ - done : 0;
     s.simulatedInsts = simulatedInsts_;
+    s.retries = retries_;
+    s.crashes = crashes_;
+    s.quarantinedJobs = quarantinedJobs_;
+    s.cacheCorrupt = cacheCorrupt_;
+    s.cacheEvictions = cacheEvictions_;
     s.workers = workers_;
     s.elapsedSeconds =
         std::chrono::duration<double>(Clock::now() - start_).count();
@@ -96,6 +137,25 @@ renderPrometheus(const TelemetrySink::Snapshot &s)
           "Estimated seconds until the batch drains.", s.etaSeconds);
     gauge("mop_sweep_simulated_insts_total",
           "Instructions simulated so far.", double(s.simulatedInsts));
+    auto counter = [&os](const char *name, const char *help, double v) {
+        os << "# HELP " << name << " " << help << "\n"
+           << "# TYPE " << name << " counter\n"
+           << name << " " << v << "\n";
+    };
+    counter("mop_sweep_retries_total",
+            "Failed job attempts that were retried.", double(s.retries));
+    counter("mop_sweep_crashes_total",
+            "Sandboxed workers that died on a signal.",
+            double(s.crashes));
+    counter("mop_sweep_quarantined_jobs",
+            "Jobs abandoned after exhausting their attempt budget.",
+            double(s.quarantinedJobs));
+    counter("mop_sweep_cache_corrupt_total",
+            "Damaged cache records detected and quarantined.",
+            double(s.cacheCorrupt));
+    counter("mop_sweep_cache_evictions_total",
+            "Cache records evicted by the size budget.",
+            double(s.cacheEvictions));
     return os.str();
 }
 
@@ -123,7 +183,19 @@ renderProgressLine(const TelemetrySink::Snapshot &s)
                       (unsigned long long)s.queuedRuns, s.workers,
                       100.0 * s.utilization);
     }
-    return buf;
+    std::string line = buf;
+    // Failure segment only when something actually failed: clean
+    // sweeps keep the exact line they always had.
+    if (s.retries || s.crashes || s.quarantinedJobs) {
+        char fbuf[96];
+        std::snprintf(fbuf, sizeof fbuf,
+                      " | %llu retried, %llu crashed, %llu quarantined",
+                      (unsigned long long)s.retries,
+                      (unsigned long long)s.crashes,
+                      (unsigned long long)s.quarantinedJobs);
+        line += fbuf;
+    }
+    return line;
 }
 
 std::string

@@ -1,16 +1,40 @@
 #include "sweep/executor.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "analysis/characterize.hh"
+#include "sim/config.hh"
 #include "trace/profiles.hh"
 
 namespace mop::sweep
 {
+
+std::string
+describeJob(const SweepJob &job)
+{
+    std::ostringstream os;
+    os << job.bench;
+    switch (job.kind) {
+      case JobKind::Sim:
+        os << " machine=" << sim::machineName(job.cfg.machine)
+           << " iq=" << job.cfg.iqEntries << " insts=" << job.insts;
+        break;
+      case JobKind::Distance:
+        os << " distance insts=" << job.insts;
+        break;
+      case JobKind::Grouping:
+        os << " grouping mop=" << job.maxMopSize
+           << " insts=" << job.insts;
+        break;
+    }
+    return os.str();
+}
 
 SweepOutcome
 computeJob(const SweepJob &job)
@@ -68,52 +92,66 @@ SweepExecutor::runAll(
         telemetry_->maybeFlush();
     };
 
-    int workers = int(std::min(size_t(jobs_), batch.size()));
-    if (workers <= 1) {
-        for (size_t i = 0; i < batch.size(); ++i) {
-            results[i] = computeJob(batch[i]);
-            report(results[i]);
-            if (progress)
-                progress(i + 1, batch.size());
-        }
-        return results;
-    }
-
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;  // guards firstError + progress callback
-    std::exception_ptr firstError;
+    std::mutex mu;  // guards failures + onComplete_ + progress
+    std::vector<SweepBatchError::Failure> failures;
 
     auto worker = [&] {
         for (;;) {
             size_t i = next.fetch_add(1);
             if (i >= batch.size())
                 return;
+            bool ok = false;
             try {
                 results[i] = computeJob(batch[i]);
                 report(results[i]);
+                ok = true;
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(mu);
+                failures.push_back(
+                    {i, describeJob(batch[i]), e.what()});
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mu);
-                if (!firstError)
-                    firstError = std::current_exception();
+                failures.push_back(
+                    {i, describeJob(batch[i]), "unknown exception"});
             }
             size_t d = done.fetch_add(1) + 1;
-            if (progress) {
-                std::lock_guard<std::mutex> lock(mu);
+            std::lock_guard<std::mutex> lock(mu);
+            if (ok && onComplete_)
+                onComplete_(i, results[i]);
+            if (progress)
                 progress(d, batch.size());
-            }
         }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(size_t(workers));
-    for (int w = 0; w < workers; ++w)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    int workers = int(std::min(size_t(jobs_), batch.size()));
+    if (workers <= 1) {
+        worker();  // inline on the caller's thread: the serial baseline
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(size_t(workers));
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
 
-    if (firstError)
-        std::rethrow_exception(firstError);
+    if (!failures.empty()) {
+        // Deterministic report order regardless of worker interleaving.
+        std::sort(failures.begin(), failures.end(),
+                  [](const SweepBatchError::Failure &a,
+                     const SweepBatchError::Failure &b) {
+                      return a.index < b.index;
+                  });
+        std::ostringstream what;
+        what << "sweep: " << failures.size() << " of " << batch.size()
+             << " job(s) failed:";
+        for (const auto &f : failures)
+            what << "\n  job " << f.index << " (" << f.job
+                 << "): " << f.message;
+        throw SweepBatchError(what.str(), std::move(failures));
+    }
     return results;
 }
 

@@ -20,6 +20,7 @@
 #define MOP_SWEEP_EXECUTOR_HH
 
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,36 @@ struct SweepOutcome
 /** Compute one job on the calling thread. */
 SweepOutcome computeJob(const SweepJob &job);
 
+/**
+ * Thrown by SweepExecutor::runAll when jobs failed: carries *every*
+ * failing job (index + description + cause), not just the first, so a
+ * batch with several bad configurations reports all of them at once.
+ */
+class SweepBatchError : public std::runtime_error
+{
+  public:
+    struct Failure
+    {
+        size_t index;         ///< batch position
+        std::string job;      ///< "bench machine=... iq=..." summary
+        std::string message;  ///< the exception's what()
+    };
+
+    SweepBatchError(std::string what, std::vector<Failure> failures)
+        : std::runtime_error(std::move(what)),
+          failures_(std::move(failures))
+    {
+    }
+
+    const std::vector<Failure> &failures() const { return failures_; }
+
+  private:
+    std::vector<Failure> failures_;
+};
+
+/** One-line human description of a job ("gzip machine=base iq=32"). */
+std::string describeJob(const SweepJob &job);
+
 class SweepExecutor
 {
   public:
@@ -67,11 +98,20 @@ class SweepExecutor
      *  count, followed by a rate-limited flush. */
     void setTelemetry(obs::TelemetrySink *t) { telemetry_ = t; }
 
+    /** Per-job completion hook, invoked under a lock as each job
+     *  finishes — the suite persists results incrementally through it
+     *  so a killed sweep keeps its completed work. */
+    using CompletionFn =
+        std::function<void(size_t index, const SweepOutcome &)>;
+    void setCompletion(CompletionFn fn) { onComplete_ = std::move(fn); }
+
     /**
      * Run every job; result i corresponds to job i. @p progress (may
      * be empty) is invoked from worker threads under a lock with the
-     * count of completed jobs. The first exception thrown by a job is
-     * rethrown here after all workers drain.
+     * count of completed jobs. After all workers drain, a
+     * SweepBatchError naming *every* failed job is thrown if any job
+     * threw (successful jobs still ran, and their completion hooks
+     * fired).
      */
     std::vector<SweepOutcome>
     runAll(const std::vector<SweepJob> &batch,
@@ -81,6 +121,7 @@ class SweepExecutor
   private:
     int jobs_;
     obs::TelemetrySink *telemetry_ = nullptr;  ///< not owned
+    CompletionFn onComplete_;
 };
 
 } // namespace mop::sweep

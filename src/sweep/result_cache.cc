@@ -1,11 +1,17 @@
 #include "sweep/result_cache.hh"
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <thread>
 
@@ -31,7 +37,62 @@ bitsDouble(uint64_t b)
     return v;
 }
 
+/** Read a whole file as bytes; false if it does not open. */
+bool
+slurp(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Parse one strictly-formatted "key value" line (full token match). */
+bool
+parseFieldLine(const std::string &line, std::string &key, uint64_t &val)
+{
+    size_t sp = line.find(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size())
+        return false;
+    key = line.substr(0, sp);
+    const std::string digits = line.substr(sp + 1);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(digits.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    val = uint64_t(v);
+    return true;
+}
+
 } // namespace
+
+uint32_t
+crc32c(const void *data, size_t n, uint32_t crc)
+{
+    // Table-driven reflected CRC-32C (Castagnoli, poly 0x82F63B78).
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const auto *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    for (size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
 
 void
 CacheRecord::addF64(const std::string &k, double v)
@@ -59,6 +120,96 @@ CacheRecord::getF64(const std::string &k, double &out) const
         return false;
     out = bitsDouble(b);
     return true;
+}
+
+std::string
+encodeRecordV2(const CacheRecord &rec)
+{
+    std::ostringstream body;
+    body << "mopres 2\n";
+    for (const auto &[key, val] : rec.fields)
+        body << key << " " << val << "\n";
+    std::string s = body.str();
+    char crcLine[24];
+    std::snprintf(crcLine, sizeof crcLine, "crc %08x\n",
+                  crc32c(s.data(), s.size()));
+    s += crcLine;
+    return s;
+}
+
+RecordStatus
+decodeRecord(const std::string &bytes, CacheRecord &out)
+{
+    size_t eol = bytes.find('\n');
+    if (eol == std::string::npos)
+        return RecordStatus::Corrupt;
+    const std::string magic = bytes.substr(0, eol);
+
+    if (magic == "mopres 1") {
+        // Legacy pre-CRC record: tolerant whitespace parse, exactly as
+        // the v1 loader behaved. No integrity guarantee is possible.
+        std::istringstream in(bytes.substr(eol + 1));
+        CacheRecord rec;
+        std::string key;
+        uint64_t val;
+        while (in >> key >> val)
+            rec.add(key, val);
+        if (rec.fields.empty())
+            return RecordStatus::Corrupt;
+        out = std::move(rec);
+        return RecordStatus::LegacyOk;
+    }
+
+    if (magic != "mopres 2")
+        return RecordStatus::Corrupt;
+
+    // The file must end "crc <8-hex>\n"; the CRC covers every byte
+    // before that line. Any truncation loses the trailer and fails
+    // here; any bit flip fails the CRC compare.
+    if (bytes.empty() || bytes.back() != '\n')
+        return RecordStatus::Corrupt;
+    size_t trailerStart = bytes.rfind("crc ", bytes.size() - 1);
+    if (trailerStart == std::string::npos ||
+        (trailerStart != 0 && bytes[trailerStart - 1] != '\n'))
+        return RecordStatus::Corrupt;
+    const std::string trailer =
+        bytes.substr(trailerStart, bytes.size() - trailerStart);
+    if (trailer.size() != 13)  // "crc " + 8 hex + "\n"
+        return RecordStatus::Corrupt;
+    // Strict lowercase hex (the only form the encoder emits): a
+    // case-insensitive parse would silently accept some trailer bit
+    // flips as the same value.
+    uint32_t stored = 0;
+    for (size_t i = 4; i < 12; ++i) {
+        char c = trailer[i];
+        if (c >= '0' && c <= '9')
+            stored = (stored << 4) | uint32_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            stored = (stored << 4) | uint32_t(c - 'a' + 10);
+        else
+            return RecordStatus::Corrupt;
+    }
+    if (crc32c(bytes.data(), trailerStart) != stored)
+        return RecordStatus::Corrupt;
+
+    // Payload verified; field lines are parsed strictly.
+    CacheRecord rec;
+    size_t pos = eol + 1;
+    while (pos < trailerStart) {
+        size_t lineEnd = bytes.find('\n', pos);
+        if (lineEnd == std::string::npos || lineEnd >= trailerStart)
+            return RecordStatus::Corrupt;
+        std::string key;
+        uint64_t val;
+        if (!parseFieldLine(bytes.substr(pos, lineEnd - pos), key, val))
+            return RecordStatus::Corrupt;
+        rec.add(key, val);
+        pos = lineEnd + 1;
+    }
+    if (rec.fields.empty())
+        return RecordStatus::Corrupt;
+    out = std::move(rec);
+    return RecordStatus::Ok;
 }
 
 CacheRecord
@@ -190,34 +341,82 @@ ResultCache::path(const Fingerprint &fp) const
     return dir_ + "/" + fp.hex() + ".res";
 }
 
+void
+ResultCache::quarantine(const std::string &file) const
+{
+    ++corrupt_;
+    if (!loggedCorrupt_.exchange(true))
+        std::cerr << "[cache] corrupt record quarantined: " << file
+                  << " (further corruption counted silently)\n";
+    std::error_code ec;
+    std::filesystem::create_directories(quarantineDir(), ec);
+    if (!ec) {
+        std::filesystem::rename(
+            file,
+            quarantineDir() + "/" +
+                std::filesystem::path(file).filename().string(),
+            ec);
+    }
+    if (ec)
+        std::filesystem::remove(file, ec);  // never reload known damage
+}
+
 bool
 ResultCache::load(const Fingerprint &fp, CacheRecord &out) const
 {
     if (!enabled())
         return false;
-    std::ifstream in(path(fp));
-    if (!in) {
-        ++misses_;
-        return false;
-    }
-    std::string magic;
-    int version = 0;
-    if (!(in >> magic >> version) || magic != "mopres" || version != 1) {
+    const std::string file = path(fp);
+    std::string bytes;
+    if (!slurp(file, bytes)) {
         ++misses_;
         return false;
     }
     CacheRecord rec;
-    std::string key;
-    uint64_t val;
-    while (in >> key >> val)
-        rec.add(key, val);
-    if (rec.fields.empty()) {
-        ++misses_;
+    switch (decodeRecord(bytes, rec)) {
+      case RecordStatus::Corrupt:
+        quarantine(file);
         return false;
+      case RecordStatus::LegacyOk:
+        // Transparent v1 -> v2 upgrade: next load gets a CRC.
+        store(fp, rec);
+        break;
+      case RecordStatus::Ok: {
+        // Bump atime so LRU eviction tracks use even on relatime
+        // mounts (mtime untouched: it dates the computation).
+        struct timespec times[2];
+        times[0].tv_nsec = UTIME_NOW;
+        times[1].tv_nsec = UTIME_OMIT;
+        ::utimensat(AT_FDCWD, file.c_str(), times, 0);
+        break;
+      }
     }
     out = std::move(rec);
     ++hits_;
     return true;
+}
+
+void
+ResultCache::writeRecordFile(const std::string &dest,
+                             const CacheRecord &rec) const
+{
+    // Unique temp name per writer, then an atomic rename into place.
+    std::ostringstream tmp;
+    tmp << dest << ".tmp." << ::getpid() << "."
+        << std::this_thread::get_id();
+    {
+        std::ofstream outf(tmp.str(), std::ios::trunc | std::ios::binary);
+        if (!outf)
+            return;
+        const std::string bytes = encodeRecordV2(rec);
+        outf.write(bytes.data(), std::streamsize(bytes.size()));
+        if (!outf.good())
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp.str(), dest, ec);
+    if (ec)
+        std::filesystem::remove(tmp.str(), ec);
 }
 
 void
@@ -229,24 +428,108 @@ ResultCache::store(const Fingerprint &fp, const CacheRecord &rec) const
     std::filesystem::create_directories(dir_, ec);
     if (ec)
         return;  // unwritable cache degrades to a miss, never an error
+    writeRecordFile(path(fp), rec);
+}
 
-    // Unique temp name per writer, then an atomic rename into place.
-    std::ostringstream tmp;
-    tmp << path(fp) << ".tmp." << ::getpid() << "."
-        << std::this_thread::get_id();
-    {
-        std::ofstream outf(tmp.str(), std::ios::trunc);
-        if (!outf)
-            return;
-        outf << "mopres 1\n";
-        for (const auto &[key, val] : rec.fields)
-            outf << key << " " << val << "\n";
-        if (!outf.good())
-            return;
+CacheVerifyStats
+ResultCache::verify() const
+{
+    CacheVerifyStats stats;
+    if (!enabled())
+        return stats;
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (std::filesystem::directory_iterator
+             it(dir_, std::filesystem::directory_options::skip_permission_denied,
+                ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && it->path().extension() == ".res")
+            files.push_back(it->path().string());
     }
-    std::filesystem::rename(tmp.str(), path(fp), ec);
-    if (ec)
-        std::filesystem::remove(tmp.str(), ec);
+    std::sort(files.begin(), files.end());
+    for (const std::string &file : files) {
+        ++stats.checked;
+        std::string bytes;
+        CacheRecord rec;
+        if (!slurp(file, bytes)) {
+            continue;  // raced with eviction/another verifier
+        }
+        switch (decodeRecord(bytes, rec)) {
+          case RecordStatus::Ok:
+            ++stats.ok;
+            break;
+          case RecordStatus::LegacyOk:
+            writeRecordFile(file, rec);
+            ++stats.upgraded;
+            break;
+          case RecordStatus::Corrupt:
+            quarantine(file);
+            ++stats.corrupt;
+            break;
+        }
+    }
+    for (const std::string &file : files) {
+        std::error_code sec;
+        auto sz = std::filesystem::file_size(file, sec);
+        if (!sec)
+            stats.bytes += sz;
+    }
+    return stats;
+}
+
+uint64_t
+ResultCache::evictToBudget(uint64_t max_bytes) const
+{
+    if (!enabled() || max_bytes == 0)
+        return 0;
+    struct Entry
+    {
+        int64_t atimeSec;
+        int64_t atimeNsec;
+        std::string file;
+        uint64_t size;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator
+             it(dir_, std::filesystem::directory_options::skip_permission_denied,
+                ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec) || it->path().extension() != ".res")
+            continue;
+        struct stat st;
+        if (::stat(it->path().c_str(), &st) != 0)
+            continue;
+        entries.push_back({int64_t(st.st_atim.tv_sec),
+                           int64_t(st.st_atim.tv_nsec),
+                           it->path().string(), uint64_t(st.st_size)});
+        total += uint64_t(st.st_size);
+    }
+    if (total <= max_bytes)
+        return 0;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.atimeSec != b.atimeSec)
+                      return a.atimeSec < b.atimeSec;
+                  if (a.atimeNsec != b.atimeNsec)
+                      return a.atimeNsec < b.atimeNsec;
+                  return a.file < b.file;  // deterministic tie-break
+              });
+    uint64_t evicted = 0;
+    for (const Entry &e : entries) {
+        if (total <= max_bytes)
+            break;
+        std::error_code rec_ec;
+        if (std::filesystem::remove(e.file, rec_ec) && !rec_ec) {
+            total -= e.size;
+            ++evicted;
+        }
+    }
+    evictions_ += evicted;
+    return evicted;
 }
 
 } // namespace mop::sweep

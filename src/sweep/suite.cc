@@ -68,6 +68,31 @@ jsonNum(double v)
     return ss.str();
 }
 
+/**
+ * Stand-in record for a quarantined job: every double is NaN (which
+ * stats::Table renders as FAILED) and every counter zero, with the
+ * full field set present so unpack*() still succeeds and the figure
+ * renders with explicit holes instead of aborting.
+ */
+CacheRecord
+poisonRecordFor(JobKind kind)
+{
+    const double nan = std::nan("");
+    switch (kind) {
+      case JobKind::Sim: {
+        pipeline::SimResult r;
+        r.ipc = nan;
+        r.avgIqOccupancy = nan;
+        return packSimResult(r);
+      }
+      case JobKind::Distance:
+        return packDistance({});
+      case JobKind::Grouping:
+        return packGrouping({});
+    }
+    return {};
+}
+
 } // namespace
 
 // --- Context -----------------------------------------------------------
@@ -87,6 +112,16 @@ Context::resolve(const SweepJob &job, const Fingerprint &fp)
     }
     auto it = results_->find(fp);
     if (it == results_->end()) {
+        if (failed_ && failed_->count(fp)) {
+            // Quarantined hole: hand back a poisoned record so the
+            // cell prints FAILED (per-kind, cached across calls).
+            static std::map<int, CacheRecord> poisons;
+            auto [pit, fresh] =
+                poisons.try_emplace(int(job.kind), CacheRecord{});
+            if (fresh)
+                pit->second = poisonRecordFor(job.kind);
+            return pit->second;
+        }
         throw std::logic_error(
             "sweep: render requested a run the plan pass did not "
             "enumerate (figure body depends on result values?)");
@@ -199,6 +234,37 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
 {
     double wall0 = now();
 
+    // --cache-verify: integrity maintenance pass instead of a sweep.
+    if (opts.cacheVerify) {
+        if (!opts.useCache) {
+            std::cerr << "mopsuite: --cache-verify needs the cache "
+                         "enabled (drop --no-cache)\n";
+            return 2;
+        }
+        ResultCache cache(opts.cacheDir.empty()
+                              ? ResultCache::defaultDir()
+                              : opts.cacheDir);
+        CacheVerifyStats st = cache.verify();
+        uint64_t evicted = opts.cacheMaxBytes
+                               ? cache.evictToBudget(opts.cacheMaxBytes)
+                               : 0;
+        out << "[cache] " << st.checked << " record(s): " << st.ok
+            << " ok, " << st.upgraded << " upgraded, " << st.corrupt
+            << " corrupt (quarantined), " << evicted << " evicted, "
+            << st.bytes << " bytes\n";
+        return st.corrupt ? 1 : 0;
+    }
+
+    // Chaos plan: enacted inside sandboxed children only.
+    SweepFaultPlan plan;
+    if (!opts.sweepInject.empty()) {
+        plan = SweepFaultPlan::parse(opts.sweepInject, opts.sweepSeed);
+        if (plan.any() && !opts.isolate)
+            throw std::invalid_argument(
+                "--sweep-inject requires --isolate (faults fire inside "
+                "sandboxed workers)");
+    }
+
     // Figure selection, preserving registration order.
     std::vector<const Figure *> selected;
     if (opts.only.empty()) {
@@ -235,12 +301,21 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
         selected[i]->render(ctx, nullout);
     }
 
-    // Resolve: persistent cache first, thread pool for the misses.
+    // Resolve: persistent cache first, then the resume journal, then
+    // compute. Cache-before-journal keeps warm-cache runs reporting
+    // cache_hits == unique_runs exactly as before journaling existed.
     ResultCache cache(opts.useCache
                           ? (opts.cacheDir.empty()
                                  ? ResultCache::defaultDir()
                                  : opts.cacheDir)
                           : std::string());
+    const bool resumeOn = opts.resume == 1 ||
+                          (opts.resume < 0 && opts.useCache);
+    const std::string journalDir =
+        (opts.cacheDir.empty() ? ResultCache::defaultDir()
+                               : opts.cacheDir) +
+        "/journal";
+
     std::map<Fingerprint, CacheRecord> results;
     std::map<Fingerprint, double> jobSeconds;
     std::set<Fingerprint> cachedFps;
@@ -249,11 +324,25 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
     std::vector<Fingerprint> jobFps(jobs.size());
     for (const auto &[fp, idx] : jobIndex)
         jobFps[idx] = fp;
+
+    const Fingerprint sweepFp = sweepFingerprint(jobFps);
+    std::map<Fingerprint, CacheRecord> journalRecs;
+    if (resumeOn)
+        SweepJournal::replay(SweepJournal::pathFor(journalDir, sweepFp),
+                             journalRecs);
+
+    size_t cacheHits = 0, journalHits = 0;
     for (size_t i = 0; i < jobs.size(); ++i) {
         CacheRecord rec;
         if (cache.load(jobFps[i], rec)) {
             results.emplace(jobFps[i], std::move(rec));
             cachedFps.insert(jobFps[i]);
+            ++cacheHits;
+        } else if (auto it = journalRecs.find(jobFps[i]);
+                   it != journalRecs.end()) {
+            results.emplace(jobFps[i], it->second);
+            cachedFps.insert(jobFps[i]);
+            ++journalHits;
         } else {
             missIdx.push_back(i);
             misses.push_back(jobs[i]);
@@ -263,18 +352,19 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
     if (opts.verbose) {
         std::cerr << "[sweep] " << selected.size() << " figure(s), "
                   << jobs.size() << " unique run(s), "
-                  << (jobs.size() - misses.size()) << " cached, "
-                  << misses.size() << " to compute\n";
+                  << (jobs.size() - misses.size()) << " cached";
+        if (journalHits)
+            std::cerr << " (" << journalHits << " from the journal)";
+        std::cerr << ", " << misses.size() << " to compute\n";
     }
 
-    SweepExecutor exec(opts.jobs);
+    const int workerCount = SweepExecutor(opts.jobs).jobs();
     std::unique_ptr<obs::TelemetrySink> telemetry;
     if (!opts.telemetryPath.empty() || opts.progress) {
         telemetry = std::make_unique<obs::TelemetrySink>(
-            opts.telemetryPath, exec.jobs());
+            opts.telemetryPath, workerCount);
         telemetry->beginBatch(jobs.size(), jobs.size() - misses.size());
         telemetry->flush();
-        exec.setTelemetry(telemetry.get());
     }
     std::function<void(size_t, size_t)> progress;
     if (opts.progress) {
@@ -289,20 +379,66 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
                       << " runs done\n";
         };
     }
+
+    // Both compute paths persist incrementally through their
+    // completion hooks (invoked serialized, under the pool lock): a
+    // killed sweep keeps every finished job in the cache and journal.
     uint64_t simulatedInsts = 0;
-    std::vector<SweepOutcome> outcomes = exec.runAll(misses, progress);
+    std::map<Fingerprint, FailedJob> failed;
+    SweepJournal journal;
+    if (resumeOn && !misses.empty())
+        journal.open(journalDir, sweepFp);
+    auto persist = [&](const Fingerprint &fp, const SweepOutcome &o) {
+        cache.store(fp, o.record);
+        if (journal.isOpen())
+            journal.append(fp, o.record);
+        jobSeconds[fp] = o.seconds;
+        simulatedInsts += o.simulatedInsts;
+        results.emplace(fp, o.record);
+    };
+
+    if (opts.isolate) {
+        SupervisorOptions sopts;
+        sopts.jobs = opts.jobs;
+        sopts.jobTimeoutSeconds =
+            opts.jobTimeout > 0 ? opts.jobTimeout
+                                : 10.0 + double(insts) / 10000.0;
+        sopts.retry.maxAttempts = opts.maxAttempts;
+        if (plan.any())
+            sopts.plan = &plan;
+        SweepSupervisor sup(sopts);
+        sup.setTelemetry(telemetry.get());
+        std::vector<Fingerprint> missFps;
+        missFps.reserve(missIdx.size());
+        for (size_t i : missIdx)
+            missFps.push_back(jobFps[i]);
+        sup.setCompletion([&](size_t k, const JobReport &r) {
+            if (r.ok) {
+                persist(missFps[k], r.outcome);
+            } else {
+                if (journal.isOpen())
+                    journal.appendFailure(missFps[k], r.failure);
+                failed.emplace(missFps[k], r.failure);
+            }
+        });
+        sup.runAll(misses, missFps, progress);
+    } else {
+        SweepExecutor exec(opts.jobs);
+        exec.setTelemetry(telemetry.get());
+        exec.setCompletion([&](size_t k, const SweepOutcome &o) {
+            persist(jobFps[missIdx[k]], o);
+        });
+        exec.runAll(misses, progress);
+    }
+    journal.close();
+    if (opts.cacheMaxBytes)
+        cache.evictToBudget(opts.cacheMaxBytes);
     if (telemetry) {
+        telemetry->setCacheHealth(cache.corrupt(), cache.evictions());
         telemetry->flush();
         if (opts.progress)
             std::cerr << "\r[sweep] " << telemetry->progressLine()
                       << "\n";
-    }
-    for (size_t k = 0; k < outcomes.size(); ++k) {
-        const Fingerprint &fp = jobFps[missIdx[k]];
-        cache.store(fp, outcomes[k].record);
-        jobSeconds[fp] = outcomes[k].seconds;
-        simulatedInsts += outcomes[k].simulatedInsts;
-        results.emplace(fp, std::move(outcomes[k].record));
     }
 
     // Render pass, serial in selection order: byte-identical to the
@@ -315,11 +451,31 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
         ctx.mode_ = Context::Mode::Render;
         ctx.insts_ = insts;
         ctx.results_ = &results;
+        ctx.failed_ = &failed;
         double t0 = now();
         std::ostringstream body;
         selected[i]->render(ctx, body);
         rendered[i] = body.str();
         out << rendered[i];
+
+        // Explicit per-figure note for every quarantined run the body
+        // touched: holes are never silent.
+        std::set<Fingerprint> noted;
+        for (const Fingerprint &fp : touched[i]) {
+            auto fit = failed.find(fp);
+            if (fit == failed.end() || !noted.insert(fp).second)
+                continue;
+            const FailedJob &f = fit->second;
+            out << "[FAILED] " << selected[i]->name << ": "
+                << describeJob(jobs[jobIndex.at(fp)]) << ": "
+                << failureKindName(f.kind);
+            if (f.signal)
+                out << " (signal " << f.signal << ")";
+            out << " after " << f.attempts << " attempt(s)";
+            if (!f.message.empty())
+                out << ": " << f.message;
+            out << "\n";
+        }
 
         FigurePerf &p = perf[i];
         p.name = selected[i]->name;
@@ -342,8 +498,9 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
     for (size_t i = 0; i < jobs.size(); ++i) {
         if (jobs[i].kind != JobKind::Sim)
             continue;
+        auto rit = results.find(jobFps[i]);  // absent for quarantined
         pipeline::SimResult r;
-        if (!unpackSimResult(results.at(jobFps[i]), r))
+        if (rit == results.end() || !unpackSimResult(rit->second, r))
             continue;
         auto &[sum, n] = machineIpc[sim::machineName(jobs[i].cfg.machine)];
         sum += r.ipc;
@@ -356,12 +513,13 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
            << "  \"schema\": \"mop-sweep-perf-1\",\n"
            << "  \"sim_version\": \"" << jsonEscape(kSimVersion)
            << "\",\n"
-           << "  \"jobs\": " << exec.jobs() << ",\n"
+           << "  \"jobs\": " << workerCount << ",\n"
            << "  \"insts_per_run\": " << insts << ",\n"
            << "  \"wall_seconds\": " << jsonNum(wallSeconds) << ",\n"
            << "  \"unique_runs\": " << jobs.size() << ",\n"
-           << "  \"cache_hits\": " << (jobs.size() - misses.size())
-           << ",\n"
+           << "  \"cache_hits\": " << cacheHits << ",\n"
+           << "  \"journal_hits\": " << journalHits << ",\n"
+           << "  \"quarantined\": " << failed.size() << ",\n"
            << "  \"computed_runs\": " << misses.size() << ",\n"
            << "  \"simulated_insts\": " << simulatedInsts << ",\n"
            << "  \"simulated_insts_per_second\": "
@@ -413,7 +571,10 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
             if (job.kind != JobKind::Sim)
                 continue;
             pipeline::SimResult r;
-            unpackSimResult(results.at(jobFps[i]), r);
+            bool hole = failed.count(jobFps[i]) != 0;
+            if (auto rit = results.find(jobFps[i]);
+                rit != results.end())
+                unpackSimResult(rit->second, r);
             const sim::RunConfig &c = job.cfg;
             jf << "    {\"fingerprint\": \"" << jobFps[i].hex()
                << "\", \"bench\": \"" << jsonEscape(job.bench)
@@ -423,8 +584,12 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
                << ", \"extra_stages\": " << c.extraStages
                << ", \"mop_size\": " << c.mopSize
                << ", \"sched_depth\": " << c.schedDepth
-               << ", \"cached\": " << (cachedFps.count(jobFps[i]) != 0)
-               << ", \"ipc\": " << jsonNum(r.ipc)
+               << ", \"cached\": " << (cachedFps.count(jobFps[i]) != 0);
+            // Quarantined holes are marked instead of faking numbers;
+            // clean runs keep the exact field set (and bytes) of old.
+            if (hole)
+                jf << ", \"failed\": true";
+            jf << ", \"ipc\": " << jsonNum(r.ipc)
                << ", \"cycles\": " << r.cycles
                << ", \"insts\": " << r.insts << "}"
                << (++emitted < simJobs ? "," : "") << "\n";
@@ -436,6 +601,12 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
         std::cerr << "[sweep] done in " << jsonNum(wallSeconds)
                   << "s (" << misses.size() << " computed, "
                   << (jobs.size() - misses.size()) << " cached)\n";
+    }
+    if (!failed.empty()) {
+        std::cerr << "mopsuite: " << failed.size()
+                  << " run(s) quarantined; tables contain FAILED "
+                     "cells\n";
+        return 3;  // partial results rendered, holes explicit
     }
     return 0;
 }
@@ -465,7 +636,31 @@ usage(std::ostream &os)
           "                  utilization, ETA)\n"
           "  --telemetry F   write live batch telemetry to F as a\n"
           "                  Prometheus-style text file (rewritten\n"
-          "                  atomically as runs complete)\n";
+          "                  atomically as runs complete)\n"
+          "  --isolate       compute each uncached run in a forked,\n"
+          "                  watchdogged child: a crash/hang/OOM is a\n"
+          "                  retried-then-quarantined FAILED cell, not\n"
+          "                  a dead sweep (exit 3 marks partial tables)\n"
+          "  --job-timeout S per-run wall-clock deadline with --isolate\n"
+          "                  (default: derived from --insts)\n"
+          "  --max-attempts N  tries per run before quarantine "
+          "(default 3)\n"
+          "  --resume / --no-resume\n"
+          "                  journal completed runs so a killed sweep\n"
+          "                  resumes where it stopped (default: on when\n"
+          "                  the cache is; --resume also covers\n"
+          "                  --no-cache runs)\n"
+          "  --cache-verify  CRC-check every cache record (quarantine\n"
+          "                  damage, upgrade v1) and exit\n"
+          "  --cache-max-bytes N\n"
+          "                  evict least-recently-used cache records\n"
+          "                  beyond N bytes after the sweep\n"
+          "  --sweep-inject KIND[:RATE[:ATTEMPTS]][,...]\n"
+          "                  chaos testing (requires --isolate): inject\n"
+          "                  crash|hang|corrupt-record|short-write\n"
+          "                  faults into workers, deterministically by\n"
+          "                  (--sweep-seed, run fingerprint)\n"
+          "  --sweep-seed N  chaos victim-selection seed (default 1)\n";
 }
 
 /** Shared flag parsing for suiteMain and figureMain. Returns an exit
@@ -503,6 +698,30 @@ parseArgs(int argc, char **argv, SuiteOptions &opts)
             opts.useCache = false;
         } else if (a == "--telemetry") {
             opts.telemetryPath = value("--telemetry");
+        } else if (a == "--isolate") {
+            opts.isolate = true;
+        } else if (a == "--job-timeout") {
+            opts.jobTimeout = double(sim::parseUintOption(
+                "--job-timeout", value("--job-timeout"), 1, 86400));
+        } else if (a == "--max-attempts") {
+            opts.maxAttempts = int(sim::parseIntOption(
+                "--max-attempts", value("--max-attempts"), 1, 100));
+        } else if (a == "--resume") {
+            opts.resume = 1;
+        } else if (a == "--no-resume") {
+            opts.resume = 0;
+        } else if (a == "--cache-verify") {
+            opts.cacheVerify = true;
+        } else if (a == "--cache-max-bytes") {
+            opts.cacheMaxBytes = sim::parseUintOption(
+                "--cache-max-bytes", value("--cache-max-bytes"), 1,
+                uint64_t(1) << 50);
+        } else if (a == "--sweep-inject") {
+            opts.sweepInject = value("--sweep-inject");
+        } else if (a == "--sweep-seed") {
+            opts.sweepSeed = sim::parseUintOption(
+                "--sweep-seed", value("--sweep-seed"), 0,
+                ~uint64_t(0) >> 1);
         } else if (a == "--progress") {
             opts.progress = true;
         } else if (a == "--quiet") {

@@ -34,6 +34,7 @@
 
 #include "sweep/executor.hh"
 #include "sweep/result_cache.hh"
+#include "sweep/supervisor.hh"
 
 namespace mop::sweep
 {
@@ -73,6 +74,10 @@ class Context
     std::vector<SweepJob> *jobs_ = nullptr;
     const std::map<Fingerprint, CacheRecord> *results_ = nullptr;
     std::vector<Fingerprint> *touched_ = nullptr;  // per-figure uses
+    /** Quarantined holes (render pass): resolve() substitutes a
+     *  poisoned record whose doubles are NaN, so derived table cells
+     *  print as explicit FAILED instead of silently-wrong numbers. */
+    const std::map<Fingerprint, FailedJob> *failed_ = nullptr;
 };
 
 struct Figure
@@ -111,6 +116,30 @@ struct SuiteOptions
     /** Single updating TTY progress line on stderr (replaces the
      *  per-run verbose lines). */
     bool progress = false;
+
+    // --- Fault tolerance (see supervisor.hh / sandbox.hh) ---
+    /** Compute each uncached job in a forked, watchdogged child with
+     *  retry + quarantine (--isolate). Off by default: the in-process
+     *  executor path is bit-identical to the pre-supervisor suite. */
+    bool isolate = false;
+    /** Per-job wall-clock deadline in seconds for --isolate; 0 derives
+     *  one from the instruction budget (10s + insts/10k). */
+    double jobTimeout = 0;
+    /** Attempt budget per job before quarantine (--isolate). */
+    int maxAttempts = 3;
+    /** Resume journal: 1 on, 0 off, -1 auto (on iff the cache is
+     *  enabled; pass --resume to journal cache-disabled runs too). */
+    int resume = -1;
+    /** Verify every cache record (CRC check, quarantine damage,
+     *  upgrade v1) and exit instead of sweeping. */
+    bool cacheVerify = false;
+    /** Evict least-recently-used cache records beyond this many bytes
+     *  after the sweep (0 = no budget). */
+    uint64_t cacheMaxBytes = 0;
+    /** Chaos plan spec for --sweep-inject ("" = off; requires
+     *  isolate). */
+    std::string sweepInject;
+    uint64_t sweepSeed = 1;
 };
 
 /** CLI driver behind the mopsuite binary. */

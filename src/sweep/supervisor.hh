@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Fault-tolerant sweep supervision: watchdog + retry + quarantine over
+ * sandboxed workers, and the append-only resume journal.
+ *
+ * SweepSupervisor is the opt-in (--isolate) alternative to running
+ * jobs in-process: every job is computed in a forked child (see
+ * sandbox.hh) under a per-job wall-clock deadline. Transient failures
+ * — crash, timeout, torn result frame — are retried with exponential
+ * backoff; a job that keeps failing is *quarantined* after the attempt
+ * budget and the sweep terminates with an explicit FailedJob outcome
+ * for that hole instead of dying. Deterministic failures (a C++
+ * exception such as an unknown benchmark) are never retried.
+ *
+ * The journal makes killed sweeps resumable: every completed job is
+ * appended — fsync'd, CRC-framed, one line per record — to
+ * `<cache-dir>/journal/<sweep-fp>.jnl`, keyed by a fingerprint of the
+ * whole planned batch. A rerun replays intact lines (a torn tail from
+ * a mid-append kill fails its CRC and is skipped) and computes only
+ * what is missing, even when the result cache is disabled.
+ */
+
+#ifndef MOP_SWEEP_SUPERVISOR_HH
+#define MOP_SWEEP_SUPERVISOR_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hh"
+#include "sweep/sandbox.hh"
+
+namespace mop::sweep
+{
+
+/** Terminal failure classes a job can be quarantined with. */
+enum class FailureKind : uint8_t
+{
+    Crash,          ///< worker died on a signal
+    Timeout,        ///< watchdog deadline expired
+    CorruptResult,  ///< result frame truncated / CRC-damaged
+    Error,          ///< deterministic C++ exception (never retried)
+};
+
+const char *failureKindName(FailureKind k);
+
+/** Why a sweep hole exists: recorded per quarantined job. */
+struct FailedJob
+{
+    FailureKind kind = FailureKind::Error;
+    int signal = 0;       ///< terminating signal for Crash
+    int attempts = 0;     ///< attempts consumed before quarantine
+    std::string message;  ///< exception text / frame diagnosis
+};
+
+/**
+ * Pure retry/backoff/quarantine policy — a deterministic state
+ * machine, unit-testable with a fake clock (the supervisor injects
+ * real sleeping via SupervisorOptions::sleeper).
+ */
+struct RetryPolicy
+{
+    int maxAttempts = 3;        ///< total tries incl. the first
+    double backoffBase = 0.05;  ///< seconds before attempt 2
+    double backoffMax = 2.0;    ///< exponential growth cap
+
+    /** May attempt (attempts_so_far + 1) proceed? Error is permanent;
+     *  crash/timeout/corrupt-result are transient. */
+    bool shouldRetry(FailureKind kind, int attempts_so_far) const;
+
+    /** Backoff before the next attempt when @p attempts_so_far have
+     *  failed: base * 2^(n-1), capped at backoffMax. */
+    double backoffSeconds(int attempts_so_far) const;
+};
+
+/** One supervised job's final outcome. */
+struct JobReport
+{
+    bool ok = false;
+    SweepOutcome outcome;  ///< valid when ok
+    FailedJob failure;     ///< valid when !ok
+    int attempts = 0;      ///< total attempts made
+    int retries = 0;       ///< attempts - 1 (telemetry convenience)
+};
+
+struct SupervisorOptions
+{
+    int jobs = 0;  ///< worker threads; 0 = hardware_concurrency()
+    /** Per-job wall-clock deadline in seconds (must be > 0; the suite
+     *  derives a default from the instruction budget). */
+    double jobTimeoutSeconds = 30.0;
+    RetryPolicy retry;
+    /** Chaos plan enacted inside the children (not owned; may be
+     *  null). */
+    const SweepFaultPlan *plan = nullptr;
+    /** Backoff sleeper, injectable for tests (default: real sleep). */
+    std::function<void(double)> sleeper;
+};
+
+class SweepSupervisor
+{
+  public:
+    explicit SweepSupervisor(SupervisorOptions opts);
+
+    int jobs() const { return jobs_; }
+
+    /** Attach a live telemetry sink (not owned; may be null). Reports
+     *  per-run completion plus retry/crash/quarantine counters. */
+    void setTelemetry(obs::TelemetrySink *t) { telemetry_ = t; }
+
+    /**
+     * Per-job completion hook, invoked under a lock as each job
+     * reaches its final outcome (ok or quarantined) — the suite uses
+     * it to persist results incrementally so a killed sweep keeps its
+     * finished work.
+     */
+    using CompletionFn =
+        std::function<void(size_t index, const JobReport &)>;
+    void setCompletion(CompletionFn fn) { onComplete_ = std::move(fn); }
+
+    /**
+     * Supervise every job; report i corresponds to batch[i]. @p fps
+     * must parallel @p batch (fingerprints drive chaos victim
+     * selection and journaling). Never throws on job failure: holes
+     * come back as !ok reports.
+     */
+    std::vector<JobReport>
+    runAll(const std::vector<SweepJob> &batch,
+           const std::vector<Fingerprint> &fps,
+           const std::function<void(size_t done, size_t total)> &progress =
+               {}) const;
+
+    /** Supervise one job: the attempt/backoff/quarantine loop. */
+    JobReport superviseJob(const SweepJob &job,
+                           const Fingerprint &fp) const;
+
+  private:
+    SupervisorOptions opts_;
+    int jobs_;
+    obs::TelemetrySink *telemetry_ = nullptr;  ///< not owned
+    CompletionFn onComplete_;
+};
+
+// --- Resume journal ----------------------------------------------------
+
+/**
+ * Fingerprint of a whole planned batch: the journal key. Folds the
+ * simulator version, every job fingerprint in plan order and the
+ * count, so any change to the planned work resolves to a fresh
+ * journal.
+ */
+Fingerprint sweepFingerprint(const std::vector<Fingerprint> &job_fps);
+
+class SweepJournal
+{
+  public:
+    /** `<dir>/<sweep-fp>.jnl` (dir is `<cache-dir>/journal`). */
+    static std::string pathFor(const std::string &dir,
+                               const Fingerprint &sweep_fp);
+
+    /**
+     * Replay every intact `done` line of @p path into @p out. Lines
+     * with CRC damage or truncation (the torn tail of a killed
+     * writer) are skipped. Returns the number of records replayed.
+     */
+    static size_t replay(const std::string &path,
+                         std::map<Fingerprint, CacheRecord> &out);
+
+    /** Open (append, create) the journal for @p sweep_fp under
+     *  @p dir. Returns false — journaling disabled — if the
+     *  directory cannot be created or opened. */
+    bool open(const std::string &dir, const Fingerprint &sweep_fp);
+
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /** Append one completed job (single write + fdatasync). */
+    void append(const Fingerprint &fp, const CacheRecord &rec);
+
+    /** Append a quarantine marker (diagnostic only: failures are
+     *  retried, not replayed, on resume). */
+    void appendFailure(const Fingerprint &fp, const FailedJob &f);
+
+    void close();
+    ~SweepJournal() { close(); }
+
+  private:
+    void writeLine(const std::string &body);
+
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace mop::sweep
+
+#endif // MOP_SWEEP_SUPERVISOR_HH

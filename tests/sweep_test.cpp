@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -214,7 +215,55 @@ TEST(SweepExecutorTest, JobExceptionsPropagate)
     }
     batch[1].bench = "no-such-benchmark";
     EXPECT_THROW(sweep::SweepExecutor(2).runAll(batch),
-                 std::invalid_argument);
+                 sweep::SweepBatchError);
+}
+
+TEST(SweepExecutorTest, BatchErrorNamesEveryFailedJob)
+{
+    // Two bad jobs in one batch: the aggregate error must report both,
+    // in batch order, not just whichever worker lost the race.
+    std::vector<sweep::SweepJob> batch(4);
+    for (auto &j : batch) {
+        j.bench = "gzip";
+        j.insts = 1000;
+    }
+    batch[1].bench = "no-such-benchmark";
+    batch[3].bench = "also-missing";
+    try {
+        sweep::SweepExecutor(4).runAll(batch);
+        FAIL() << "expected SweepBatchError";
+    } catch (const sweep::SweepBatchError &e) {
+        ASSERT_EQ(e.failures().size(), 2u);
+        EXPECT_EQ(e.failures()[0].index, 1u);
+        EXPECT_EQ(e.failures()[1].index, 3u);
+        EXPECT_NE(e.failures()[0].job.find("no-such-benchmark"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("also-missing"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("2 of 4"),
+                  std::string::npos);
+    }
+}
+
+TEST(SweepExecutorTest, CompletionHookFiresForSuccessesOnly)
+{
+    std::vector<sweep::SweepJob> batch(3);
+    for (auto &j : batch) {
+        j.bench = "gzip";
+        j.insts = 1000;
+    }
+    batch[1].bench = "no-such-benchmark";
+    sweep::SweepExecutor exec(2);
+    std::vector<size_t> completed;
+    exec.setCompletion([&](size_t i, const sweep::SweepOutcome &o) {
+        EXPECT_FALSE(o.record.fields.empty());
+        completed.push_back(i);
+    });
+    EXPECT_THROW(exec.runAll(batch), sweep::SweepBatchError);
+    std::sort(completed.begin(), completed.end());
+    ASSERT_EQ(completed.size(), 2u);
+    EXPECT_EQ(completed[0], 0u);
+    EXPECT_EQ(completed[1], 2u);
 }
 
 // --- Suite driver -------------------------------------------------------
