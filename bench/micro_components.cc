@@ -11,10 +11,12 @@
 #include "core/mop_detector.hh"
 #include "mem/cache.hh"
 #include "sched/scheduler.hh"
+#include "pipeline/ooo_core.hh"
 #include "sched/wired_or.hh"
 #include "sim/config.hh"
 #include "sweep/fingerprint.hh"
 #include "trace/profiles.hh"
+#include "verify/oracle.hh"
 
 namespace
 {
@@ -142,6 +144,69 @@ BM_SchedulerWakeupSelect(benchmark::State &state)
     state.SetItemsProcessed(int64_t(total));
 }
 BENCHMARK(BM_SchedulerWakeupSelect)->Arg(32)->Arg(128);
+
+void
+BM_RefSchedulerWakeupSelect(benchmark::State &state)
+{
+    // The AoS reference oracle on the identical ILP-4 stream: the
+    // readability-first counterpart to BM_SchedulerWakeupSelect's SoA
+    // planes. The gap between the two is the layout win (mopsuite
+    // --perf reports the same pair as ns/op).
+    sched::SchedParams p;
+    p.policy = sched::SchedPolicy::TwoCycle;
+    p.numEntries = int(state.range(0));
+    constexpr uint64_t kOps = 512;  // the oracle is deliberately slow
+    uint64_t total = 0;
+    std::vector<sched::ExecEvent> completed;
+    for (auto _ : state) {
+        verify::RefScheduler s(p);
+        sched::Cycle now = 0;
+        uint64_t seq = 0, done = 0;
+        while (done < kOps) {
+            for (int w = 0; w < 4 && seq < kOps && s.canInsert(); ++w) {
+                sched::SchedOp op;
+                op.seq = seq;
+                op.dst = sched::Tag(seq);
+                op.src = {seq >= 4 ? sched::Tag(seq - 4) : sched::kNoTag,
+                          sched::kNoTag};
+                s.insert(op, now);
+                ++seq;
+            }
+            completed.clear();
+            s.tick(now, completed);
+            done += completed.size();
+            ++now;
+        }
+        total += kOps;
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(int64_t(total));
+}
+BENCHMARK(BM_RefSchedulerWakeupSelect)->Arg(32);
+
+void
+BM_IdleAdvance(benchmark::State &state)
+{
+    // Cycles per second through mcf — the memory-bound extreme whose
+    // run is dominated by idle gaps — with event-driven cycle
+    // skipping off (Arg 0) or on (Arg 1). Items = simulated cycles,
+    // so the throughput line shows what skipping buys.
+    sim::RunConfig cfg;
+    cfg.machine = sim::Machine::Base;
+    cfg.iqEntries = 32;
+    uint64_t total = 0;
+    for (auto _ : state) {
+        pipeline::CoreParams params = sim::makeCoreParams(cfg);
+        params.cycleSkip = state.range(0) != 0;
+        trace::SyntheticSource src(trace::profileFor("mcf"));
+        pipeline::OooCore core(params, src);
+        pipeline::SimResult r = core.run(20000);
+        total += r.cycles;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(int64_t(total));
+}
+BENCHMARK(BM_IdleAdvance)->Arg(0)->Arg(1);
 
 void
 BM_SchedulerStallProbe(benchmark::State &state)

@@ -29,7 +29,7 @@ MopDetector::endGroup(sched::Cycle now)
     if (cur_.empty())
         return;
     detectStep(now);
-    prev_ = std::move(cur_);
+    std::swap(prev_, cur_);  // keep both buffers' capacity
     cur_.clear();
 }
 
@@ -185,7 +185,8 @@ MopDetector::detectStep(sched::Cycle now)
 {
     // Two-group window: previous group in the top-left of the matrix,
     // current group in the bottom-right (Figure 9).
-    std::vector<Item> win;
+    std::vector<Item> &win = win_;
+    win.clear();
     win.reserve(prev_.size() + cur_.size());
     for (auto &it : prev_)
         win.push_back(it);
@@ -194,26 +195,28 @@ MopDetector::detectStep(sched::Cycle now)
     int n = int(win.size());
 
     // Producer-aware source identities (rename semantics: a source
-    // names its most recent in-window writer).
+    // names its most recent in-window writer). The last-writer table
+    // is a flat per-register array; the window is tiny, so refilling
+    // the touched slots beats any hashing.
     srcIds_.assign(size_t(n), {SrcId{}, SrcId{}});
     pairOf_.assign(size_t(n), -1);
     {
-        std::unordered_map<int16_t, int> last_writer;
+        std::array<int, isa::kNumLogicalRegs> last_writer;
+        last_writer.fill(-1);
         for (int k = 0; k < n; ++k) {
             const isa::MicroOp &u = win[size_t(k)].u;
             for (int s = 0; s < 2; ++s) {
                 int16_t r = u.src[size_t(s)];
                 if (r == isa::kNoReg)
                     continue;
-                auto lw = last_writer.find(r);
-                if (lw != last_writer.end())
-                    srcIds_[size_t(k)][size_t(s)] =
-                        SrcId{lw->second, isa::kNoReg};
+                int lw = last_writer[size_t(r)];
+                if (lw >= 0)
+                    srcIds_[size_t(k)][size_t(s)] = SrcId{lw, isa::kNoReg};
                 else
                     srcIds_[size_t(k)][size_t(s)] = SrcId{-1, r};
             }
             if (u.hasDst())
-                last_writer[u.dst] = k;
+                last_writer[size_t(u.dst)] = k;
         }
     }
     // Dependent pass: scan each head's column for the first admissible

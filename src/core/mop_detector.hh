@@ -116,7 +116,9 @@ class MopDetector
     std::vector<Item> cur_;
     sched::Cycle lastNow_ = 0;
 
-    // Per-step scratch, indexed by window position.
+    // Per-step scratch, indexed by window position. Members (not
+    // locals) so steady-state detection allocates nothing per group.
+    std::vector<Item> win_;
     std::vector<std::array<SrcId, 2>> srcIds_;
     std::vector<int> pairOf_;  ///< window partner or -1 (precise mode)
 

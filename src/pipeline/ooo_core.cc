@@ -32,9 +32,11 @@ OooCore::OooCore(const CoreParams &params, trace::TraceSource &source)
         RobEntry *re = robByDynId(seq);
         integrity_.require(re && re->u.isLoad(),
                            verify::IntegrityChecker::Check::RobOrder,
-                           "load-latency query for dyn id " +
-                               std::to_string(seq) +
-                               " that is not a ROB-resident load");
+                           [&] {
+                               return "load-latency query for dyn id " +
+                                      std::to_string(seq) +
+                                      " that is not a ROB-resident load";
+                           });
         int lat = mem_.dataAccess(re->u.memAddr, false);
         if (inj_) {
             int f = inj_->loadFaultLatency(now_,
@@ -68,17 +70,29 @@ OooCore::OooCore(const CoreParams &params, trace::TraceSource &source)
 
     prodComplete_.assign(kProdRing, {~0ULL, 0});
     lastWriter_.fill(-1);
+    rob_.init(params_.robSize);
+    completedScratch_.reserve(64);
+    mopScratch_.reserve(64);
+    skipEnabled_ =
+        params_.cycleSkip && !params_.obs.enabled && !params_.faults.any();
 }
 
 OooCore::~OooCore() = default;
 
+int64_t
+OooCore::robIndex(uint64_t dyn_id) const
+{
+    if (rob_.empty() || dyn_id < rob_.front().dynId)
+        return -1;
+    size_t idx = size_t(dyn_id - rob_.front().dynId);
+    return idx < rob_.size() ? int64_t(idx) : -1;
+}
+
 OooCore::RobEntry *
 OooCore::robByDynId(uint64_t dyn_id)
 {
-    if (rob_.empty() || dyn_id < rob_.front().dynId)
-        return nullptr;
-    size_t idx = size_t(dyn_id - rob_.front().dynId);
-    return idx < rob_.size() ? &rob_[idx] : nullptr;
+    int64_t idx = robIndex(dyn_id);
+    return idx >= 0 ? &rob_.at(size_t(idx)) : nullptr;
 }
 
 void
@@ -104,12 +118,16 @@ OooCore::checkInvariant(const RobEntry &re, const sched::ExecEvent &ev)
 void
 OooCore::handleCompletion(const sched::ExecEvent &ev)
 {
-    RobEntry *re = robByDynId(ev.seq);
-    integrity_.require(re != nullptr,
+    int64_t idx = robIndex(ev.seq);
+    integrity_.require(idx >= 0,
                        verify::IntegrityChecker::Check::RobOrder,
-                       "completion for dyn id " + std::to_string(ev.seq) +
-                           " with no ROB entry");
-    re->completed = true;
+                       [&] {
+                           return "completion for dyn id " +
+                                  std::to_string(ev.seq) +
+                                  " with no ROB entry";
+                       });
+    RobEntry *re = &rob_.at(size_t(idx));
+    rob_.markCompleted(size_t(idx));
     re->completeCycle = ev.complete;
     re->execStart = ev.execStart;
     re->readyCycle = ev.ready;
@@ -133,14 +151,17 @@ OooCore::doCommit()
 {
     int n = 0;
     while (n < params_.commitWidth && !rob_.empty() &&
-           rob_.front().completed) {
+           rob_.frontCompleted()) {
         RobEntry &re = rob_.front();
         integrity_.require(re.dynId == nextCommitDynId_,
                            verify::IntegrityChecker::Check::RobOrder,
-                           "committing dyn id " + std::to_string(re.dynId) +
-                               " but expected " +
-                               std::to_string(nextCommitDynId_) +
-                               " (ROB out of program order)");
+                           [&] {
+                               return "committing dyn id " +
+                                      std::to_string(re.dynId) +
+                                      " but expected " +
+                                      std::to_string(nextCommitDynId_) +
+                                      " (ROB out of program order)";
+                           });
         ++nextCommitDynId_;
 
         if (golden_ || inj_) {
@@ -213,14 +234,14 @@ OooCore::doCommit()
             ++res_.groupCounts[size_t(cls)];
         }
         ++res_.uops;
-        rob_.pop_front();
+        rob_.popFront();
         ++n;
     }
     if (n > 0)
         lastCommit_ = now_;
 }
 
-void
+int
 OooCore::doQueueInsert()
 {
     // A frontend bubble (nothing deliverable this cycle) is an *empty*
@@ -259,7 +280,7 @@ OooCore::doQueueInsert()
         op.dst = out.dst;
         op.src = out.src;
 
-        RobEntry re;
+        RobEntry &re = rob_.pushBack();
         re.u = f.u;
         re.dynId = f.dynId;
         re.fetchCycle = f.fetchCycle;
@@ -310,16 +331,20 @@ OooCore::doQueueInsert()
         if (f.u.hasDst())
             lastWriter_[size_t(f.u.dst)] = int64_t(f.dynId);
 
-        detector_->observe(f.u, f.dynId);
-        rob_.push_back(re);
+        if (params_.mopEnabled)
+            detector_->observe(f.u, f.dynId);
         frontend_.pop_front();
         ++inserted;
     }
-    if (inserted > 0 || bubble) {
+    // MOP detection and the Figure 11 group window only matter when
+    // grouping is on; non-MOP configurations never read the pointer
+    // cache, so feeding the detector would be pure overhead.
+    if (params_.mopEnabled && (inserted > 0 || bubble)) {
         detector_->endGroup(now_);
         for (int e : formation_->groupBoundary())
             sched_->clearPending(e);
     }
+    return inserted;
 }
 
 void
@@ -450,12 +475,13 @@ OooCore::step()
            << lastCommit_ << " (now " << now_ << "); head dyn id "
            << rob_.front().dynId << " op "
            << isa::opClassName(rob_.front().u.op)
-           << (rob_.front().completed ? " completed" : " not completed");
+           << (rob_.frontCompleted() ? " completed" : " not completed");
         throw sched::DeadlockError(ss.str());
     }
 
-    doQueueInsert();
-    detector_->drain(now_);
+    int inserted = doQueueInsert();
+    if (params_.mopEnabled)
+        detector_->drain(now_);
     doFetch();
 
     if (obs_) {
@@ -475,9 +501,80 @@ OooCore::step()
                       formation_->pendingCount());
     }
 
+    // Attempt a skip only on quiet cycles (no completion, commit or
+    // insert): every cycle of an idle gap is quiet, so no opportunity
+    // beyond the gap's first cycle is lost, and busy cycles never pay
+    // for the next-event fold.
+    if (skipEnabled_ && completedScratch_.empty() && inserted == 0 &&
+        lastCommit_ != now_)
+        maybeSkipIdle();
+
     ++now_;
     return !(traceDone_ && !havePending_ && frontend_.empty() &&
              rob_.empty());
+}
+
+void
+OooCore::maybeSkipIdle()
+{
+    // Skip only states where an executed cycle is provably a no-op:
+    // no pending MOP head (the Figure 11 group window advances per
+    // cycle) and no completed ROB head (commit would make progress).
+    if (formation_->pendingCount() != 0)
+        return;
+    if (!rob_.empty() && rob_.frontCompleted())
+        return;
+
+    // Earliest cycle > now_ at which any state can change. Every
+    // term is a lower bound, so landing early merely executes one
+    // empty cycle; missing a term would diverge, so each per-cycle
+    // activity source contributes one (see DESIGN.md).
+    sched::Cycle t = sched_->nextEventCycle(now_);
+    auto fold = [&t](sched::Cycle c) {
+        if (c < t)
+            t = c;
+    };
+    // Commit-progress watchdog deadline (must throw on schedule).
+    if (!rob_.empty())
+        fold(lastCommit_ + params_.commitWatchdogCycles + 1);
+    // Queue insert: the frontend's head becomes deliverable (only
+    // relevant while backpressure would not hold it anyway; blocked
+    // inserts are unblocked by commits/frees, i.e. scheduler events).
+    if (!frontend_.empty() && int(rob_.size()) < params_.robSize &&
+        sched_->canInsert(1)) {
+        fold(std::max(frontend_.front().queueReadyAt, now_ + 1));
+    }
+    // Fetch: the next icache fill / redirect arrival. A resolving
+    // branch is a scheduler completion; a full frontend drains only
+    // via inserts.
+    if (!traceDone_ && !waitingBranch_ &&
+        frontend_.size() <
+            size_t(params_.fetchWidth * (params_.frontendDepth + 4))) {
+        fold(std::max(fetchStallUntil_, now_ + 1));
+    }
+
+    if (t == sched::kNoCycle)
+        return;  // nothing pending anywhere: the run is ending
+    t = std::min(t, sched::Cycle(params_.maxCycles));  // cycle guard
+    if (t <= now_ + 1)
+        return;
+
+    // Replay the skipped cycles' residual effects: per-cycle
+    // occupancy samples, detector pointer writes becoming visible,
+    // and the empty-group boundary for every frontend-bubble cycle
+    // (the last such call is what a stepped run leaves behind).
+    uint64_t gap = t - now_ - 1;
+    sched_->noteIdleCycles(gap);
+    if (params_.mopEnabled) {
+        detector_->drain(t - 1);
+        sched::Cycle last_bubble = t - 1;
+        if (!frontend_.empty() && frontend_.front().queueReadyAt <= t - 1)
+            last_bubble = frontend_.front().queueReadyAt - 1;
+        if (last_bubble > now_)
+            detector_->endGroup(last_bubble);
+    }
+    res_.skippedCycles += gap;
+    now_ = t - 1;  // step()'s increment lands on the event cycle
 }
 
 SimResult
@@ -497,9 +594,11 @@ OooCore::run(uint64_t max_insts)
     if (drained) {
         sched_->integrity().require(
             sched_->occupancy() == 0,
-            verify::IntegrityChecker::Check::IqAccounting,
-            "pipeline drained but " + std::to_string(sched_->occupancy()) +
-                " issue-queue entries remain (leak)");
+            verify::IntegrityChecker::Check::IqAccounting, [&] {
+                return "pipeline drained but " +
+                       std::to_string(sched_->occupancy()) +
+                       " issue-queue entries remain (leak)";
+            });
     }
     res_.cycles = now_;
     res_.ipc = now_ ? double(res_.insts) / double(now_) : 0.0;
@@ -528,6 +627,9 @@ OooCore::addStats(stats::StatGroup &g) const
     g.addFormula("core.mispredicts",
                  [this] { return double(res_.mispredicts); },
                  "fetch-detected branch mispredictions");
+    g.addFormula("core.skippedCycles",
+                 [this] { return double(res_.skippedCycles); },
+                 "idle cycles advanced by the event-driven skipper");
     g.addFormula("core.groupedFrac",
                  [this] { return res_.groupedFrac(); },
                  "committed instructions inside MOPs");
@@ -606,10 +708,10 @@ OooCore::dumpState(std::ostream &os) const
        << " µops in flight; ROB: " << rob_.size() << " entries\n";
     size_t show = std::min<size_t>(rob_.size(), 16);
     for (size_t i = 0; i < show; ++i) {
-        const RobEntry &re = rob_[i];
+        const RobEntry &re = rob_.at(i);
         os << "  rob[" << i << "] dyn=" << re.dynId << " seq=" << re.u.seq
            << " op=" << isa::opClassName(re.u.op)
-           << (re.completed ? " completed" : " in-flight")
+           << (rob_.completedAt(i) ? " completed" : " in-flight")
            << (re.grouped ? " grouped" : "")
            << (re.isHead ? " mop-head" : "") << "\n";
     }

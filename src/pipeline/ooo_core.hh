@@ -88,6 +88,16 @@ struct CoreParams
      *  for this many cycles is a livelock (DeadlockError). */
     uint64_t commitWatchdogCycles = 1'000'000ULL;
     uint64_t maxCycles = 2'000'000'000ULL;
+
+    /**
+     * Event-driven cycle skipping: when no ring event, frontend
+     * delivery, fetch, commit or watchdog deadline lies in a cycle
+     * range, advance time over it in one step. Bit-identical to the
+     * stepped run by construction (see DESIGN.md); automatically
+     * disabled under fault injection and the observability layer,
+     * whose hooks run every cycle.
+     */
+    bool cycleSkip = true;
 };
 
 /** Figure 13 commit-time classification. */
@@ -116,6 +126,9 @@ struct SimResult
     uint64_t mispredicts = 0;
     uint64_t filterDeletions = 0;
     double avgIqOccupancy = 0;
+    /** Idle cycles advanced without execution (cycle-skip metric; a
+     *  wall-clock statistic, not an architectural one). */
+    uint64_t skippedCycles = 0;
 
     /** Stall attribution (observability runs only; stallWidth == 0
      *  otherwise). Indexed by obs::StallCause. */
@@ -180,11 +193,13 @@ class OooCore
         bool mispredict = false;  ///< this µop will redirect fetch
     };
 
+    /** Cold ROB record: everything commit and diagnostics read.
+     *  The completed flag, polled every cycle by doCommit(), lives in
+     *  RobRing's separate hot byte plane instead. */
     struct RobEntry
     {
         isa::MicroOp u;
         uint64_t dynId = 0;
-        bool completed = false;
         sched::Cycle completeCycle = 0;
         sched::Cycle execStart = 0;
         sched::Cycle fetchCycle = 0;   ///< fetch cycle
@@ -202,12 +217,86 @@ class OooCore
         bool mispredicted = false;
     };
 
+    /**
+     * Power-of-two ROB ring, split structure-of-arrays style: the
+     * per-cycle commit poll touches only the packed completed_ byte
+     * plane, while the wide cold records are read once per entry (at
+     * completion and commit). Capacity is fixed at construction, so
+     * references stay valid for the entry's residency.
+     */
+    class RobRing
+    {
+      public:
+        void
+        init(int capacity)
+        {
+            size_t cap = 1;
+            while (cap < size_t(capacity))
+                cap <<= 1;
+            mask_ = cap - 1;
+            cold_.resize(cap);
+            completed_.assign(cap, 0);
+        }
+
+        bool empty() const { return size_ == 0; }
+        size_t size() const { return size_; }
+
+        RobEntry &front() { return cold_[head_]; }
+        const RobEntry &front() const { return cold_[head_]; }
+        bool frontCompleted() const { return completed_[head_] != 0; }
+
+        /** @p i counts from the head (program order). */
+        RobEntry &at(size_t i) { return cold_[(head_ + i) & mask_]; }
+        const RobEntry &
+        at(size_t i) const
+        {
+            return cold_[(head_ + i) & mask_];
+        }
+        bool
+        completedAt(size_t i) const
+        {
+            return completed_[(head_ + i) & mask_] != 0;
+        }
+        void markCompleted(size_t i) { completed_[(head_ + i) & mask_] = 1; }
+
+        /** Append a default-initialized entry; fill it in place. */
+        RobEntry &
+        pushBack()
+        {
+            size_t slot = (head_ + size_) & mask_;
+            completed_[slot] = 0;
+            cold_[slot] = RobEntry{};
+            ++size_;
+            return cold_[slot];
+        }
+
+        void
+        popFront()
+        {
+            head_ = (head_ + 1) & mask_;
+            --size_;
+        }
+
+      private:
+        std::vector<RobEntry> cold_;
+        std::vector<uint8_t> completed_;  ///< hot plane (commit poll)
+        size_t mask_ = 0;
+        size_t head_ = 0;
+        size_t size_ = 0;
+    };
+
     void doFetch();
-    void doQueueInsert();
+    /** Returns how many ops entered the scheduler this cycle. */
+    int doQueueInsert();
     void doCommit();
     void handleCompletion(const sched::ExecEvent &ev);
     void checkInvariant(const RobEntry &rob, const sched::ExecEvent &ev);
+    /** Head-relative ROB index of @p dyn_id, or -1 if not resident. */
+    int64_t robIndex(uint64_t dyn_id) const;
     RobEntry *robByDynId(uint64_t dyn_id);
+    /** Advance now_ over a provably idle region (see CoreParams::
+     *  cycleSkip); called with now_ = the cycle just executed. */
+    void maybeSkipIdle();
 
     CoreParams params_;
     trace::TraceSource &src_;
@@ -233,7 +322,8 @@ class OooCore
     isa::MicroOp pendingFetch_;
 
     std::deque<InFlight> frontend_;
-    std::deque<RobEntry> rob_;
+    RobRing rob_;
+    bool skipEnabled_ = false;  ///< cycleSkip && !obs && !faults
 
     /** Last completed-cycle ring for dataflow invariant checks. */
     static constexpr size_t kProdRing = 8192;

@@ -59,6 +59,13 @@ maxSrcsFor(WakeupStyle s)
     return s == WakeupStyle::Cam2 ? 2 : kMaxEntrySrcs;
 }
 
+/** Bitmask covering source slots [0, n). */
+inline uint8_t
+srcMask(int n)
+{
+    return uint8_t((1u << unsigned(n)) - 1u);
+}
+
 } // namespace
 
 Scheduler::Scheduler(const SchedParams &params)
@@ -72,13 +79,23 @@ Scheduler::Scheduler(const SchedParams &params)
             "cannot be combined with a select-free policy");
     }
 
-    int n = params_.numEntries > 0 ? params_.numEntries : 512;
-    entries_.resize(size_t(n));
-    validBits_.resize(bitWords(size_t(n)), 0);
-    readyBits_.resize(bitWords(size_t(n)), 0);
-    freeList_.reserve(size_t(n));
-    for (int i = n - 1; i >= 0; --i)
+    size_t n = size_t(params_.numEntries > 0 ? params_.numEntries : 512);
+    srcTag_.resize(n);
+    for (auto &row : srcTag_)
+        row.fill(kNoTag);
+    state_.resize(n);
+    minIssue_.resize(n, 0);
+    age_.resize(n, 0);
+    opcls_.resize(n);
+    cold_.resize(n);
+    validBits_.resize(bitWords(n), 0);
+    readyBits_.resize(bitWords(n), 0);
+    watchBits_.resize(bitWords(n), 0);
+    freeList_.reserve(n);
+    for (int i = int(n) - 1; i >= 0; --i)
         freeList_.push_back(i);
+    readyScratch_.reserve(n);
+    injRecalls_.reserve(64);
 }
 
 bool
@@ -103,14 +120,15 @@ Scheduler::schedDepthVal() const
 }
 
 int
-Scheduler::schedLatency(const Entry &e) const
+Scheduler::schedLatency(int idx) const
 {
     // An N-op MOP is a non-pipelined N-cycle unit with one broadcast:
     // consumers of the last op see back-to-back timing as long as the
     // scheduling-loop depth does not exceed the MOP size.
-    if (e.numOps > 1)
-        return std::max(e.numOps, schedDepthVal());
-    const SchedOp &op = e.ops[0];
+    int num_ops = opcls_[size_t(idx)].numOps;
+    if (num_ops > 1)
+        return std::max(num_ops, schedDepthVal());
+    const SchedOp &op = cold_[size_t(idx)].ops[0];
     int lat = execLatency(op);
     if (op.op == isa::OpClass::Load)
         lat += params_.dl1HitLatency;  // speculative hit assumption
@@ -142,11 +160,16 @@ Scheduler::tagIsReady(Tag t) const
 void
 Scheduler::refreshReady(int idx)
 {
-    const Entry &e = entries_[size_t(idx)];
-    if (e.valid && !e.pending && !e.issued && entryFullyReady(e))
+    const EntryState &st = state_[size_t(idx)];
+    bool valid = st.flags & kFValid;
+    if (valid && st.wait == 0 && !(st.flags & (kFPending | kFIssued)))
         setBit(readyBits_, size_t(idx));
     else
         clearBit(readyBits_, size_t(idx));
+    if (valid && st.wait != 0)
+        setBit(watchBits_, size_t(idx));
+    else
+        clearBit(watchBits_, size_t(idx));
 }
 
 bool
@@ -170,18 +193,24 @@ Scheduler::allocEntry()
 void
 Scheduler::freeEntry(int idx)
 {
-    Entry &e = entries_[size_t(idx)];
-    integrity_.require(e.valid, verify::IntegrityChecker::Check::IqAccounting,
-                       "freeEntry on invalid entry " + std::to_string(idx) +
-                           " (double free or stale event)");
-    if (e.dstTag == params_.traceTag)
+    EntryState &st = state_[size_t(idx)];
+    EntryCold &c = cold_[size_t(idx)];
+    integrity_.require(st.flags & kFValid,
+                       verify::IntegrityChecker::Check::IqAccounting,
+                       [idx] {
+                           return "freeEntry on invalid entry " +
+                                  std::to_string(idx) +
+                                  " (double free or stale event)";
+                       });
+    if (c.dstTag == params_.traceTag)
         std::fprintf(stderr, "[tag] freeEntry entry=%d numOps=%d outBcast=%d\n",
-                     idx, e.numOps, e.outBcast);
+                     idx, int(opcls_[size_t(idx)].numOps), c.outBcast);
     cancelBcast(idx);
-    e.valid = false;
+    st.flags &= uint8_t(~kFValid);
     clearBit(validBits_, size_t(idx));
     clearBit(readyBits_, size_t(idx));
-    ++e.gen;
+    clearBit(watchBits_, size_t(idx));
+    ++c.gen;
     --occupied_;
     freeList_.push_back(idx);
 }
@@ -203,35 +232,39 @@ Scheduler::insert(const SchedOp &op, Cycle now, bool expect_tail)
     ensureTag(op.src[1]);
 
     int idx = allocEntry();
-    Entry &e = entries_[size_t(idx)];
-    uint32_t gen = e.gen;
-    e = Entry{};
-    e.gen = gen;
-    e.valid = true;
+    EntryState &st = state_[size_t(idx)];
+    EntryCold &c = cold_[size_t(idx)];
+    uint32_t gen = c.gen;
+    c = EntryCold{};
+    c.gen = gen;
+    st = EntryState{};
+    st.flags = kFValid | (expect_tail ? kFPending : 0);
     setBit(validBits_, size_t(idx));
-    e.pending = expect_tail;
-    e.numOps = 1;
-    e.ops[0] = op;
-    e.dstTag = op.dst;
-    e.minSeq = e.maxSeq = op.seq;
-    e.age = nextAge_++;
-    e.minIssue = now + 1;
-    e.outBcast = -1;
+    srcTag_[size_t(idx)].fill(kNoTag);
+    opcls_[size_t(idx)] = EntryOps{};
+    opcls_[size_t(idx)].numOps = 1;
+    opcls_[size_t(idx)].cls[0] = op.op;
+    c.ops[0] = op;
+    c.dstTag = op.dst;
+    c.minSeq = c.maxSeq = op.seq;
+    age_[size_t(idx)] = nextAge_++;
+    minIssue_[size_t(idx)] = now + 1;
+    c.outBcast = -1;
 
     for (Tag t : op.src) {
         if (t == kNoTag)
             continue;
         bool dup = false;
-        for (int s = 0; s < e.numSrcs; ++s)
-            dup = dup || e.srcTags[size_t(s)] == t;
+        for (int s = 0; s < st.numSrcs; ++s)
+            dup = dup || srcTag_[size_t(idx)][size_t(s)] == t;
         if (dup)
             continue;
-        int s = e.numSrcs++;
-        e.srcTags[size_t(s)] = t;
-        e.srcReady[size_t(s)] = tagIsReady(t);
-        e.srcReadyAt[size_t(s)] =
-            e.srcReady[size_t(s)] ? tagReadyAt_[size_t(t)] : kNoCycle;
-        e.srcFromTail[size_t(s)] = false;
+        int s = st.numSrcs++;
+        srcTag_[size_t(idx)][size_t(s)] = t;
+        bool rdy = tagIsReady(t);
+        if (!rdy)
+            st.wait |= uint8_t(1u << unsigned(s));
+        c.srcReadyAt[size_t(s)] = rdy ? tagReadyAt_[size_t(t)] : kNoCycle;
     }
     ++insertedOps_;
     ++insertedEntries_;
@@ -244,15 +277,15 @@ Scheduler::insert(const SchedOp &op, Cycle now, bool expect_tail)
                      "[sched] %lu: insert seq=%lu dst=%d srcs=%d,%d "
                      "ready=%d,%d\n",
                      (unsigned long)now, (unsigned long)op.seq, op.dst,
-                     e.numSrcs > 0 ? e.srcTags[0] : -99,
-                     e.numSrcs > 1 ? e.srcTags[1] : -99,
-                     e.numSrcs > 0 ? int(e.srcReady[0]) : -1,
-                     e.numSrcs > 1 ? int(e.srcReady[1]) : -1);
+                     st.numSrcs > 0 ? srcTag_[size_t(idx)][0] : -99,
+                     st.numSrcs > 1 ? srcTag_[size_t(idx)][1] : -99,
+                     st.numSrcs > 0 ? int(!(st.wait & 1)) : -1,
+                     st.numSrcs > 1 ? int(!(st.wait & 2)) : -1);
 
-    if (!e.pending && entryFullyReady(e)) {
-        e.readyAt = now + 1;
-        if (isSelectFree() && !e.collided)
-            scheduleBcast(idx, e.readyAt + Cycle(schedLatency(e)), true);
+    if (!(st.flags & kFPending) && st.wait == 0) {
+        c.readyAt = now + 1;
+        if (isSelectFree() && !(st.flags & kFCollided))
+            scheduleBcast(idx, c.readyAt + Cycle(schedLatency(idx)), true);
     }
     refreshReady(idx);
     return idx;
@@ -262,17 +295,23 @@ bool
 Scheduler::appendTail(int idx, const SchedOp &tail, Cycle now,
                       bool more_coming)
 {
-    Entry &e = entries_[size_t(idx)];
-    if (!e.valid || !e.pending || e.issued) {
+    EntryState &st = state_[size_t(idx)];
+    EntryCold &c = cold_[size_t(idx)];
+    EntryOps &oc = opcls_[size_t(idx)];
+    if (!(st.flags & kFValid) || !(st.flags & kFPending) ||
+        (st.flags & kFIssued)) {
         if (debugTrace_)
             std::fprintf(stderr,
                          "[sched] %lu: appendTail to bad entry %d "
                          "(valid=%d pending=%d issued=%d seq=%lu)\n",
-                         (unsigned long)now, idx, e.valid, e.pending,
-                         e.issued, (unsigned long)tail.seq);
+                         (unsigned long)now, idx,
+                         int(bool(st.flags & kFValid)),
+                         int(bool(st.flags & kFPending)),
+                         int(bool(st.flags & kFIssued)),
+                         (unsigned long)tail.seq);
         return false;
     }
-    if (e.numOps >= std::min(params_.maxMopSize, kMaxMopOps))
+    if (int(oc.numOps) >= std::min(params_.maxMopSize, kMaxMopOps))
         return false;
     ensureTag(tail.src[0]);
     ensureTag(tail.src[1]);
@@ -282,40 +321,45 @@ Scheduler::appendTail(int idx, const SchedOp &tail, Cycle now,
     std::array<Tag, 2> fresh = {kNoTag, kNoTag};
     int n_fresh = 0;
     for (Tag t : tail.src) {
-        if (t == kNoTag || t == e.dstTag)  // internal head->tail edge
+        if (t == kNoTag || t == c.dstTag)  // internal head->tail edge
             continue;
         bool dup = false;
-        for (int s = 0; s < e.numSrcs; ++s)
-            dup = dup || e.srcTags[size_t(s)] == t;
+        for (int s = 0; s < st.numSrcs; ++s)
+            dup = dup || srcTag_[size_t(idx)][size_t(s)] == t;
         for (int f = 0; f < n_fresh; ++f)
             dup = dup || fresh[size_t(f)] == t;
         if (!dup)
             fresh[size_t(n_fresh++)] = t;
     }
-    if (e.numSrcs + n_fresh > budget)
+    if (st.numSrcs + n_fresh > budget)
         return false;
 
     for (int f = 0; f < n_fresh; ++f) {
         Tag t = fresh[size_t(f)];
-        int s = e.numSrcs++;
-        e.srcTags[size_t(s)] = t;
-        e.srcReady[size_t(s)] = tagIsReady(t);
-        e.srcReadyAt[size_t(s)] =
-            e.srcReady[size_t(s)] ? tagReadyAt_[size_t(t)] : kNoCycle;
-        e.srcFromTail[size_t(s)] = true;
+        int s = st.numSrcs++;
+        srcTag_[size_t(idx)][size_t(s)] = t;
+        bool rdy = tagIsReady(t);
+        if (!rdy)
+            st.wait |= uint8_t(1u << unsigned(s));
+        c.srcReadyAt[size_t(s)] = rdy ? tagReadyAt_[size_t(t)] : kNoCycle;
+        st.fromTail |= uint8_t(1u << unsigned(s));
     }
-    if (e.dstTag == params_.traceTag || tail.dst == params_.traceTag)
+    if (c.dstTag == params_.traceTag || tail.dst == params_.traceTag)
         std::fprintf(stderr, "[tag] %lu: appendTail seq=%lu entry=%d more=%d\n",
                      (unsigned long)now, (unsigned long)tail.seq, idx, more_coming);
-    e.ops[size_t(e.numOps)] = tail;
-    ++e.numOps;
-    e.maxSeq = tail.seq;
-    e.pending = more_coming;
-    e.minIssue = std::max(e.minIssue, now + 1);
+    c.ops[size_t(oc.numOps)] = tail;
+    oc.cls[size_t(oc.numOps)] = tail.op;
+    ++oc.numOps;
+    c.maxSeq = tail.seq;
+    if (more_coming)
+        st.flags |= kFPending;
+    else
+        st.flags &= uint8_t(~kFPending);
+    minIssue_[size_t(idx)] = std::max(minIssue_[size_t(idx)], now + 1);
     ++insertedOps_;
-    record(now, verify::SchedEvent::Kind::Append, tail.seq, e.dstTag, idx);
-    if (!e.pending && entryFullyReady(e))
-        e.readyAt = now + 1;
+    record(now, verify::SchedEvent::Kind::Append, tail.seq, c.dstTag, idx);
+    if (!(st.flags & kFPending) && st.wait == 0)
+        c.readyAt = now + 1;
     refreshReady(idx);
     return true;
 }
@@ -323,60 +367,46 @@ Scheduler::appendTail(int idx, const SchedOp &tail, Cycle now,
 void
 Scheduler::clearPending(int idx)
 {
-    Entry &e = entries_[size_t(idx)];
-    integrity_.require(e.valid, verify::IntegrityChecker::Check::MopPairing,
-                       "clearPending on invalid entry " +
-                           std::to_string(idx));
-    if (e.dstTag == params_.traceTag)
+    EntryState &st = state_[size_t(idx)];
+    EntryCold &c = cold_[size_t(idx)];
+    integrity_.require(st.flags & kFValid,
+                       verify::IntegrityChecker::Check::MopPairing,
+                       [idx] {
+                           return "clearPending on invalid entry " +
+                                  std::to_string(idx);
+                       });
+    if (c.dstTag == params_.traceTag)
         std::fprintf(stderr, "[tag] clearPending entry=%d numOps=%d\n",
-                     idx, e.numOps);
-    e.pending = false;
-    if (entryFullyReady(e) && e.readyAt == kNoCycle)
-        e.readyAt = e.minIssue;
+                     idx, int(opcls_[size_t(idx)].numOps));
+    st.flags &= uint8_t(~kFPending);
+    if (st.wait == 0 && c.readyAt == kNoCycle)
+        c.readyAt = minIssue_[size_t(idx)];
     refreshReady(idx);
-}
-
-bool
-Scheduler::entryFullyReady(const Entry &e) const
-{
-    for (int s = 0; s < e.numSrcs; ++s)
-        if (!e.srcReady[size_t(s)])
-            return false;
-    return true;
 }
 
 void
 Scheduler::scheduleBcast(int entry_idx, Cycle fire, bool speculative)
 {
-    Entry &e = entries_[size_t(entry_idx)];
-    if (e.dstTag == kNoTag)
+    EntryCold &c = cold_[size_t(entry_idx)];
+    if (c.dstTag == kNoTag)
         return;
     if (inj_) {
         int d = inj_->broadcastDelay();
         if (d > 0) {
-            record(fire, verify::SchedEvent::Kind::Inject, e.ops[0].seq,
-                   e.dstTag, entry_idx, "delay-bcast");
+            record(fire, verify::SchedEvent::Kind::Inject, c.ops[0].seq,
+                   c.dstTag, entry_idx, "delay-bcast");
             fire += Cycle(d);
         }
     }
-    int id;
-    if (!bcastFree_.empty()) {
-        id = bcastFree_.back();
-        bcastFree_.pop_back();
-    } else {
-        id = int(bcastPool_.size());
-        bcastPool_.emplace_back();
-    }
-    bcastPool_[size_t(id)] =
-        Broadcast{e.dstTag, entry_idx, e.gen, false, speculative};
-    bcastRing_[fire % kRing].push_back(id);
-    e.outBcast = id;
-    if (e.dstTag == params_.traceTag)
+    int id = bcastCal_.push(
+        fire, Broadcast{c.dstTag, entry_idx, c.gen, false, speculative});
+    c.outBcast = id;
+    if (c.dstTag == params_.traceTag)
         std::fprintf(stderr, "[tag] bcast scheduled fire=%lu spec=%d\n",
                      (unsigned long)fire, speculative);
     if (debugTrace_) {
         std::fprintf(stderr, "[sched] bcast tag=%d entry=%d fire=%lu%s\n",
-                     e.dstTag, entry_idx, (unsigned long)fire,
+                     c.dstTag, entry_idx, (unsigned long)fire,
                      speculative ? " (spec)" : "");
     }
 }
@@ -384,31 +414,33 @@ Scheduler::scheduleBcast(int entry_idx, Cycle fire, bool speculative)
 void
 Scheduler::cancelBcast(int entry_idx)
 {
-    Entry &e = entries_[size_t(entry_idx)];
-    if (e.dstTag == params_.traceTag && e.outBcast >= 0)
+    EntryCold &c = cold_[size_t(entry_idx)];
+    if (c.dstTag == params_.traceTag && c.outBcast >= 0)
         std::fprintf(stderr, "[tag] bcast CANCELED entry=%d\n", entry_idx);
-    if (e.outBcast >= 0) {
-        bcastPool_[size_t(e.outBcast)].canceled = true;
-        e.outBcast = -1;
+    if (c.outBcast >= 0) {
+        bcastCal_.at(c.outBcast).canceled = true;
+        c.outBcast = -1;
     }
 }
 
 void
 Scheduler::onEntryBecameReady(int idx, Cycle now)
 {
-    Entry &e = entries_[size_t(idx)];
-    e.readyAt = now;
+    EntryState &st = state_[size_t(idx)];
+    EntryCold &c = cold_[size_t(idx)];
+    c.readyAt = now;
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: becameReady seq=%lu nsrc=%d\n",
-                     (unsigned long)now, (unsigned long)e.ops[0].seq,
-                     e.numSrcs);
-    if (isSelectFree() && !e.collided && !e.issued && e.outBcast < 0) {
+                     (unsigned long)now, (unsigned long)c.ops[0].seq,
+                     int(st.numSrcs));
+    if (isSelectFree() && !(st.flags & (kFCollided | kFIssued)) &&
+        c.outBcast < 0) {
         // Speculate selection at the earliest cycle the entry can
         // actually request (a replayed entry is held back by its
         // replay penalty; broadcasting earlier would wake consumers
         // with no collision to recall them).
-        Cycle earliest = std::max(now, e.minIssue);
-        scheduleBcast(idx, earliest + Cycle(schedLatency(e)), true);
+        Cycle earliest = std::max(now, minIssue_[size_t(idx)]);
+        scheduleBcast(idx, earliest + Cycle(schedLatency(idx)), true);
     }
 }
 
@@ -426,21 +458,26 @@ Scheduler::deliverTag(Tag tag, Cycle now)
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: deliver tag=%d\n",
                      (unsigned long)now, tag);
-    // Wakeup broadcast: walk occupied entries only (bitmap words).
-    forEachSetBit(validBits_, [&](size_t i) {
-        Entry &e = entries_[i];
-        bool changed = false;
-        for (int s = 0; s < e.numSrcs; ++s) {
-            if (e.srcTags[size_t(s)] == tag && !e.srcReady[size_t(s)]) {
-                e.srcReady[size_t(s)] = true;
-                e.srcReadyAt[size_t(s)] = now;
-                changed = true;
-            }
+    // Wakeup broadcast: only entries still waiting on some source can
+    // be affected, so walk the watch bitmap and compare the packed
+    // tag plane for the waiting slots alone.
+    forEachSetBit(watchBits_, [&](size_t i) {
+        const std::array<Tag, kMaxEntrySrcs> &tags = srcTag_[i];
+        EntryState &st = state_[i];
+        uint8_t woken = 0;
+        for (uint8_t m = st.wait; m; m &= uint8_t(m - 1)) {
+            unsigned s = unsigned(std::countr_zero(unsigned(m)));
+            if (tags[s] == tag)
+                woken |= uint8_t(1u << s);
         }
-        if (!changed)
+        if (!woken)
             return;
+        st.wait &= uint8_t(~woken);
+        EntryCold &c = cold_[i];
+        for (uint8_t m = woken; m; m &= uint8_t(m - 1))
+            c.srcReadyAt[size_t(std::countr_zero(unsigned(m)))] = now;
         refreshReady(int(i));
-        if (!e.pending && !e.issued && entryFullyReady(e))
+        if (st.wait == 0 && !(st.flags & (kFPending | kFIssued)))
             onEntryBecameReady(int(i), now);
     });
 }
@@ -448,15 +485,10 @@ Scheduler::deliverTag(Tag tag, Cycle now)
 void
 Scheduler::deliverBcasts(Cycle now)
 {
-    auto &ring = bcastRing_[now % kRing];
-    for (size_t r = 0; r < ring.size(); ++r) {
-        int id = ring[r];
-        // Copy, not a reference: waking an entry can schedule a new
-        // broadcast, growing the pool and invalidating references.
-        Broadcast b = bcastPool_[size_t(id)];
+    bcastCal_.drain(now, [&](const Broadcast &b, int id) {
         // The producing entry's broadcast has left the bus.
         if (b.entry >= 0) {
-            Entry &src = entries_[size_t(b.entry)];
+            EntryCold &src = cold_[size_t(b.entry)];
             if (src.gen == b.gen && src.outBcast == id)
                 src.outBcast = -1;
         }
@@ -472,45 +504,48 @@ Scheduler::deliverBcasts(Cycle now)
             }
             deliverTag(tag, now);
         }
-        bcastFree_.push_back(id);
-        if (b.entry >= 0) {
-            Entry &src = entries_[size_t(b.entry)];
-            if (src.valid && src.gen == b.gen)
-                maybeReapShrunken(b.entry);
+        if (b.entry >= 0 && (state_[size_t(b.entry)].flags & kFValid) &&
+            cold_[size_t(b.entry)].gen == b.gen) {
+            maybeReapShrunken(b.entry);
         }
-    }
-    ring.clear();
+    });
 }
 
 void
 Scheduler::maybeReapShrunken(int idx)
 {
-    Entry &e = entries_[size_t(idx)];
-    if (e.valid && e.issued && prefixDone(e) && e.outBcast < 0)
+    const EntryState &st = state_[size_t(idx)];
+    if ((st.flags & kFValid) && (st.flags & kFIssued) && prefixDone(idx) &&
+        cold_[size_t(idx)].outBcast < 0) {
         freeEntry(idx);
+    }
 }
 
 void
 Scheduler::invalidateEntry(int idx, Cycle now)
 {
-    Entry &e = entries_[size_t(idx)];
-    integrity_.require(e.valid && e.issued,
+    EntryState &st = state_[size_t(idx)];
+    EntryCold &c = cold_[size_t(idx)];
+    integrity_.require((st.flags & kFValid) && (st.flags & kFIssued),
                        verify::IntegrityChecker::Check::IqAccounting,
-                       "invalidateEntry on entry " + std::to_string(idx) +
-                           " that is not valid+issued");
-    record(now, verify::SchedEvent::Kind::Replay, e.ops[0].seq, e.dstTag,
+                       [idx] {
+                           return "invalidateEntry on entry " +
+                                  std::to_string(idx) +
+                                  " that is not valid+issued";
+                       });
+    record(now, verify::SchedEvent::Kind::Replay, c.ops[0].seq, c.dstTag,
            idx);
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: invalidate seq=%lu\n",
-                     (unsigned long)now, (unsigned long)e.ops[0].seq);
-    e.issued = false;
-    e.replayed = true;
-    ++e.gen;  // cancels in-flight completion/discovery/kill events
-    e.opDone = 0;
-    e.minIssue = now + Cycle(params_.replayPenalty);
+                     (unsigned long)now, (unsigned long)c.ops[0].seq);
+    st.flags &= uint8_t(~kFIssued);
+    st.flags |= kFReplayed;
+    ++c.gen;  // cancels in-flight completion/discovery/kill events
+    c.opDone = 0;
+    minIssue_[size_t(idx)] = now + Cycle(params_.replayPenalty);
     cancelBcast(idx);
-    if (e.dstTag != kNoTag)
-        tagValueReady_[size_t(e.dstTag)] = kNoCycle;
+    if (c.dstTag != kNoTag)
+        tagValueReady_[size_t(c.dstTag)] = kNoCycle;
     refreshReady(idx);
 }
 
@@ -531,32 +566,35 @@ Scheduler::recallTag(Tag tag, Cycle now)
                      (unsigned long)now, tag);
 
     forEachSetBit(validBits_, [&](size_t i) {
-        Entry &e = entries_[i];
-        bool cleared = false;
-        for (int s = 0; s < e.numSrcs; ++s) {
-            if (e.srcTags[size_t(s)] == tag && e.srcReady[size_t(s)]) {
-                e.srcReady[size_t(s)] = false;
-                e.srcReadyAt[size_t(s)] = kNoCycle;
-                cleared = true;
-            }
+        EntryState &st = state_[i];
+        EntryCold &c = cold_[i];
+        uint8_t ready = uint8_t(~st.wait) & srcMask(st.numSrcs);
+        uint8_t recalled = 0;
+        for (uint8_t m = ready; m; m &= uint8_t(m - 1)) {
+            unsigned s = unsigned(std::countr_zero(unsigned(m)));
+            if (srcTag_[i][s] == tag)
+                recalled |= uint8_t(1u << s);
         }
-        if (!cleared)
+        if (!recalled)
             return;
+        st.wait |= recalled;
+        for (uint8_t m = recalled; m; m &= uint8_t(m - 1))
+            c.srcReadyAt[size_t(std::countr_zero(unsigned(m)))] = kNoCycle;
         refreshReady(int(i));
-        if (e.issued) {
+        if (st.flags & kFIssued) {
             // Selectively replay the mis-scheduled consumer and undo
             // the wakeups it caused in turn.
             ++replays_;
             invalidateEntry(int(i), now);
-            recallTag(e.dstTag, now);
-        } else if (e.outBcast >= 0) {
+            recallTag(c.dstTag, now);
+        } else if (c.outBcast >= 0) {
             // Un-issued consumer with a speculative (select-free)
             // broadcast outstanding: recall it transitively.
             cancelBcast(int(i));
-            e.readyAt = kNoCycle;
-            recallTag(e.dstTag, now);
+            c.readyAt = kNoCycle;
+            recallTag(c.dstTag, now);
         } else {
-            e.readyAt = kNoCycle;
+            c.readyAt = kNoCycle;
         }
     });
 }
@@ -564,42 +602,45 @@ Scheduler::recallTag(Tag tag, Cycle now)
 void
 Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
 {
-    Entry &e = entries_[size_t(idx)];
-    const bool wasReplayed = e.replayed;
-    e.issued = true;
-    e.replayed = false;
-    e.issueCycle = now;
-    e.opDone = 0;
+    EntryState &st = state_[size_t(idx)];
+    EntryCold &c = cold_[size_t(idx)];
+    const EntryOps &oc = opcls_[size_t(idx)];
+    const int num_ops = int(oc.numOps);
+    const bool wasReplayed = st.flags & kFReplayed;
+    st.flags |= kFIssued;
+    st.flags &= uint8_t(~kFReplayed);
+    c.issueCycle = now;
+    c.opDone = 0;
     clearBit(readyBits_, size_t(idx));
     if (debugTrace_)
         std::fprintf(stderr, "[sched] %lu: issue seq=%lu tag=%d\n",
-                     (unsigned long)now, (unsigned long)e.ops[0].seq,
-                     e.dstTag);
+                     (unsigned long)now, (unsigned long)c.ops[0].seq,
+                     c.dstTag);
     ++issuedEntries_;
-    issuedOps_ += uint64_t(e.numOps);
+    issuedOps_ += uint64_t(num_ops);
     lastProgress_ = now;
-    record(now, verify::SchedEvent::Kind::Issue, e.ops[0].seq, e.dstTag,
+    record(now, verify::SchedEvent::Kind::Issue, c.ops[0].seq, c.dstTag,
            idx);
 
-    fu_.reserve(e.ops[0].op, now);
-    for (int k = 1; k < e.numOps; ++k) {
-        fu_.reserve(e.ops[size_t(k)].op, now + Cycle(k));
+    fu_.reserve(oc.cls[0], now);
+    for (int k = 1; k < num_ops; ++k) {
+        fu_.reserve(oc.cls[size_t(k)], now + Cycle(k));
         ++slotDebt(now + Cycle(k));  // the MOP sequences through its slot
     }
 
     // Broadcast scheduling. Select-free entries that were never
     // collision victims already broadcast speculatively at ready time
     // with identical timing; everything else broadcasts issue-gated.
-    if (e.outBcast < 0)
-        scheduleBcast(idx, now + Cycle(schedLatency(e)), false);
+    if (c.outBcast < 0)
+        scheduleBcast(idx, now + Cycle(schedLatency(idx)), false);
 
     bool pileup = false;
     if (params_.policy == SchedPolicy::SelectFreeScoreboard) {
         // Scoreboard check: a mis-woken consumer flows to RF and is
         // killed there if any source value is not actually available.
         Cycle exec_start = now + Cycle(params_.dispatchDepth);
-        for (int s = 0; s < e.numSrcs; ++s) {
-            Tag t = e.srcTags[size_t(s)];
+        for (int s = 0; s < st.numSrcs; ++s) {
+            Tag t = srcTag_[size_t(idx)][size_t(s)];
             if (t == kNoTag)
                 continue;
             Cycle vr = tagValueReady_[size_t(t)];
@@ -610,14 +651,14 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
     if (pileup) {
         ++pileupKills_;
         // The op occupies its slot/FU down to RF, then is invalidated.
-        recallRing_[(now + Cycle(params_.dispatchDepth)) % kRing]
-            .push_back(RecallEv{idx, e.gen});
+        recallCal_.push(now + Cycle(params_.dispatchDepth),
+                        RecallEv{idx, c.gen});
         return;
     }
 
     // Per-op execution timing.
-    for (int o = 0; o < e.numOps; ++o) {
-        const SchedOp &op = e.ops[size_t(o)];
+    for (int o = 0; o < num_ops; ++o) {
+        const SchedOp &op = c.ops[size_t(o)];
         Cycle exec_start = now + Cycle(params_.dispatchDepth) + Cycle(o);
         Cycle complete = exec_start + Cycle(execLatency(op));
         bool was_miss = false;
@@ -632,36 +673,35 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
                 Cycle corrected =
                     std::max(complete - Cycle(params_.dispatchDepth),
                              discover + 1);
-                missRing_[discover % kRing].push_back(
-                    MissDiscoveryEv{idx, e.gen, corrected});
+                missCal_.push(discover,
+                              MissDiscoveryEv{idx, c.gen, corrected});
             }
         }
-        e.opComplete[size_t(o)] = complete;
+        c.opComplete[size_t(o)] = complete;
         ExecEvent ev;
         ev.seq = op.seq;
-        ev.ready = e.readyAt == kNoCycle ? now : e.readyAt;
+        ev.ready = c.readyAt == kNoCycle ? now : c.readyAt;
         ev.issued = now;
         ev.execStart = exec_start;
         ev.complete = complete;
         ev.isLoad = op.op == isa::OpClass::Load;
         ev.wasMiss = was_miss;
         ev.replayed = wasReplayed;
-        compRing_[complete % kRing].push_back(
-            CompletionEv{idx, e.gen, o, ev});
+        compCal_.push(complete, CompletionEv{idx, c.gen, o, ev});
     }
-    if (e.dstTag != kNoTag) {
-        tagValueReady_[size_t(e.dstTag)] =
-            e.opComplete[size_t(e.numOps - 1)];
+    if (c.dstTag != kNoTag) {
+        tagValueReady_[size_t(c.dstTag)] =
+            c.opComplete[size_t(num_ops - 1)];
     }
 
-    if (e.numOps > 1 && mop_issues) {
+    if (num_ops > 1 && mop_issues) {
         Cycle max_head = 0, max_tail = 0;
         bool has_tail_src = false;
-        for (int s = 0; s < e.numSrcs; ++s) {
-            Cycle r = e.srcReadyAt[size_t(s)];
+        for (int s = 0; s < st.numSrcs; ++s) {
+            Cycle r = c.srcReadyAt[size_t(s)];
             if (r == kNoCycle)
                 r = 0;  // ready since before insertion
-            if (e.srcFromTail[size_t(s)]) {
+            if (st.fromTail & uint8_t(1u << unsigned(s))) {
                 has_tail_src = true;
                 max_tail = std::max(max_tail, r);
             } else {
@@ -669,9 +709,9 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
             }
         }
         MopIssue mi;
-        mi.headSeq = e.ops[0].seq;
-        mi.tailSeq = e.ops[size_t(e.numOps - 1)].seq;
-        mi.numOps = e.numOps;
+        mi.headSeq = c.ops[0].seq;
+        mi.tailSeq = c.ops[size_t(num_ops - 1)].seq;
+        mi.numOps = num_ops;
         mi.tailLastArriving = has_tail_src && max_tail > max_head;
         mop_issues->push_back(mi);
     }
@@ -685,25 +725,27 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
     // minIssue gate is evaluated here.
     readyScratch_.clear();
     forEachSetBit(readyBits_, [&](size_t i) {
-        if (entries_[i].minIssue <= now)
+        if (minIssue_[i] <= now)
             readyScratch_.push_back(int(i));
     });
-    std::sort(readyScratch_.begin(), readyScratch_.end(),
-              [this](int a, int b) {
-                  return entries_[size_t(a)].age < entries_[size_t(b)].age;
-              });
+    if (readyScratch_.size() > 1) {
+        std::sort(readyScratch_.begin(), readyScratch_.end(),
+                  [this](int a, int b) {
+                      return age_[size_t(a)] < age_[size_t(b)];
+                  });
+    }
 
     const int debt0 = slotDebt(now);
     int width = params_.issueWidth - debt0;
     int issuedNow = 0;
     for (int idx : readyScratch_) {
-        Entry &e = entries_[size_t(idx)];
+        const EntryOps &oc = opcls_[size_t(idx)];
         // issueEntry reserves a unit for every op of the MOP at
         // consecutive cycles, so the grant must check every slot;
         // with 3/4-op MOPs a two-op check overbooks units.
         bool fu_ok = true;
-        for (int k = 0; k < e.numOps && fu_ok; ++k)
-            fu_ok = fu_.available(e.ops[size_t(k)].op, now + Cycle(k));
+        for (int k = 0; k < int(oc.numOps) && fu_ok; ++k)
+            fu_ok = fu_.available(oc.cls[size_t(k)], now + Cycle(k));
         if (width > 0 && fu_ok) {
             if (inj_ && inj_->fire(verify::FaultKind::DropGrant)) {
                 // Injected grant loss: the select arbiter granted this
@@ -712,15 +754,18 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
                 // select-free policies the premature speculative
                 // wakeup must additionally be repaired, exactly like a
                 // genuine collision.
-                record(now, verify::SchedEvent::Kind::Inject, e.ops[0].seq,
-                       e.dstTag, idx, "drop-grant");
+                EntryState &st = state_[size_t(idx)];
+                record(now, verify::SchedEvent::Kind::Inject,
+                       cold_[size_t(idx)].ops[0].seq,
+                       cold_[size_t(idx)].dstTag, idx, "drop-grant");
                 --width;
-                if (isSelectFree() && !e.collided) {
+                if (isSelectFree() && !(st.flags & kFCollided)) {
                     ++collisions_;
-                    e.collided = true;
+                    st.flags |= kFCollided;
                     if (params_.policy == SchedPolicy::SelectFreeSquashDep) {
-                        recallRing_[(now + 1) % kRing].push_back(
-                            RecallEv{idx, e.gen});
+                        recallCal_.push(now + 1,
+                                        RecallEv{idx,
+                                                 cold_[size_t(idx)].gen});
                     }
                 }
                 continue;
@@ -732,17 +777,18 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
         }
         // Selection loss. Under select-free policies this is a
         // collision: the entry's speculative wakeup was premature.
-        if (isSelectFree() && !e.collided) {
+        EntryState &st = state_[size_t(idx)];
+        if (isSelectFree() && !(st.flags & kFCollided)) {
             ++collisions_;
-            e.collided = true;
-            record(now, verify::SchedEvent::Kind::Collision, e.ops[0].seq,
-                   e.dstTag, idx);
+            st.flags |= kFCollided;
+            record(now, verify::SchedEvent::Kind::Collision,
+                   cold_[size_t(idx)].ops[0].seq, cold_[size_t(idx)].dstTag,
+                   idx);
             if (params_.policy == SchedPolicy::SelectFreeSquashDep) {
                 // The squash-dep mechanism detects the victim in the
                 // select stage and selectively squashes dependents one
                 // cycle later; the victim re-broadcasts at real issue.
-                recallRing_[(now + 1) % kRing].push_back(
-                    RecallEv{idx, e.gen});
+                recallCal_.push(now + 1, RecallEv{idx, cold_[size_t(idx)].gen});
             }
         }
     }
@@ -756,19 +802,19 @@ Scheduler::collectStallSnapshot(Cycle now, StallSnapshot &snap) const
     snap = StallSnapshot{};
     snap.issuedSlots = lastIssueSlots_;
     forEachSetBit(validBits_, [&](size_t i) {
-        const Entry &e = entries_[i];
-        if (e.issued)
+        const EntryState &st = state_[i];
+        if (st.flags & kFIssued)
             return;  // in flight; its slot was charged at issue time
-        if (e.pending) {
+        if (st.flags & kFPending) {
             ++snap.pendingHeads;
             return;
         }
-        if (entryFullyReady(e)) {
-            if (e.minIssue <= now) {
+        if (st.wait == 0) {
+            if (minIssue_[i] <= now) {
                 // Requested selection this cycle and was not granted
                 // (width exhausted, FU conflict, or a dropped grant).
                 ++snap.readyLosers;
-            } else if (e.replayed) {
+            } else if (st.flags & kFReplayed) {
                 ++snap.replayWait;  // serving its replay penalty
             } else {
                 ++snap.wakeupWait;  // insert-to-select latency
@@ -776,17 +822,17 @@ Scheduler::collectStallSnapshot(Cycle now, StallSnapshot &snap) const
             return;
         }
         bool miss = false;
-        for (int s = 0; s < e.numSrcs; ++s) {
-            Tag t = e.srcTags[size_t(s)];
-            if (!e.srcReady[size_t(s)] && t != kNoTag &&
-                size_t(t) < tagCap_ &&
+        for (uint8_t m = st.wait; m; m &= uint8_t(m - 1)) {
+            unsigned s = unsigned(std::countr_zero(unsigned(m)));
+            Tag t = srcTag_[i][s];
+            if (t != kNoTag && size_t(t) < tagCap_ &&
                 testBit(tagMissPending_, size_t(t))) {
                 miss = true;
             }
         }
         if (miss)
             ++snap.missWait;
-        else if (e.replayed)
+        else if (st.flags & kFReplayed)
             ++snap.replayWait;
         else
             ++snap.wakeupWait;
@@ -809,24 +855,23 @@ Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
 
     // Load-miss discoveries: recall the speculative hit-time wakeup and
     // schedule the corrected one.
-    {
-        auto &ring = missRing_[now % kRing];
-        for (const auto &ev : ring) {
-            Entry &e = entries_[size_t(ev.entry)];
-            if (!e.valid || e.gen != ev.gen || !e.issued)
-                continue;
-            cancelBcast(ev.entry);  // if the spec wakeup has not fired
-            recallTag(e.dstTag, now);
-            tagValueReady_[size_t(e.dstTag)] =
-                e.opComplete[size_t(e.numOps - 1)];
-            // Until the corrected wakeup fires, consumers of this tag
-            // are stalled by the miss, not by generic wakeup wait.
-            if (stallProbe_ && e.dstTag != kNoTag)
-                setBit(tagMissPending_, size_t(e.dstTag));
-            scheduleBcast(ev.entry, ev.correctedBcast, false);
+    missCal_.drain(now, [&](const MissDiscoveryEv &ev, int) {
+        EntryState &st = state_[size_t(ev.entry)];
+        EntryCold &c = cold_[size_t(ev.entry)];
+        if (!(st.flags & kFValid) || c.gen != ev.gen ||
+            !(st.flags & kFIssued)) {
+            return;
         }
-        ring.clear();
-    }
+        cancelBcast(ev.entry);  // if the spec wakeup has not fired
+        recallTag(c.dstTag, now);
+        tagValueReady_[size_t(c.dstTag)] =
+            c.opComplete[size_t(opcls_[size_t(ev.entry)].numOps - 1)];
+        // Until the corrected wakeup fires, consumers of this tag
+        // are stalled by the miss, not by generic wakeup wait.
+        if (stallProbe_ && c.dstTag != kNoTag)
+            setBit(tagMissPending_, size_t(c.dstTag));
+        scheduleBcast(ev.entry, ev.correctedBcast, false);
+    });
 
     if (inj_)
         injectFaults(now);
@@ -838,51 +883,48 @@ Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
     // modeled cost). Under the scoreboard policy these are pileup
     // victims reaching RF; under squash-dep they repair a collision
     // victim's premature wakeup tree.
-    {
-        auto &ring = recallRing_[now % kRing];
-        for (const auto &ev : ring) {
-            Entry &e = entries_[size_t(ev.entry)];
-            if (!e.valid || e.gen != ev.gen)
-                continue;
-            if (params_.policy == SchedPolicy::SelectFreeScoreboard) {
-                if (e.issued)
-                    invalidateEntry(ev.entry, now);
-                continue;
-            }
-            // Squash-dep: undo the speculative wakeup tree. If the
-            // victim managed to issue in the meantime, re-broadcast
-            // with its true issue timing instead of invalidating it.
-            cancelBcast(ev.entry);
-            bool was_issued = e.issued;
-            recallTag(e.dstTag, now);
-            if (was_issued && e.dstTag != kNoTag) {
-                tagValueReady_[size_t(e.dstTag)] =
-                    e.opComplete[size_t(e.numOps - 1)];
-                scheduleBcast(ev.entry,
-                              e.issueCycle + Cycle(schedLatency(e)),
-                              false);
-            }
+    recallCal_.drain(now, [&](const RecallEv &ev, int) {
+        EntryState &st = state_[size_t(ev.entry)];
+        EntryCold &c = cold_[size_t(ev.entry)];
+        if (!(st.flags & kFValid) || c.gen != ev.gen)
+            return;
+        if (params_.policy == SchedPolicy::SelectFreeScoreboard) {
+            if (st.flags & kFIssued)
+                invalidateEntry(ev.entry, now);
+            return;
         }
-        ring.clear();
-    }
+        // Squash-dep: undo the speculative wakeup tree. If the
+        // victim managed to issue in the meantime, re-broadcast
+        // with its true issue timing instead of invalidating it.
+        cancelBcast(ev.entry);
+        bool was_issued = st.flags & kFIssued;
+        recallTag(c.dstTag, now);
+        if (was_issued && c.dstTag != kNoTag) {
+            tagValueReady_[size_t(c.dstTag)] =
+                c.opComplete[size_t(opcls_[size_t(ev.entry)].numOps - 1)];
+            scheduleBcast(ev.entry,
+                          c.issueCycle + Cycle(schedLatency(ev.entry)),
+                          false);
+        }
+    });
 
     // Completions: free entries and report executed ops.
     {
-        auto &ring = compRing_[now % kRing];
         bool any = false;
-        for (const auto &ev : ring) {
-            Entry &e = entries_[size_t(ev.entry)];
-            if (!e.valid || e.gen != ev.gen || !e.issued ||
-                ev.opIdx >= e.numOps) {
-                continue;
+        compCal_.drain(now, [&](const CompletionEv &ev, int) {
+            EntryState &st = state_[size_t(ev.entry)];
+            EntryCold &c = cold_[size_t(ev.entry)];
+            if (!(st.flags & kFValid) || c.gen != ev.gen ||
+                !(st.flags & kFIssued) ||
+                ev.opIdx >= int(opcls_[size_t(ev.entry)].numOps)) {
+                return;
             }
             completed.push_back(ev.ev);
             any = true;
-            e.opDone |= 1u << unsigned(ev.opIdx);
-            if (prefixDone(e))
+            c.opDone |= 1u << unsigned(ev.opIdx);
+            if (prefixDone(ev.entry))
                 freeEntry(ev.entry);
-        }
-        ring.clear();
+        });
         if (any)
             lastProgress_ = now;
     }
@@ -903,6 +945,33 @@ Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
     }
 }
 
+Cycle
+Scheduler::nextEventCycle(Cycle now)
+{
+    Cycle t = kNoCycle;
+    auto fold = [&t](Cycle c) {
+        if (c < t)
+            t = c;
+    };
+    fold(bcastCal_.nextAfter(now));
+    fold(compCal_.nextAfter(now));
+    fold(missCal_.nextAfter(now));
+    fold(recallCal_.nextAfter(now));
+    for (const auto &r : injRecalls_)
+        fold(std::max(r.first, now + 1));
+    // Ready entries re-request selection every cycle from their
+    // minIssue gate onward (an FU-blocked or width-starved loser must
+    // re-arbitrate next cycle, so the bound clamps at now + 1).
+    forEachSetBit(readyBits_, [&](size_t i) {
+        fold(std::max(minIssue_[i], now + 1));
+    });
+    // The forward-progress watchdog must fire at the same cycle a
+    // stepped run would reach.
+    if (occupied_ > 0)
+        fold(lastProgress_ + Cycle(params_.watchdogCycles) + 1);
+    return t;
+}
+
 void
 Scheduler::applyInjectedRecalls(Cycle now)
 {
@@ -917,10 +986,12 @@ Scheduler::applyInjectedRecalls(Cycle now)
             // producer may already be issued and in flight; restore its
             // timing exactly as the load-miss recall path does, or
             // scoreboard consumers would pileup-kill forever.
-            for (Entry &e : entries_) {
-                if (e.valid && e.issued && e.dstTag == t) {
-                    tagValueReady_[size_t(t)] =
-                        e.opComplete[size_t(e.numOps - 1)];
+            for (size_t e = 0; e < state_.size(); ++e) {
+                if ((state_[e].flags & (kFValid | kFIssued)) ==
+                        (kFValid | kFIssued) &&
+                    cold_[e].dstTag == t) {
+                    tagValueReady_[size_t(t)] = cold_[e].opComplete[size_t(
+                        opcls_[e].numOps - 1)];
                     break;
                 }
             }
@@ -942,12 +1013,14 @@ Scheduler::injectFaults(Cycle now)
     // construction.
     if (inj_->fire(verify::FaultKind::SpuriousWakeup)) {
         readyScratch_.clear();  // reuse as tag scratch
-        for (const Entry &e : entries_) {
-            if (!e.valid || e.issued)
+        for (size_t i = 0; i < state_.size(); ++i) {
+            const EntryState &st = state_[i];
+            if (!(st.flags & kFValid) || (st.flags & kFIssued))
                 continue;
-            for (int s = 0; s < e.numSrcs; ++s) {
-                Tag t = e.srcTags[size_t(s)];
-                if (e.srcReady[size_t(s)] || tagIsReady(t))
+            for (int s = 0; s < st.numSrcs; ++s) {
+                Tag t = srcTag_[i][size_t(s)];
+                bool src_ready = !(st.wait & uint8_t(1u << unsigned(s)));
+                if (src_ready || tagIsReady(t))
                     continue;
                 bool dup = false;
                 for (int c : readyScratch_)
@@ -974,102 +1047,139 @@ Scheduler::auditStructures()
 
     int n_valid = 0;
     int max_ops = std::min(params_.maxMopSize, kMaxMopOps);
-    for (size_t i = 0; i < entries_.size(); ++i) {
-        const Entry &e = entries_[i];
+    for (size_t i = 0; i < state_.size(); ++i) {
+        const EntryState &st = state_[i];
+        const EntryCold &c = cold_[i];
+        const EntryOps &oc = opcls_[i];
+        bool valid = st.flags & kFValid;
         integrity_.require(
-            testBit(validBits_, i) == e.valid, Check::IqAccounting,
-            "entry " + std::to_string(i) +
-                " valid bitmap disagrees with entry state");
-        bool want_ready =
-            e.valid && !e.pending && !e.issued && entryFullyReady(e);
+            testBit(validBits_, i) == valid, Check::IqAccounting, [i] {
+                return "entry " + std::to_string(i) +
+                       " valid bitmap disagrees with entry state";
+            });
+        bool want_ready = valid && st.wait == 0 &&
+                          !(st.flags & (kFPending | kFIssued));
         integrity_.require(
             testBit(readyBits_, i) == want_ready, Check::IqAccounting,
-            "entry " + std::to_string(i) +
-                " ready bitmap stale (valid=" + std::to_string(e.valid) +
-                " pending=" + std::to_string(e.pending) +
-                " issued=" + std::to_string(e.issued) + ")");
-        if (!e.valid)
+            [&st, i, valid] {
+                return "entry " + std::to_string(i) +
+                       " ready bitmap stale (valid=" +
+                       std::to_string(valid) + " pending=" +
+                       std::to_string(bool(st.flags & kFPending)) +
+                       " issued=" +
+                       std::to_string(bool(st.flags & kFIssued)) + ")";
+            });
+        bool want_watch = valid && st.wait != 0;
+        integrity_.require(
+            testBit(watchBits_, i) == want_watch, Check::IqAccounting,
+            [i] {
+                return "entry " + std::to_string(i) +
+                       " wakeup watch bitmap stale";
+            });
+        if (!valid)
             continue;
         ++n_valid;
 
         integrity_.require(
-            e.numOps >= 1 && e.numOps <= max_ops, Check::MopPairing,
-            "entry " + std::to_string(i) + " holds " +
-                std::to_string(e.numOps) + " ops (max " +
-                std::to_string(max_ops) + ")");
+            int(oc.numOps) >= 1 && int(oc.numOps) <= max_ops,
+            Check::MopPairing, [&oc, i, max_ops] {
+                return "entry " + std::to_string(i) + " holds " +
+                       std::to_string(int(oc.numOps)) + " ops (max " +
+                       std::to_string(max_ops) + ")";
+            });
         integrity_.require(
-            e.minSeq == e.ops[0].seq &&
-                e.maxSeq == e.ops[size_t(e.numOps - 1)].seq,
-            Check::MopPairing,
-            "entry " + std::to_string(i) +
-                " min/max seq disagree with its ops");
-        for (int o = 1; o < e.numOps; ++o) {
+            c.minSeq == c.ops[0].seq &&
+                c.maxSeq == c.ops[size_t(oc.numOps - 1)].seq,
+            Check::MopPairing, [i] {
+                return "entry " + std::to_string(i) +
+                       " min/max seq disagree with its ops";
+            });
+        for (int o = 1; o < int(oc.numOps); ++o) {
             integrity_.require(
-                e.ops[size_t(o - 1)].seq < e.ops[size_t(o)].seq,
-                Check::MopPairing,
-                "entry " + std::to_string(i) +
-                    " MOP ops out of program order (head seq " +
-                    std::to_string(e.ops[0].seq) + ")");
+                c.ops[size_t(o - 1)].seq < c.ops[size_t(o)].seq,
+                Check::MopPairing, [&c, i] {
+                    return "entry " + std::to_string(i) +
+                           " MOP ops out of program order (head seq " +
+                           std::to_string(c.ops[0].seq) + ")";
+                });
         }
         integrity_.require(
-            e.numSrcs >= 0 && e.numSrcs <= kMaxEntrySrcs,
-            Check::MopPairing,
-            "entry " + std::to_string(i) + " has " +
-                std::to_string(e.numSrcs) + " sources");
+            st.numSrcs <= kMaxEntrySrcs, Check::MopPairing, [&st, i] {
+                return "entry " + std::to_string(i) + " has " +
+                       std::to_string(int(st.numSrcs)) + " sources";
+            });
+        integrity_.require(
+            (st.wait & ~srcMask(st.numSrcs)) == 0, Check::MopPairing,
+            [i] {
+                return "entry " + std::to_string(i) +
+                       " waits on a source slot past numSrcs";
+            });
 
-        if (e.outBcast >= 0) {
-            bool in_pool = size_t(e.outBcast) < bcastPool_.size();
-            integrity_.require(in_pool, Check::TagLiveness,
-                               "entry " + std::to_string(i) +
-                                   " outstanding broadcast id out of range");
-            const Broadcast &b = bcastPool_[size_t(e.outBcast)];
+        if (c.outBcast >= 0) {
+            bool in_pool = size_t(c.outBcast) < bcastCal_.poolSize();
+            integrity_.require(in_pool, Check::TagLiveness, [i] {
+                return "entry " + std::to_string(i) +
+                       " outstanding broadcast id out of range";
+            });
+            const Broadcast &b = bcastCal_.at(c.outBcast);
             integrity_.require(
-                !b.canceled && b.entry == int(i) && b.gen == e.gen &&
-                    b.tag == e.dstTag,
-                Check::TagLiveness,
-                "entry " + std::to_string(i) +
-                    " outstanding broadcast does not match (tag " +
-                    std::to_string(e.dstTag) + " vs " +
-                    std::to_string(b.tag) + ")");
+                !b.canceled && b.entry == int(i) && b.gen == c.gen &&
+                    b.tag == c.dstTag,
+                Check::TagLiveness, [&b, &c, i] {
+                    return "entry " + std::to_string(i) +
+                           " outstanding broadcast does not match (tag " +
+                           std::to_string(c.dstTag) + " vs " +
+                           std::to_string(b.tag) + ")";
+                });
         }
     }
 
     integrity_.require(n_valid == occupied_, Check::IqAccounting,
-                       "occupancy counter " + std::to_string(occupied_) +
-                           " != " + std::to_string(n_valid) +
-                           " valid entries (leaked or double-freed)");
+                       [this, n_valid] {
+                           return "occupancy counter " +
+                                  std::to_string(occupied_) + " != " +
+                                  std::to_string(n_valid) +
+                                  " valid entries (leaked or double-freed)";
+                       });
     integrity_.require(
-        freeList_.size() + size_t(occupied_) == entries_.size(),
-        Check::IqAccounting,
-        "free list holds " + std::to_string(freeList_.size()) +
-            " entries + " + std::to_string(occupied_) + " occupied != " +
-            std::to_string(entries_.size()) + " total");
+        freeList_.size() + size_t(occupied_) == state_.size(),
+        Check::IqAccounting, [this] {
+            return "free list holds " + std::to_string(freeList_.size()) +
+                   " entries + " + std::to_string(occupied_) +
+                   " occupied != " + std::to_string(state_.size()) +
+                   " total";
+        });
     for (int idx : freeList_) {
-        integrity_.require(!entries_[size_t(idx)].valid,
-                           Check::IqAccounting,
-                           "entry " + std::to_string(idx) +
-                               " is on the free list but marked valid");
+        integrity_.require(!(state_[size_t(idx)].flags & kFValid),
+                           Check::IqAccounting, [idx] {
+                               return "entry " + std::to_string(idx) +
+                                      " is on the free list but marked "
+                                      "valid";
+                           });
     }
 }
 
 void
 Scheduler::dumpEntries(std::ostream &os) const
 {
-    for (size_t i = 0; i < entries_.size(); ++i) {
-        const Entry &e = entries_[i];
-        if (!e.valid)
+    for (size_t i = 0; i < state_.size(); ++i) {
+        const EntryState &st = state_[i];
+        if (!(st.flags & kFValid))
             continue;
-        os << "\n  entry " << i << " seq=" << e.ops[0].seq;
-        for (int o = 1; o < e.numOps; ++o)
-            os << "+" << e.ops[size_t(o)].seq;
-        os << " op=" << isa::opClassName(e.ops[0].op)
-           << " tag=" << e.dstTag
-           << " pending=" << e.pending << " issued=" << e.issued
-           << " minIssue=" << e.minIssue << " srcs=[";
-        for (int s = 0; s < e.numSrcs; ++s) {
-            os << e.srcTags[size_t(s)] << ":"
-               << (e.srcReady[size_t(s)] ? "R" : "w")
-               << (tagIsReady(e.srcTags[size_t(s)]) ? "/TR" : "/tw")
+        const EntryCold &c = cold_[i];
+        const EntryOps &oc = opcls_[i];
+        os << "\n  entry " << i << " seq=" << c.ops[0].seq;
+        for (int o = 1; o < int(oc.numOps); ++o)
+            os << "+" << c.ops[size_t(o)].seq;
+        os << " op=" << isa::opClassName(c.ops[0].op)
+           << " tag=" << c.dstTag
+           << " pending=" << bool(st.flags & kFPending)
+           << " issued=" << bool(st.flags & kFIssued)
+           << " minIssue=" << minIssue_[i] << " srcs=[";
+        for (int s = 0; s < st.numSrcs; ++s) {
+            bool rdy = !(st.wait & uint8_t(1u << unsigned(s)));
+            os << srcTag_[i][size_t(s)] << ":" << (rdy ? "R" : "w")
+               << (tagIsReady(srcTag_[i][size_t(s)]) ? "/TR" : "/tw")
                << " ";
         }
         os << "]";
@@ -1079,7 +1189,7 @@ Scheduler::dumpEntries(std::ostream &os) const
 void
 Scheduler::dumpState(std::ostream &os) const
 {
-    os << "issue queue: " << occupied_ << "/" << entries_.size()
+    os << "issue queue: " << occupied_ << "/" << state_.size()
        << " entries occupied";
     dumpEntries(os);
     os << "\n";
@@ -1090,29 +1200,30 @@ Scheduler::squashAfter(uint64_t seq, Cycle now)
 {
     record(now, verify::SchedEvent::Kind::Squash, seq);
     forEachSetBit(validBits_, [&](size_t i) {
-        Entry &e = entries_[i];
-        if (e.minSeq > seq) {
+        EntryState &st = state_[i];
+        EntryCold &c = cold_[i];
+        EntryOps &oc = opcls_[i];
+        if (c.minSeq > seq) {
             freeEntry(int(i));
             return;
         }
-        if (e.numOps > 1 && e.maxSeq > seq) {
+        if (int(oc.numOps) > 1 && c.maxSeq > seq) {
             // Squashed MOP suffix: surviving prefix stays; source
             // operands contributed by squashed ops are forced ready
             // (Section 5.3.2).
             int keep = 1;
-            while (keep < e.numOps && e.ops[size_t(keep)].seq <= seq)
+            while (keep < int(oc.numOps) && c.ops[size_t(keep)].seq <= seq)
                 ++keep;
-            e.numOps = keep;
-            e.maxSeq = e.ops[size_t(keep - 1)].seq;
-            for (int s = 0; s < e.numSrcs; ++s) {
-                if (e.srcFromTail[size_t(s)]) {
-                    e.srcReady[size_t(s)] = true;
-                    e.srcReadyAt[size_t(s)] = 0;
-                }
+            oc.numOps = uint8_t(keep);
+            c.maxSeq = c.ops[size_t(keep - 1)].seq;
+            for (uint8_t m = st.fromTail & srcMask(st.numSrcs); m;
+                 m &= uint8_t(m - 1)) {
+                unsigned s = unsigned(std::countr_zero(unsigned(m)));
+                st.wait &= uint8_t(~(1u << s));
+                c.srcReadyAt[s] = 0;
             }
-            if (e.pending)
-                e.pending = false;
-            if (e.issued) {
+            st.flags &= uint8_t(~kFPending);
+            if (st.flags & kFIssued) {
                 // The in-flight entry's value and broadcast timing
                 // still reference the squashed last op; recompute both
                 // from the surviving prefix. The dropped ops' queued
@@ -1120,29 +1231,29 @@ Scheduler::squashAfter(uint64_t seq, Cycle now)
                 // tick(), so if every surviving op has already
                 // completed nothing is left to free the entry — reap
                 // it here (or when its rescheduled broadcast fires).
-                if (e.dstTag != kNoTag) {
-                    tagValueReady_[size_t(e.dstTag)] =
-                        e.opComplete[size_t(e.numOps - 1)];
+                if (c.dstTag != kNoTag) {
+                    tagValueReady_[size_t(c.dstTag)] =
+                        c.opComplete[size_t(oc.numOps - 1)];
                 }
-                if (e.outBcast >= 0) {
+                if (c.outBcast >= 0) {
                     cancelBcast(int(i));
-                    // The ring indexes by fire % kRing: a fire cycle
-                    // in the past would alias into a future slot, so
-                    // floor the reschedule at now + 1.
+                    // The calendar indexes by fire % kRing: a fire
+                    // cycle in the past would alias into a future
+                    // slot, so floor the reschedule at now + 1.
                     scheduleBcast(int(i),
                                   std::max(now + 1,
-                                           e.issueCycle +
-                                               Cycle(schedLatency(e))),
+                                           c.issueCycle +
+                                               Cycle(schedLatency(int(i)))),
                                   false);
                 }
                 maybeReapShrunken(int(i));
-                if (!e.valid)
+                if (!(st.flags & kFValid))
                     return;
             }
         }
-        if (e.pending && e.maxSeq <= seq) {
+        if ((st.flags & kFPending) && c.maxSeq <= seq) {
             // The expected tail will never arrive.
-            e.pending = false;
+            st.flags &= uint8_t(~kFPending);
         }
         refreshReady(int(i));
     });

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "sched/event_calendar.hh"
 #include "sched/fu_pool.hh"
 #include "sched/types.hh"
 #include "stats/stats.hh"
@@ -125,8 +126,27 @@ class Scheduler
 
     // --- introspection -------------------------------------------------
     int occupancy() const { return occupied_; }
-    int capacity() const { return int(entries_.size()); }
+    int capacity() const { return int(state_.size()); }
     bool tagIsReady(Tag t) const;
+
+    // --- event-driven cycle skipping -----------------------------------
+
+    /**
+     * Earliest cycle > @p now at which this scheduler's state could
+     * change on its own: the next pending broadcast / completion /
+     * miss-discovery / recall event, the earliest select request of a
+     * ready entry, a queued injected-wakeup repair, or the forward-
+     * progress watchdog deadline. Returns kNoCycle when it holds no
+     * future work at all. A conservative lower bound: ticking every
+     * cycle in (now, nextEventCycle(now)) is a no-op, so a core may
+     * skip them outright (it must still account the skipped cycles
+     * via noteIdleCycles to keep occupancy stats identical).
+     */
+    Cycle nextEventCycle(Cycle now);
+
+    /** Account @p n externally skipped idle cycles; bit-identical to
+     *  the per-cycle occupancy samples the skipped ticks would take. */
+    void noteIdleCycles(uint64_t n) { occAvg_.sample(double(occupied_), n); }
 
     uint64_t issuedOps() const { return issuedOps_; }
     uint64_t issuedEntries() const { return issuedEntries_; }
@@ -198,30 +218,49 @@ class Scheduler
         bool speculative = false;  ///< select-free pre-issue broadcast
     };
 
-    struct Entry
+    // --- SoA entry planes ----------------------------------------------
+    // The issue-queue entry is split structure-of-arrays style: the
+    // per-cycle wakeup and select walks touch only small packed hot
+    // planes (4-16 bytes per entry each), while everything touched at
+    // event frequency — op payloads, sequence numbers, completion
+    // bookkeeping, diagnostics — lives in a parallel cold plane. With
+    // the old ~250-byte aggregate Entry a 64-entry wakeup walk
+    // streamed 16 KB per broadcast; the tag-compare plane alone is
+    // now 1 KB.
+
+    /** Per-entry source-wait and lifecycle state; wakeup hot plane. */
+    struct EntryState
     {
-        bool valid = false;
-        bool pending = false;   ///< waiting for MOP tail insertion
-        bool issued = false;
-        int numOps = 0;
+        uint8_t wait = 0;      ///< bit s set: source s not yet ready
+        uint8_t fromTail = 0;  ///< bit s set: source added by a MOP tail
+        uint8_t numSrcs = 0;
+        uint8_t flags = 0;     ///< kFValid | kFPending | ...
+    };
+
+    static constexpr uint8_t kFValid = 1;
+    static constexpr uint8_t kFPending = 2;   ///< awaiting MOP tail
+    static constexpr uint8_t kFIssued = 4;
+    static constexpr uint8_t kFCollided = 8;  ///< lost a select once
+    static constexpr uint8_t kFReplayed = 16; ///< invalidated (replay)
+
+    /** Per-entry op classes; select-time FU grant plane. */
+    struct EntryOps
+    {
+        std::array<isa::OpClass, kMaxMopOps> cls{};
+        uint8_t numOps = 0;
+    };
+
+    /** Event-frequency and diagnostic fields (cold plane). */
+    struct EntryCold
+    {
         std::array<SchedOp, kMaxMopOps> ops;
         Tag dstTag = kNoTag;
-
-        int numSrcs = 0;
-        std::array<Tag, kMaxEntrySrcs> srcTags{};
-        std::array<bool, kMaxEntrySrcs> srcReady{};
-        std::array<bool, kMaxEntrySrcs> srcFromTail{};
         std::array<Cycle, kMaxEntrySrcs> srcReadyAt{};
-
         uint64_t minSeq = 0;
         uint64_t maxSeq = 0;
-        uint64_t age = 0;       ///< allocation order (select priority)
-        Cycle minIssue = 0;
         uint32_t gen = 0;       ///< cancels stale events on bump
         Cycle readyAt = kNoCycle;
-        int outBcast = -1;      ///< outstanding broadcast pool index
-        bool collided = false;  ///< select-free: lost a select once
-        bool replayed = false;  ///< invalidated at least once (replay)
+        int outBcast = -1;      ///< outstanding broadcast node id
         Cycle issueCycle = 0;
         /** Bit o set iff ops[o]'s completion has been reported. A
          *  bitmask, not a count: squashAfter can shrink numOps after
@@ -256,18 +295,23 @@ class Scheduler
     static constexpr size_t kRing = 512;
 
     /** Every surviving op ([0, numOps)) has reported its completion. */
-    static bool
-    prefixDone(const Entry &e)
+    bool
+    prefixDone(int idx) const
     {
-        uint32_t want = (1u << unsigned(e.numOps)) - 1u;
-        return (e.opDone & want) == want;
+        uint32_t want = (1u << unsigned(opcls_[size_t(idx)].numOps)) - 1u;
+        return (cold_[size_t(idx)].opDone & want) == want;
     }
 
-    bool entryFullyReady(const Entry &e) const;
+    bool
+    entryFullyReady(int idx) const
+    {
+        return state_[size_t(idx)].wait == 0;
+    }
+
     /** Effective wakeup+select pipeline depth. */
     int schedDepthVal() const;
     /** Scheduler-visible latency of an entry (Figure 5 timings). */
-    int schedLatency(const Entry &e) const;
+    int schedLatency(int idx) const;
     /** Execution latency of one op (loads: addr-gen only). */
     static int execLatency(const SchedOp &op);
     bool isSelectFree() const;
@@ -306,7 +350,14 @@ class Scheduler
     FuPool fu_;
     LoadLatencyFn loadLatency_;
 
-    std::vector<Entry> entries_;
+    // Entry planes (see the EntryState/EntryOps/EntryCold comment).
+    std::vector<std::array<Tag, kMaxEntrySrcs>> srcTag_;
+    std::vector<EntryState> state_;
+    std::vector<Cycle> minIssue_;   ///< earliest select-request cycle
+    std::vector<uint64_t> age_;     ///< allocation order (select priority)
+    std::vector<EntryOps> opcls_;
+    std::vector<EntryCold> cold_;
+
     std::vector<int> freeList_;
     int occupied_ = 0;
     uint64_t nextAge_ = 0;
@@ -314,13 +365,17 @@ class Scheduler
     // Hot-path bitmaps (64 entries per word). The wakeup broadcast and
     // select loops walk only set bits instead of scanning the whole
     // entry array; with a 32-entry queue that is one word per cycle.
-    /** Bit i set iff entries_[i].valid. */
+    /** Bit i set iff entry i is valid. */
     std::vector<uint64_t> validBits_;
-    /** Bit i set iff entries_[i] is a select candidate: valid, not
+    /** Bit i set iff entry i is a select candidate: valid, not
      *  pending, not issued, all sources ready (minIssue is checked at
      *  select time). Kept in sync by refreshReady(). */
     std::vector<uint64_t> readyBits_;
-    /** Recompute entry @p idx's readyBits_ bit from its state. */
+    /** Bit i set iff entry i is valid with at least one unready
+     *  source: the only entries a wakeup broadcast can affect, and
+     *  the only ones deliverTag compares tags against. */
+    std::vector<uint64_t> watchBits_;
+    /** Recompute entry @p idx's readyBits_/watchBits_ bits. */
     void refreshReady(int idx);
     /** Free a squash-shrunken issued entry whose surviving ops have
      *  all completed once its broadcast has left the bus; no
@@ -339,12 +394,11 @@ class Scheduler
      *  dcache-miss cause instead of generic wakeup wait). */
     std::vector<uint64_t> tagMissPending_;
 
-    std::vector<Broadcast> bcastPool_;
-    std::vector<int> bcastFree_;
-    std::array<std::vector<int>, kRing> bcastRing_;
-    std::array<std::vector<CompletionEv>, kRing> compRing_;
-    std::array<std::vector<MissDiscoveryEv>, kRing> missRing_;
-    std::array<std::vector<RecallEv>, kRing> recallRing_;
+    // Pooled event calendars (flat arenas; nothing cleared per tick).
+    EventCalendar<Broadcast, kRing> bcastCal_;
+    EventCalendar<CompletionEv, kRing> compCal_;
+    EventCalendar<MissDiscoveryEv, kRing> missCal_;
+    EventCalendar<RecallEv, kRing> recallCal_;
     std::array<std::pair<Cycle, int>, kRing> slotDebt_{};
 
     Cycle lastProgress_ = 0;

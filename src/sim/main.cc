@@ -81,6 +81,10 @@ usage()
         "                     (default 1; printed for replay)\n"
         "  --difftest-repro <f> also write the first shrunken repro\n"
         "                     to this file\n"
+        "  --difftest-skip-idle  production side skips provably idle\n"
+        "                     cycles (nextEventCycle) while the oracle\n"
+        "                     ticks every cycle; verifies the cycle-\n"
+        "                     skipping invariant differentially\n"
         "  --list             list workloads, kernels and machines\n";
 }
 
@@ -117,6 +121,7 @@ main(int argc, char **argv)
     int difftest_n = 0;
     uint64_t difftest_seed = 1;
     std::string difftest_repro;
+    bool difftest_skip_idle = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -180,6 +185,7 @@ main(int argc, char **argv)
             } else if (a == "--difftest-seed") {
                 difftest_seed = sim::parseUintOption(a, next(), 0, ~0ULL);
             } else if (a == "--difftest-repro") difftest_repro = next();
+            else if (a == "--difftest-skip-idle") difftest_skip_idle = true;
             else if (a == "--list") {
                 std::cout << "workloads:";
                 for (const auto &b : trace::specCint2000())
@@ -217,7 +223,8 @@ main(int argc, char **argv)
                   << " (replay with --difftest-seed " << difftest_seed
                   << ")\n";
         int bad = verify::runDifftestCampaign(difftest_n, difftest_seed,
-                                              difftest_repro);
+                                              difftest_repro,
+                                              difftest_skip_idle);
         return bad == 0 ? 0 : 1;
     }
 

@@ -52,6 +52,25 @@ class Average
         if (count_ == 1 || v > max_) max_ = v;
     }
 
+    /**
+     * Record @p v as @p n identical samples in one shot. For integral
+     * v with sums below 2^53 every addition is exact, so this is
+     * bit-identical to calling sample(v) n times — the contract the
+     * event-driven cycle skipper relies on when it accounts for a
+     * region of idle cycles at once.
+     */
+    void
+    sample(double v, uint64_t n)
+    {
+        if (n == 0)
+            return;
+        sum_ += v * double(n);
+        bool first = count_ == 0;
+        count_ += n;
+        if (first || v < min_) min_ = v;
+        if (first || v > max_) max_ = v;
+    }
+
     void reset() { sum_ = 0; count_ = 0; min_ = 0; max_ = 0; }
 
     double mean() const { return count_ ? sum_ / count_ : 0.0; }

@@ -1,0 +1,109 @@
+#include "sweep/microbench.hh"
+
+#include <chrono>
+#include <vector>
+
+#include "pipeline/ooo_core.hh"
+#include "sched/scheduler.hh"
+#include "sim/config.hh"
+#include "trace/profiles.hh"
+#include "verify/oracle.hh"
+
+namespace mop::sweep
+{
+
+namespace
+{
+
+double
+nowSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Drive @p s with the ILP-4 dependence stream BM_SchedulerWakeupSelect
+ *  uses (4-wide inserts, each op consuming the value four back) until
+ *  @p k_ops complete; returns wall seconds. */
+template <typename Sched>
+double
+walkWakeupSelect(Sched &s, uint64_t k_ops)
+{
+    std::vector<sched::ExecEvent> completed;
+    double t0 = nowSec();
+    sched::Cycle now = 0;
+    uint64_t seq = 0, done = 0;
+    while (done < k_ops) {
+        for (int w = 0; w < 4 && seq < k_ops && s.canInsert(1); ++w) {
+            sched::SchedOp op;
+            op.seq = seq;
+            op.dst = sched::Tag(seq);
+            op.src = {seq >= 4 ? sched::Tag(seq - 4) : sched::kNoTag,
+                      sched::kNoTag};
+            s.insert(op, now);
+            ++seq;
+        }
+        completed.clear();
+        s.tick(now, completed);
+        done += completed.size();
+        ++now;
+    }
+    return nowSec() - t0;
+}
+
+double
+runIdleAdvance(bool skip, uint64_t insts, double &skipped_fraction)
+{
+    // mcf's profile is the memory-bound extreme (Table "stall
+    // attribution": ~85% of slots stalled on DL1/L2 misses), so its
+    // run is dominated by exactly the idle regions skipping targets.
+    sim::RunConfig cfg;
+    cfg.machine = sim::Machine::Base;
+    cfg.iqEntries = 32;
+    pipeline::CoreParams params = sim::makeCoreParams(cfg);
+    params.cycleSkip = skip;
+    trace::SyntheticSource src(trace::profileFor("mcf"));
+    pipeline::OooCore core(params, src);
+    double t0 = nowSec();
+    pipeline::SimResult r = core.run(insts);
+    double wall = nowSec() - t0;
+    skipped_fraction =
+        r.cycles ? double(r.skippedCycles) / double(r.cycles) : 0;
+    return r.cycles ? wall * 1e9 / double(r.cycles) : 0;
+}
+
+} // namespace
+
+MicrobenchReport
+runMicrobench()
+{
+    MicrobenchReport rep;
+    constexpr uint64_t kOps = 16384;
+    constexpr uint64_t kInsts = 30000;
+
+    sched::SchedParams p;
+    p.policy = sched::SchedPolicy::TwoCycle;
+    p.numEntries = 32;
+    {
+        // Warm-up pass first so neither side pays first-touch costs.
+        sched::Scheduler warm(p);
+        walkWakeupSelect(warm, kOps / 4);
+        sched::Scheduler s(p);
+        rep.soaNsPerOp = walkWakeupSelect(s, kOps) * 1e9 / double(kOps);
+    }
+    {
+        verify::RefScheduler warm(p);
+        walkWakeupSelect(warm, kOps / 4);
+        verify::RefScheduler s(p);
+        rep.aosNsPerOp = walkWakeupSelect(s, kOps) * 1e9 / double(kOps);
+    }
+
+    double frac = 0;
+    runIdleAdvance(true, kInsts / 4, frac);  // warm-up
+    rep.skipNsPerCycle = runIdleAdvance(true, kInsts, rep.skippedFraction);
+    rep.noskipNsPerCycle = runIdleAdvance(false, kInsts, frac);
+    return rep;
+}
+
+} // namespace mop::sweep

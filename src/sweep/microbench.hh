@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The two layout microbenchmarks wired into `mopsuite --perf`.
+ *
+ * 1. Wakeup/select walk: the production structure-of-arrays scheduler
+ *    against the reference array-of-structs model (verify::
+ *    RefScheduler, which keeps the pre-SoA one-struct-per-entry
+ *    layout), driven with the identical ILP-4 op stream. The pair
+ *    isolates what the hot/cold plane split buys on the per-cycle
+ *    wakeup broadcast + select scan.
+ *
+ * 2. Idle-region advance: one memory-bound pipeline run with
+ *    event-driven cycle skipping on vs off. The pair isolates what
+ *    next-event skipping buys on stall-dominated regions (and reports
+ *    the fraction of cycles skipped).
+ *
+ * Numbers are informational wall-clock measurements — they land in
+ * the perf JSON next to the gated suite-level insts/s, they are not
+ * themselves gated.
+ */
+
+#ifndef MOP_SWEEP_MICROBENCH_HH
+#define MOP_SWEEP_MICROBENCH_HH
+
+#include <cstdint>
+
+namespace mop::sweep
+{
+
+struct MicrobenchReport
+{
+    double soaNsPerOp = 0;       ///< SoA scheduler, ns per scheduled op
+    double aosNsPerOp = 0;       ///< AoS reference model, same stream
+    double skipNsPerCycle = 0;   ///< memory-bound run, cycle skip on
+    double noskipNsPerCycle = 0; ///< same run, every cycle stepped
+    double skippedFraction = 0;  ///< skippedCycles / cycles (skip run)
+};
+
+/** Run both pairs (fractions of a second total). */
+MicrobenchReport runMicrobench();
+
+} // namespace mop::sweep
+
+#endif // MOP_SWEEP_MICROBENCH_HH

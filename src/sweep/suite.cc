@@ -1,5 +1,6 @@
 #include "sweep/suite.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -12,6 +13,8 @@
 #include <stdexcept>
 
 #include "sim/cli_opts.hh"
+#include "sweep/microbench.hh"
+#include "sweep/perf_track.hh"
 
 namespace mop::sweep
 {
@@ -397,6 +400,16 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
         results.emplace(fp, o.record);
     };
 
+    if (opts.repeat > 1 && opts.isolate)
+        throw std::invalid_argument(
+            "--repeat measures the in-process executor; drop --isolate");
+
+    // Per-pass compute-phase throughput samples (simulated insts per
+    // wall second). With --repeat N the first N-1 passes only time the
+    // work and discard the results; the final pass is the one that
+    // persists, so cache and journal contents are repeat-invariant.
+    std::vector<double> ipsSamples;
+    double computeT0 = now();
     if (opts.isolate) {
         SupervisorOptions sopts;
         sopts.jobs = opts.jobs;
@@ -423,12 +436,35 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
         });
         sup.runAll(misses, missFps, progress);
     } else {
+        for (int r = 0; r + 1 < opts.repeat; ++r) {
+            SweepExecutor timing(opts.jobs);
+            uint64_t passInsts = 0;
+            timing.setCompletion([&](size_t, const SweepOutcome &o) {
+                passInsts += o.simulatedInsts;
+            });
+            double t0 = now();
+            timing.runAll(misses, {});
+            double w = now() - t0;
+            if (w > 0 && passInsts)
+                ipsSamples.push_back(double(passInsts) / w);
+            if (opts.verbose)
+                std::cerr << "[sweep] timing pass " << (r + 1) << "/"
+                          << opts.repeat << ": "
+                          << uint64_t(w > 0 ? double(passInsts) / w : 0)
+                          << " insts/s\n";
+            computeT0 = now();
+        }
         SweepExecutor exec(opts.jobs);
         exec.setTelemetry(telemetry.get());
         exec.setCompletion([&](size_t k, const SweepOutcome &o) {
             persist(jobFps[missIdx[k]], o);
         });
         exec.runAll(misses, progress);
+    }
+    {
+        double w = now() - computeT0;
+        if (w > 0 && simulatedInsts)
+            ipsSamples.push_back(double(simulatedInsts) / w);
     }
     journal.close();
     if (opts.cacheMaxBytes)
@@ -507,10 +543,12 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
         ++n;
     }
 
+    double ipsMedian = medianOf(ipsSamples);
     if (!opts.perfJsonPath.empty()) {
+        MicrobenchReport micro = runMicrobench();
         std::ofstream jf(opts.perfJsonPath, std::ios::trunc);
         jf << "{\n"
-           << "  \"schema\": \"mop-sweep-perf-1\",\n"
+           << "  \"schema\": \"mop-sweep-perf-2\",\n"
            << "  \"sim_version\": \"" << jsonEscape(kSimVersion)
            << "\",\n"
            << "  \"jobs\": " << workerCount << ",\n"
@@ -526,7 +564,36 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
            << jsonNum(wallSeconds > 0 ? double(simulatedInsts) /
                                             wallSeconds
                                       : 0)
-           << ",\n";
+           << ",\n"
+           << "  \"repeats\": " << opts.repeat << ",\n"
+           << "  \"ips_samples\": [";
+        for (size_t i = 0; i < ipsSamples.size(); ++i)
+            jf << (i ? ", " : "") << jsonNum(ipsSamples[i]);
+        jf << "],\n"
+           << "  \"ips_median\": " << jsonNum(ipsMedian) << ",\n"
+           << "  \"ips_min\": "
+           << jsonNum(ipsSamples.empty()
+                          ? 0
+                          : *std::min_element(ipsSamples.begin(),
+                                              ipsSamples.end()))
+           << ",\n"
+           << "  \"ips_max\": "
+           << jsonNum(ipsSamples.empty()
+                          ? 0
+                          : *std::max_element(ipsSamples.begin(),
+                                              ipsSamples.end()))
+           << ",\n"
+           << "  \"microbench\": {"
+           << "\"wakeup_select_soa_ns_per_op\": "
+           << jsonNum(micro.soaNsPerOp)
+           << ", \"wakeup_select_aos_ns_per_op\": "
+           << jsonNum(micro.aosNsPerOp)
+           << ", \"idle_advance_skip_ns_per_cycle\": "
+           << jsonNum(micro.skipNsPerCycle)
+           << ", \"idle_advance_noskip_ns_per_cycle\": "
+           << jsonNum(micro.noskipNsPerCycle)
+           << ", \"idle_skipped_fraction\": "
+           << jsonNum(micro.skippedFraction) << "},\n";
         jf << "  \"aggregate_ipc\": {";
         bool first = true;
         for (const auto &[name, acc] : machineIpc) {
@@ -602,13 +669,54 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
                   << "s (" << misses.size() << " computed, "
                   << (jobs.size() - misses.size()) << " cached)\n";
     }
+
+    // Perf trajectory: gate against the last pinned entry first, then
+    // (optionally) pin this measurement as the new trajectory point.
+    bool gateFailed = false;
+    if (opts.perfGatePct >= 0) {
+        if (ipsSamples.empty()) {
+            std::cerr << "mopsuite: --perf-gate needs computed runs to "
+                         "measure; rerun with --no-cache\n";
+            return 2;
+        }
+        std::string msg;
+        gateFailed = !gatePerf(opts.perfBaselinePath, ipsMedian,
+                               opts.perfGatePct, msg);
+        std::cerr << "mopsuite: " << msg << "\n";
+    }
+    if (!opts.perfPinLabel.empty()) {
+        if (ipsSamples.empty()) {
+            std::cerr << "mopsuite: --perf-pin needs computed runs to "
+                         "measure; rerun with --no-cache\n";
+            return 2;
+        }
+        PerfEntry e;
+        e.label = opts.perfPinLabel;
+        e.simVersion = kSimVersion;
+        e.jobs = workerCount;
+        e.instsPerRun = insts;
+        e.repeats = opts.repeat;
+        e.ipsMedian = ipsMedian;
+        e.ipsMin = *std::min_element(ipsSamples.begin(), ipsSamples.end());
+        e.ipsMax = *std::max_element(ipsSamples.begin(), ipsSamples.end());
+        if (!appendPerfEntry(opts.perfBaselinePath, e)) {
+            std::cerr << "mopsuite: cannot write trajectory to "
+                      << opts.perfBaselinePath << "\n";
+            return 2;
+        }
+        std::cerr << "mopsuite: pinned \"" << e.label << "\" ("
+                  << uint64_t(e.ipsMedian) << " insts/s median of "
+                  << ipsSamples.size() << ") to "
+                  << opts.perfBaselinePath << "\n";
+    }
+
     if (!failed.empty()) {
         std::cerr << "mopsuite: " << failed.size()
                   << " run(s) quarantined; tables contain FAILED "
                      "cells\n";
         return 3;  // partial results rendered, holes explicit
     }
-    return 0;
+    return gateFailed ? 4 : 0;
 }
 
 namespace
@@ -626,6 +734,18 @@ usage(std::ostream &os)
           "  --json PATH     write figure outputs + per-run results\n"
           "  --perf PATH     write sweep perf metrics "
           "(default: BENCH_sweep.json)\n"
+          "  --repeat N      time the compute phase N times (median +\n"
+          "                  spread land in the perf JSON; the final\n"
+          "                  pass is the one that persists results)\n"
+          "  --perf-baseline PATH\n"
+          "                  perf trajectory file for --perf-gate /\n"
+          "                  --perf-pin (default: BENCH_core.json)\n"
+          "  --perf-gate PCT fail (exit 4) when this run's insts/s\n"
+          "                  median is more than PCT% below the last\n"
+          "                  pinned trajectory entry\n"
+          "  --perf-pin LABEL\n"
+          "                  append this run's median to the perf\n"
+          "                  trajectory under LABEL\n"
           "  --cache-dir D   persistent result cache directory\n"
           "                  (default: $MOP_CACHE_DIR or "
           "~/.cache/mopsim)\n"
@@ -692,6 +812,16 @@ parseArgs(int argc, char **argv, SuiteOptions &opts)
             opts.jsonPath = value("--json");
         } else if (a == "--perf") {
             opts.perfJsonPath = value("--perf");
+        } else if (a == "--repeat") {
+            opts.repeat = int(
+                sim::parseIntOption("--repeat", value("--repeat"), 1, 100));
+        } else if (a == "--perf-baseline") {
+            opts.perfBaselinePath = value("--perf-baseline");
+        } else if (a == "--perf-gate") {
+            opts.perfGatePct = double(sim::parseUintOption(
+                "--perf-gate", value("--perf-gate"), 0, 100));
+        } else if (a == "--perf-pin") {
+            opts.perfPinLabel = value("--perf-pin");
         } else if (a == "--cache-dir") {
             opts.cacheDir = value("--cache-dir");
         } else if (a == "--no-cache") {

@@ -106,6 +106,19 @@ struct SuiteOptions
     std::vector<std::string> only;  ///< empty = all figures
     std::string jsonPath;           ///< results JSON ("" = none)
     std::string perfJsonPath;       ///< perf JSON ("" = none)
+    /** Time the compute phase this many times (--repeat): passes
+     *  1..N-1 discard results, the final pass persists; the perf JSON
+     *  reports the per-pass insts/s samples with median and spread.
+     *  Only the in-process executor path supports repeats. */
+    int repeat = 1;
+    /** Perf trajectory file for --perf-gate / --perf-pin. */
+    std::string perfBaselinePath = "BENCH_core.json";
+    /** Fail (exit 4) when the measured insts/s median falls more than
+     *  this % below the last pinned trajectory entry; < 0 = off. */
+    double perfGatePct = -1;
+    /** Append this run's median to the trajectory under this label
+     *  ("" = don't pin). */
+    std::string perfPinLabel;
     std::string cacheDir;           ///< "" = ResultCache::defaultDir()
     bool useCache = true;
     uint64_t insts = 0;  ///< 0 = MOP_INSTS env or 200k default

@@ -291,7 +291,7 @@ namespace
 
 bool
 runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
-                DivergenceReport &rep)
+                DivergenceReport &rep, bool skip_idle)
 {
     const SchedParams &p = script.params;
     std::vector<ItemState> st(script.items.size());
@@ -337,12 +337,27 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
         return false;
     };
 
+    // Idle-skip mode: the production scheduler follows the core's
+    // event-driven recipe — consult nextEventCycle() after each real
+    // tick and stop ticking through the provably event-free gap —
+    // while the oracle still ticks every cycle. Any observable the
+    // oracle produces inside a "skipped" cycle is a divergence, so
+    // this mode differentially verifies the next-event invariant the
+    // pipeline's cycle skipping rests on. The window is invalidated
+    // on every production mutation (insert/append/squash/clear),
+    // mirroring how the core only skips between quiet cycles.
+    Cycle prodSkipUntil = 0;
+
     auto tick = [&]() {
         evP.clear();
         evO.clear();
         mopsP.clear();
         mopsO.clear();
-        prod.tick(now, evP, &mopsP);
+        bool prodTicks = !(skip_idle && now < prodSkipUntil);
+        if (prodTicks)
+            prod.tick(now, evP, &mopsP);
+        else
+            prod.noteIdleCycles(1);
         ref.tick(now, evO, &mopsO);
 
         auto bySeq = [](const sched::ExecEvent &a,
@@ -413,6 +428,11 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
             if (it != seqToItem.end())
                 st[it->second].completed = true;
         }
+        if (prodTicks && skip_idle) {
+            Cycle t = prod.nextEventCycle(now);
+            if (t > now + 1)
+                prodSkipUntil = t;  // kNoCycle = idle until mutated
+        }
         ++now;
         return true;
     };
@@ -453,6 +473,7 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
         op.src = {resolveSrc(it.src0), resolveSrc(it.src1)};
         is.ph = prod.insert(op, now, expect_tail);
         is.rh = ref.insert(op, now, expect_tail);
+        prodSkipUntil = 0;
         is.inserted = true;
         is.pendingHead = expect_tail;
         is.referencable = is.tag != kNoTag;
@@ -475,6 +496,7 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
                     op.src = {resolveSrc(it.src0), resolveSrc(it.src1)};
                     bool bp = prod.appendTail(hs.ph, op, now, it.moreComing);
                     bool bo = ref.appendTail(hs.rh, op, now, it.moreComing);
+                    prodSkipUntil = 0;
                     if (bp != bo)
                         return diverge("appendTail",
                                        std::string(bp ? "1" : "0") +
@@ -490,6 +512,7 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
                         // up and dispatches the tail solo.
                         prod.clearPending(hs.ph);
                         ref.clearPending(hs.rh);
+                        prodSkipUntil = 0;
                         hs.pendingHead = false;
                     }
                 }
@@ -508,6 +531,7 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
             uint64_t boundary = st[size_t(it.ref)].seq;
             prod.squashAfter(boundary, now);
             ref.squashAfter(boundary, now);
+            prodSkipUntil = 0;
             for (ItemState &o : st) {
                 if (o.inserted && !o.completed && o.seq > boundary) {
                     o.dead = true;
@@ -525,6 +549,7 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
             if (hs.inserted && !hs.dead && hs.pendingHead) {
                 prod.clearPending(hs.ph);
                 ref.clearPending(hs.rh);
+                prodSkipUntil = 0;
                 hs.pendingHead = false;
             }
             break;
@@ -544,6 +569,7 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
         if (hs.inserted && !hs.dead && hs.pendingHead) {
             prod.clearPending(hs.ph);
             ref.clearPending(hs.rh);
+            prodSkipUntil = 0;
             hs.pendingHead = false;
         }
     }
@@ -583,13 +609,13 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
 
 bool
 runLockstep(const ScheduleScript &script, const RefQuirks &quirks,
-            DivergenceReport *rep)
+            DivergenceReport *rep, bool skip_idle)
 {
     DivergenceReport local;
     DivergenceReport &r = rep ? *rep : local;
     r = DivergenceReport{};
     try {
-        return runLockstepImpl(script, quirks, r);
+        return runLockstepImpl(script, quirks, r, skip_idle);
     } catch (const std::exception &ex) {
         // A watchdog / integrity / overflow throw is a divergence too:
         // the oracle never throws.
@@ -636,11 +662,13 @@ materialize(const ScheduleScript &base, const std::vector<char> &keep)
 } // namespace
 
 ScheduleScript
-shrinkScript(const ScheduleScript &script, const RefQuirks &quirks)
+shrinkScript(const ScheduleScript &script, const RefQuirks &quirks,
+             bool skip_idle)
 {
     auto diverges = [&](const std::vector<char> &keep) {
         DivergenceReport r;
-        return !runLockstep(materialize(script, keep), quirks, &r);
+        return !runLockstep(materialize(script, keep), quirks, &r,
+                            skip_idle);
     };
     const size_t n = script.items.size();
     std::vector<char> all(n, 1);
@@ -783,22 +811,23 @@ formatRepro(const ScheduleScript &script, const DivergenceReport &rep)
 }
 
 int
-runDifftestCampaign(int n, uint64_t baseSeed, const std::string &reproPath)
+runDifftestCampaign(int n, uint64_t baseSeed, const std::string &reproPath,
+                    bool skip_idle)
 {
     int bad = 0;
     for (int i = 0; i < n; ++i) {
         uint64_t seed = baseSeed + uint64_t(i);
         ScheduleScript script = makeRandomScript(seed);
         DivergenceReport rep;
-        if (runLockstep(script, RefQuirks{}, &rep))
+        if (runLockstep(script, RefQuirks{}, &rep, skip_idle))
             continue;
         ++bad;
         std::printf("difftest: DIVERGENCE seed=%llu cycle=%llu %s: %s\n",
                     (unsigned long long)seed, (unsigned long long)rep.cycle,
                     rep.what.c_str(), rep.detail.c_str());
-        ScheduleScript min = shrinkScript(script);
+        ScheduleScript min = shrinkScript(script, RefQuirks{}, skip_idle);
         DivergenceReport mrep;
-        runLockstep(min, RefQuirks{}, &mrep);
+        runLockstep(min, RefQuirks{}, &mrep, skip_idle);
         std::string repro = formatRepro(min, mrep);
         std::fputs(repro.c_str(), stdout);
         if (!reproPath.empty() && bad == 1) {
@@ -809,8 +838,10 @@ runDifftestCampaign(int n, uint64_t baseSeed, const std::string &reproPath)
         }
     }
     if (bad == 0) {
-        std::printf("difftest: %d script(s) from seed %llu, 0 divergences\n",
-                    n, (unsigned long long)baseSeed);
+        std::printf("difftest%s: %d script(s) from seed %llu, "
+                    "0 divergences\n",
+                    skip_idle ? " (skip-idle)" : "", n,
+                    (unsigned long long)baseSeed);
     }
     return bad;
 }

@@ -96,11 +96,18 @@ ScheduleScript makeRandomScript(uint64_t seed,
  * lockstep. Returns true when the models agree on every observable;
  * otherwise fills @p rep with the first divergence. @p quirks lets
  * tests re-enable a historical production bug inside the oracle to
- * prove the fuzzer catches it (mutation testing).
+ * prove the fuzzer catches it (mutation testing). With @p skip_idle the
+ * production model follows the core's event-driven recipe — after each
+ * tick it asks nextEventCycle() and, when the answer lies beyond the
+ * next cycle, skips the gap (noteIdleCycles per skipped tick) while the
+ * oracle keeps ticking every cycle; any oracle event inside a skipped
+ * window then surfaces as a divergence, differentially verifying the
+ * next-event invariant.
  */
 bool runLockstep(const ScheduleScript &script,
                  const RefQuirks &quirks = RefQuirks{},
-                 DivergenceReport *rep = nullptr);
+                 DivergenceReport *rep = nullptr,
+                 bool skip_idle = false);
 
 /**
  * ddmin over the script's item list: find a small sub-script that
@@ -108,7 +115,8 @@ bool runLockstep(const ScheduleScript &script,
  * (survivor items compacted, producer references re-indexed).
  */
 ScheduleScript shrinkScript(const ScheduleScript &script,
-                            const RefQuirks &quirks = RefQuirks{});
+                            const RefQuirks &quirks = RefQuirks{},
+                            bool skip_idle = false);
 
 /** Count Kind::Op items (the "<N-op repro" metric). */
 int scriptOpCount(const ScheduleScript &script);
@@ -124,7 +132,8 @@ std::string formatRepro(const ScheduleScript &script,
  * non-empty the first shrunken repro is also written there.
  */
 int runDifftestCampaign(int n, uint64_t baseSeed,
-                        const std::string &reproPath = "");
+                        const std::string &reproPath = "",
+                        bool skip_idle = false);
 
 } // namespace mop::verify
 

@@ -85,6 +85,47 @@ TEST(Difftest, AdversarialMopCorpusHasNoDivergence)
     }
 }
 
+/** Skip-idle mode: the production side follows the core's cycle-skip
+ *  recipe (nextEventCycle + skipped ticks) while the oracle ticks
+ *  every cycle. Zero divergence means no observable event ever lands
+ *  inside a window the production model declared idle — the invariant
+ *  the pipeline's event-driven skipping rests on. */
+TEST(Difftest, SkipIdleCorpusHasNoDivergence)
+{
+    for (uint64_t seed = 1; seed <= 60; ++seed) {
+        ScheduleScript s = makeRandomScript(seed);
+        DivergenceReport rep;
+        ASSERT_TRUE(runLockstep(s, RefQuirks{}, &rep,
+                                /*skip_idle=*/true))
+            << "seed " << seed << " cycle " << rep.cycle << " ["
+            << rep.what << "] " << rep.detail;
+    }
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        ScheduleScript s = makeRandomScript(seed, adversarialMopConfig());
+        DivergenceReport rep;
+        ASSERT_TRUE(runLockstep(s, RefQuirks{}, &rep,
+                                /*skip_idle=*/true))
+            << "seed " << seed << " cycle " << rep.cycle << " ["
+            << rep.what << "] " << rep.detail;
+    }
+}
+
+/** Skip-idle lockstep is not vacuous: an oracle with a reintroduced
+ *  bug must still diverge when the production side skips cycles. */
+TEST(Difftest, SkipIdleModeStillCatchesMutations)
+{
+    RefQuirks quirks;
+    quirks.fuHeadOnlyCheck = true;
+    bool caught = false;
+    for (uint64_t seed = 1; seed <= 40 && !caught; ++seed) {
+        ScheduleScript s = makeRandomScript(seed, adversarialMopConfig());
+        DivergenceReport rep;
+        caught = !runLockstep(s, quirks, &rep, /*skip_idle=*/true);
+    }
+    EXPECT_TRUE(caught)
+        << "FU-overbooking quirk invisible to skip-idle lockstep";
+}
+
 TEST(Difftest, GeneratorIsDeterministic)
 {
     ScheduleScript a = makeRandomScript(42);
