@@ -242,6 +242,7 @@ registerAllFigures()
     registerPerformanceFigures();
     registerAblationFigures();
     registerObservabilityFigures();
+    registerPolicyFigures();
 }
 
 } // namespace mop::bench

@@ -24,6 +24,7 @@ void registerCharacterizationFigures();  ///< table1, fig6, fig7
 void registerPerformanceFigures();       ///< table2, fig13..fig16
 void registerAblationFigures();          ///< Section 5/6 ablations
 void registerObservabilityFigures();     ///< stall-attribution breakdown
+void registerPolicyFigures();            ///< --policy comparison
 
 } // namespace mop::bench
 

@@ -114,7 +114,7 @@ BM_SchedulerWakeupSelect(benchmark::State &state)
     // the range argument. Each outer iteration pushes a 4-wide
     // dependence pattern (ILP 4) through a fresh scheduler.
     sched::SchedParams p;
-    p.policy = sched::SchedPolicy::TwoCycle;
+    p.policy = sched::LoopPolicy::TwoCycle;
     p.numEntries = int(state.range(0));
     constexpr uint64_t kOps = 4096;
     uint64_t total = 0;
@@ -153,7 +153,7 @@ BM_RefSchedulerWakeupSelect(benchmark::State &state)
     // planes. The gap between the two is the layout win (mopsuite
     // --perf reports the same pair as ns/op).
     sched::SchedParams p;
-    p.policy = sched::SchedPolicy::TwoCycle;
+    p.policy = sched::LoopPolicy::TwoCycle;
     p.numEntries = int(state.range(0));
     constexpr uint64_t kOps = 512;  // the oracle is deliberately slow
     uint64_t total = 0;
@@ -216,7 +216,7 @@ BM_SchedulerStallProbe(benchmark::State &state)
     // with the stall probe enabled and a snapshot collected per cycle
     // — the per-cycle cost the observability layer adds.
     sched::SchedParams p;
-    p.policy = sched::SchedPolicy::TwoCycle;
+    p.policy = sched::LoopPolicy::TwoCycle;
     p.numEntries = 32;
     constexpr uint64_t kOps = 4096;
     uint64_t total = 0;

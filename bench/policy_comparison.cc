@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Behaviour-policy comparison: the paper's speculative scheduler vs
+ * load-delay prediction vs static decode fusion.
+ *
+ * Thin wrapper: the figure body lives in bench/figures/ and
+ * renders through the shared sweep driver (persistent result cache,
+ * same output as `mopsuite --only policies`).
+ */
+
+#include "figures/figures.hh"
+#include "sweep/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    mop::bench::registerAllFigures();
+    return mop::sweep::figureMain("policies", argc, argv);
+}

@@ -117,7 +117,7 @@ main()
                  "4: bez r5\n";
     auto timing = [](bool mop) {
         sched::SchedParams sp;
-        sp.policy = sched::SchedPolicy::TwoCycle;
+        sp.policy = sched::LoopPolicy::TwoCycle;
         sp.mopEnabled = mop;
         sp.numEntries = 16;
         sched::Scheduler s(sp);

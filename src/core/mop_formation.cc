@@ -7,14 +7,13 @@ namespace mop::core
 
 MopFormation::MopFormation(bool grouping_enabled, MopPointerCache &cache,
                            int max_mop_size)
-    : enabled_(grouping_enabled), cache_(cache),
+    : Formation(grouping_enabled), cache_(cache),
       maxMopSize_(max_mop_size)
 {
-    table_.fill(sched::kNoTag);
 }
 
 sched::Tag
-MopFormation::translateSrc(int16_t reg) const
+Formation::translateSrc(int16_t reg) const
 {
     if (reg == isa::kNoReg || reg == isa::kZeroReg ||
         reg == isa::kFpZeroReg) {

@@ -1,8 +1,18 @@
 /**
  * @file
- * MOP formation (Section 5.2): locating MOP pairs via pointers,
- * translating register dependences into the MOP-ID name space, and the
- * pending-bit insertion policy of Figure 11.
+ * Queue-stage formation: deciding, for each in-order µop, whether it
+ * enters the scheduler alone or fused into a multi-op entry, and
+ * translating register dependences into the grouping name space.
+ *
+ * Formation is the abstract stage; which concrete formation runs is a
+ * scheduler-policy decision (sched/policy.hh, dynamicFormation()):
+ *
+ *  - MopFormation (this file): the paper's MOP formation (Section 5.2)
+ *    — pairs located via the IL1-coupled pointer cache, the pending-bit
+ *    insertion window of Figure 11, and chain extension up to the
+ *    configured MOP size.
+ *  - StaticFuser (core/static_fuse.hh): decode-time pair fusion from a
+ *    fixed pattern table, no pointer cache or detector involved.
  *
  * The MOP translation table mirrors the register rename table but maps
  * logical registers to MOP IDs; a single MOP ID is allocated to the
@@ -11,11 +21,12 @@
  * renaming still proceeds in parallel and register values are accessed
  * based on the original data dependences — in this simulator that
  * half is represented by the per-µop producer tracking the pipeline
- * uses for its dataflow-order invariant checks.
+ * uses for its dataflow-order invariant checks. The table, tag
+ * allocator and formation counters are shared by every concrete
+ * formation and live in the base class.
  *
- * This class also serves the non-MOP configurations: with grouping
- * disabled it degenerates into a plain dependence renamer that assigns
- * a fresh tag to every destination.
+ * With grouping disabled every formation degenerates into a plain
+ * dependence renamer that assigns a fresh tag to each destination.
  */
 
 #ifndef MOP_CORE_MOP_FORMATION_HH
@@ -57,18 +68,23 @@ struct FormOutcome
     int clearPendingEntry = -1;
 };
 
-class MopFormation
+/**
+ * Abstract queue-stage formation. Owns the logical-register → tag
+ * translation table, the tag allocator and the formation counters;
+ * concrete formations implement the grouping decision itself.
+ */
+class Formation
 {
   public:
-    MopFormation(bool grouping_enabled, MopPointerCache &cache,
-                 int max_mop_size = 2);
+    virtual ~Formation() = default;
 
     /** Translate and classify one µop, in program order. */
-    FormOutcome process(const isa::MicroOp &u, uint64_t dyn_id);
+    virtual FormOutcome process(const isa::MicroOp &u,
+                                uint64_t dyn_id) = 0;
 
     /** The pipeline reports the issue-queue entry of an inserted head
      *  (identified by the head µop's dyn id). */
-    void setHeadEntry(uint64_t head_dyn_id, int entry);
+    virtual void setHeadEntry(uint64_t head_dyn_id, int entry) = 0;
 
     /**
      * A tail failed to join (source-budget overflow or IQ state): give
@@ -76,7 +92,8 @@ class MopFormation
      * chain links still expected on the same entry.
      * @return the replacement destination tag (kNoTag if no dst).
      */
-    sched::Tag demoteTail(const isa::MicroOp &u, int entry = -1);
+    virtual sched::Tag demoteTail(const isa::MicroOp &u,
+                                  int entry = -1) = 0;
 
     /**
      * Advance one insert-group boundary. Pending heads whose tail did
@@ -84,9 +101,12 @@ class MopFormation
      * their issue-queue entries, returned here, must get
      * clearPending() from the caller.
      */
-    std::vector<int> groupBoundary();
+    virtual std::vector<int> groupBoundary() = 0;
 
-    /** Fresh tag in the MOP-ID name space. */
+    /** Heads currently awaiting their tail (grouping-pending count). */
+    virtual int pendingCount() const = 0;
+
+    /** Fresh tag in the grouping name space. */
     sched::Tag freshTag() { return next_++; }
 
     uint64_t groupsFormed() const { return groupsFormed_; }
@@ -97,12 +117,43 @@ class MopFormation
 
     bool groupingEnabled() const { return enabled_; }
 
-    /** Heads currently awaiting their tail (MOP-pending occupancy). */
-    int pendingCount() const { return int(pending_.size()); }
-
     /** Attach a fault injector (corrupt-mop opportunity site; see
      *  verify/fault_injector.hh). Not owned. */
     void setFaultInjector(verify::FaultInjector *inj) { inj_ = inj; }
+
+  protected:
+    explicit Formation(bool grouping_enabled)
+        : enabled_(grouping_enabled)
+    {
+        table_.fill(sched::kNoTag);
+    }
+
+    sched::Tag translateSrc(int16_t reg) const;
+
+    bool enabled_;
+    verify::FaultInjector *inj_ = nullptr;  ///< not owned
+    sched::Tag next_ = 0;
+    std::array<sched::Tag, isa::kNumLogicalRegs> table_;
+
+    uint64_t groupsFormed_ = 0;
+    uint64_t independentFormed_ = 0;
+    uint64_t pendingExpired_ = 0;
+    uint64_t verifyFails_ = 0;
+    uint64_t demotions_ = 0;
+};
+
+/** The paper's pointer-driven MOP formation (Section 5.2). */
+class MopFormation : public Formation
+{
+  public:
+    MopFormation(bool grouping_enabled, MopPointerCache &cache,
+                 int max_mop_size = 2);
+
+    FormOutcome process(const isa::MicroOp &u, uint64_t dyn_id) override;
+    void setHeadEntry(uint64_t head_dyn_id, int entry) override;
+    sched::Tag demoteTail(const isa::MicroOp &u, int entry = -1) override;
+    std::vector<int> groupBoundary() override;
+    int pendingCount() const override { return int(pending_.size()); }
 
   private:
     struct PendingHead
@@ -117,21 +168,9 @@ class MopFormation
         int sizeSoFar = 1;  ///< ops already in the entry
     };
 
-    sched::Tag translateSrc(int16_t reg) const;
-
-    bool enabled_;
     MopPointerCache &cache_;
-    verify::FaultInjector *inj_ = nullptr;  ///< not owned
     int maxMopSize_;
-    sched::Tag next_ = 0;
-    std::array<sched::Tag, isa::kNumLogicalRegs> table_;
     std::vector<PendingHead> pending_;
-
-    uint64_t groupsFormed_ = 0;
-    uint64_t independentFormed_ = 0;
-    uint64_t pendingExpired_ = 0;
-    uint64_t verifyFails_ = 0;
-    uint64_t demotions_ = 0;
 };
 
 } // namespace mop::core

@@ -4,6 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/static_fuse.hh"
+#include "sched/policy.hh"
+
 namespace mop::pipeline
 {
 
@@ -22,8 +25,15 @@ OooCore::OooCore(const CoreParams &params, trace::TraceSource &source)
 {
     detector_ = std::make_unique<core::MopDetector>(params_.detector,
                                                     ptrCache_);
-    formation_ = std::make_unique<core::MopFormation>(
-        params_.mopEnabled, ptrCache_, params_.detector.maxMopSize);
+    dynFormation_ =
+        sched::policyFor(params_.sched.policyId).dynamicFormation();
+    if (dynFormation_) {
+        formation_ = std::make_unique<core::MopFormation>(
+            params_.mopEnabled, ptrCache_, params_.detector.maxMopSize);
+    } else {
+        formation_ =
+            std::make_unique<core::StaticFuser>(params_.mopEnabled);
+    }
 
     sched::SchedParams sp = params_.sched;
     sp.mopEnabled = params_.mopEnabled;
@@ -61,7 +71,7 @@ OooCore::OooCore(const CoreParams &params, trace::TraceSource &source)
         sched_->setStallProbe(true);
     }
 
-    if (params_.mopEnabled) {
+    if (params_.mopEnabled && dynFormation_) {
         // MOP pointers live alongside IL1 lines (Section 5.1.3).
         mem_.il1().setEvictCallback([this](uint64_t line_addr) {
             ptrCache_.evictLine(line_addr, mem_.il1().lineBytes());
@@ -331,16 +341,19 @@ OooCore::doQueueInsert()
         if (f.u.hasDst())
             lastWriter_[size_t(f.u.dst)] = int64_t(f.dynId);
 
-        if (params_.mopEnabled)
+        if (params_.mopEnabled && dynFormation_)
             detector_->observe(f.u, f.dynId);
         frontend_.pop_front();
         ++inserted;
     }
     // MOP detection and the Figure 11 group window only matter when
     // grouping is on; non-MOP configurations never read the pointer
-    // cache, so feeding the detector would be pure overhead.
+    // cache, so feeding the detector would be pure overhead. Static
+    // fusion keeps the group window (its adjacency timeout) but never
+    // feeds the detector.
     if (params_.mopEnabled && (inserted > 0 || bubble)) {
-        detector_->endGroup(now_);
+        if (dynFormation_)
+            detector_->endGroup(now_);
         for (int e : formation_->groupBoundary())
             sched_->clearPending(e);
     }
@@ -450,7 +463,7 @@ OooCore::step()
                  params_.mopEnabled ? &mopScratch_ : nullptr);
     for (const auto &ev : completedScratch_)
         handleCompletion(ev);
-    if (params_.mopEnabled && params_.lastArrivalFilter) {
+    if (params_.mopEnabled && dynFormation_ && params_.lastArrivalFilter) {
         for (const auto &mi : mopScratch_) {
             if (!mi.tailLastArriving)
                 continue;
@@ -480,7 +493,7 @@ OooCore::step()
     }
 
     int inserted = doQueueInsert();
-    if (params_.mopEnabled)
+    if (params_.mopEnabled && dynFormation_)
         detector_->drain(now_);
     doFetch();
 
@@ -565,7 +578,7 @@ OooCore::maybeSkipIdle()
     // (the last such call is what a stepped run leaves behind).
     uint64_t gap = t - now_ - 1;
     sched_->noteIdleCycles(gap);
-    if (params_.mopEnabled) {
+    if (params_.mopEnabled && dynFormation_) {
         detector_->drain(t - 1);
         sched::Cycle last_bubble = t - 1;
         if (!frontend_.empty() && frontend_.front().queueReadyAt <= t - 1)

@@ -153,7 +153,7 @@ class OooCore
 
     const SimResult &result() const { return res_; }
     const sched::Scheduler &scheduler() const { return *sched_; }
-    const core::MopFormation &formation() const { return *formation_; }
+    const core::Formation &formation() const { return *formation_; }
     const core::MopDetector &detector() const { return *detector_; }
     const core::MopPointerCache &pointerCache() const { return ptrCache_; }
     const mem::MemoryHierarchy &memory() const { return mem_; }
@@ -305,7 +305,11 @@ class OooCore
     bpred::BranchPredictor bpred_;
     core::MopPointerCache ptrCache_;
     std::unique_ptr<core::MopDetector> detector_;
-    std::unique_ptr<core::MopFormation> formation_;
+    std::unique_ptr<core::Formation> formation_;
+    /** Policy answer cached at construction: true = pointer-driven
+     *  MopFormation (detector + pointer cache live), false =
+     *  decode-time StaticFuser (both bypassed). */
+    bool dynFormation_ = true;
     std::unique_ptr<sched::Scheduler> sched_;
     std::unique_ptr<obs::Observer> obs_;
 

@@ -38,6 +38,67 @@ FuPool::available(isa::OpClass op, Cycle c) const
     return freeUnits(kind, c) - reservedAt(kind, c) > 0;
 }
 
+bool
+FuPool::availableSeq(const isa::OpClass *ops, int n, Cycle start) const
+{
+    // Single ops — the overwhelming majority of entries — cannot
+    // self-conflict at all.
+    if (n == 1)
+        return available(ops[0], start);
+
+    // Fast path: with no unpipelined op in the sequence, intra-entry
+    // occupancy cannot arise — pipelined ops initiate on distinct
+    // cycles (start+k), so per-op checks are exact. This runs for
+    // every ready candidate every select cycle; the scratch
+    // simulation below runs only for divide-carrying entries.
+    bool unpipelined = false;
+    for (int k = 0; k < n; ++k)
+        if (isa::opUnpipelined(ops[k])) {
+            unpipelined = true;
+            break;
+        }
+    if (!unpipelined) {
+        for (int k = 0; k < n; ++k)
+            if (!available(ops[k], start + Cycle(k)))
+                return false;
+        return true;
+    }
+
+    // Scratch busy-until copies, taken lazily per kind, absorb the
+    // unit occupancy the sequence's own unpipelined ops would commit.
+    // The members are reused across calls so steady state allocates
+    // nothing. Pipelined ops initiate on distinct cycles (start+k),
+    // so their ring counts cannot collide within the sequence and
+    // only the real ring needs consulting.
+    auto &scratch = seqScratch_;
+    std::array<bool, isa::kNumFuKinds> copied{};
+    for (int k = 0; k < n; ++k) {
+        Cycle c = start + Cycle(k);
+        auto kind = size_t(isa::opFuKind(ops[k]));
+        if (kind >= isa::kNumFuKinds)
+            continue;  // no FU needed
+        if (!copied[kind]) {
+            scratch[kind] = busyUntil_[kind];
+            copied[kind] = true;
+        }
+        int free_units = 0;
+        for (Cycle b : scratch[kind])
+            if (b <= c)
+                ++free_units;
+        if (free_units - reservedAt(kind, c) <= 0)
+            return false;
+        if (isa::opUnpipelined(ops[k])) {
+            for (Cycle &b : scratch[kind]) {
+                if (b <= c) {
+                    b = c + Cycle(isa::opLatency(ops[k]));
+                    break;
+                }
+            }
+        }
+    }
+    return true;
+}
+
 void
 FuPool::reserve(isa::OpClass op, Cycle c)
 {

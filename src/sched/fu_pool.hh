@@ -32,6 +32,17 @@ class FuPool
     /** Can an op of this class be accepted at cycle @p c? */
     bool available(isa::OpClass op, Cycle c) const;
 
+    /**
+     * Can a whole entry's op sequence be accepted, op k initiating at
+     * cycle @p start + k? Per-op available() checks are not enough: an
+     * unpipelined op at slot j occupies its unit for the op's full
+     * latency, so a later same-kind op of the same entry can pass an
+     * independent check at start+k and then fail its reserve(). This
+     * simulates the exact reservation sequence reserve() will perform,
+     * so a granted entry's reservations succeed by construction.
+     */
+    bool availableSeq(const isa::OpClass *ops, int n, Cycle start) const;
+
     /** Reserve a unit for an op of this class starting at cycle @p c.
      *  Must be preceded by a successful available() check. */
     void reserve(isa::OpClass op, Cycle c);
@@ -59,6 +70,9 @@ class FuPool
                isa::kNumFuKinds> reserved_{};
     /** Lifetime reservations per pool (utilization reporting). */
     std::array<uint64_t, isa::kNumFuKinds> totalReserved_{};
+    /** Reusable scratch for availableSeq's unpipelined slow path
+     *  (capacity persists across calls, so no steady-state allocs). */
+    mutable std::array<std::vector<Cycle>, isa::kNumFuKinds> seqScratch_;
 };
 
 } // namespace mop::sched

@@ -1,0 +1,103 @@
+#include "sched/policy.hh"
+
+namespace mop::sched
+{
+
+namespace
+{
+
+/** Kim & Lipasti (MICRO-36): dynamic MOP detection over the pointer
+ *  cache, speculative load wakeup with selective replay. */
+class PaperPolicy final : public SchedPolicy
+{
+  public:
+    PolicyId id() const override { return PolicyId::Paper; }
+    const char *name() const override { return "paper"; }
+    bool speculateOnLoads() const override { return true; }
+    bool dynamicFormation() const override { return true; }
+};
+
+/** Diavastos & Carlson: the scheduler tracks each load's true delay
+ *  and wakes consumers non-speculatively, trading wakeup latency on
+ *  misses for the elimination of recalls and replays. */
+class LoadDelayPolicy final : public SchedPolicy
+{
+  public:
+    PolicyId id() const override { return PolicyId::LoadDelay; }
+    const char *name() const override { return "load-delay"; }
+    bool speculateOnLoads() const override { return false; }
+    bool dynamicFormation() const override { return true; }
+};
+
+/** Celio et al.: macro-op fusion decided at decode from a fixed
+ *  pattern table of adjacent dependent pairs; no dynamic detector,
+ *  pairs only. */
+class StaticFusePolicy final : public SchedPolicy
+{
+  public:
+    PolicyId id() const override { return PolicyId::StaticFuse; }
+    const char *name() const override { return "static-fuse"; }
+    bool speculateOnLoads() const override { return true; }
+    bool dynamicFormation() const override { return false; }
+    int
+    clampMopSize(int configured) const override
+    {
+        return configured < 2 ? configured : 2;
+    }
+};
+
+const PaperPolicy kPaper;
+const LoadDelayPolicy kLoadDelay;
+const StaticFusePolicy kStaticFuse;
+
+} // namespace
+
+const SchedPolicy &
+policyFor(PolicyId id)
+{
+    switch (id) {
+    case PolicyId::Paper: return kPaper;
+    case PolicyId::LoadDelay: return kLoadDelay;
+    case PolicyId::StaticFuse: return kStaticFuse;
+    }
+    return kPaper;
+}
+
+const std::vector<PolicyId> &
+registeredPolicies()
+{
+    static const std::vector<PolicyId> kAll = {
+        PolicyId::Paper, PolicyId::LoadDelay, PolicyId::StaticFuse};
+    return kAll;
+}
+
+const char *
+policyIdName(PolicyId id)
+{
+    return policyFor(id).name();
+}
+
+const char *
+policyIdToken(PolicyId id)
+{
+    switch (id) {
+    case PolicyId::Paper: return "paper";
+    case PolicyId::LoadDelay: return "loaddelay";
+    case PolicyId::StaticFuse: return "staticfuse";
+    }
+    return "paper";
+}
+
+bool
+parsePolicyId(std::string_view text, PolicyId &out)
+{
+    for (PolicyId id : registeredPolicies()) {
+        if (text == policyFor(id).name() || text == policyIdToken(id)) {
+            out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace mop::sched

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SchedPolicy: the scheduler behaviour interface.
+ *
+ * The issue-queue machinery (wakeup arrays, select, broadcast/
+ * completion calendars, squash splitting) is shared by every policy;
+ * what differs is a small set of decisions consulted at event
+ * frequency, never inside the per-cycle wakeup/select walks:
+ *
+ *  - speculative-wakeup decision: are load consumers woken assuming a
+ *    DL1 hit (speculate + selectively replay, Section 2.2) or from a
+ *    per-load delay table (no recall, no replay)?
+ *  - MOP-formation eligibility: dynamic detection through the pointer
+ *    cache (Section 5.2) vs a fixed decode-time pattern table, and the
+ *    MOP size the policy supports;
+ *  - select priority: the order ready entries are granted issue slots;
+ *  - replay semantics: whether a DL1 miss triggers selective replay at
+ *    all (the penalty itself stays in SchedParams).
+ *
+ * The paper's rule set is one registered implementation (PolicyId::
+ * Paper); the Scheduler caches the policy's answers as plain bools at
+ * construction so the hot paths carry no virtual calls and the Paper
+ * configuration is byte-identical to the pre-interface scheduler.
+ *
+ * Every policy has a matching rule set in the reference oracle
+ * (verify/oracle.cc) and is differentially fuzzed against it; see
+ * DESIGN.md ("Scheduler behaviour policies") for the rule map.
+ */
+
+#ifndef MOP_SCHED_POLICY_HH
+#define MOP_SCHED_POLICY_HH
+
+#include <string_view>
+#include <vector>
+
+#include "sched/types.hh"
+
+namespace mop::sched
+{
+
+class SchedPolicy
+{
+  public:
+    virtual ~SchedPolicy() = default;
+
+    virtual PolicyId id() const = 0;
+    /** CLI / fingerprint spelling ("paper", "load-delay", ...). */
+    virtual const char *name() const = 0;
+
+    // --- speculative-wakeup decision -----------------------------------
+
+    /** True: load consumers are woken at the speculative hit latency
+     *  and recalled/replayed on a miss. False: the scheduler predicts
+     *  completion from the per-load delay table, so the broadcast for
+     *  a single-op load entry fires when its value is really ready
+     *  and no miss recall ever happens. Multi-op (MOP) entries never
+     *  contain loads, so the decision is per-load, not per-entry. */
+    virtual bool speculateOnLoads() const = 0;
+
+    // --- MOP-formation eligibility -------------------------------------
+
+    /** True: pairs are located dynamically (detector + pointer cache).
+     *  False: fusion is decided at decode from a fixed pattern table
+     *  (core/static_fuse.hh) and the detector is bypassed. */
+    virtual bool dynamicFormation() const = 0;
+
+    /** The MOP size this policy's formation can produce; the scheduler
+     *  clamps SchedParams::maxMopSize through this at construction so
+     *  appendTail, select booking and the structural audit all agree. */
+    virtual int clampMopSize(int configured) const { return configured; }
+
+    // --- select priority -----------------------------------------------
+
+    /** True: ready entries are granted oldest-first (allocation age).
+     *  All current policies keep the paper's age order; the hook
+     *  exists so a policy could opt out without touching doSelect. */
+    virtual bool oldestFirstSelect() const { return true; }
+
+    // --- replay semantics ----------------------------------------------
+
+    /** Whether a DL1 miss invalidates issued consumers (selective
+     *  replay). Follows the speculation decision for every current
+     *  policy: no speculative wakeup means nothing to repair. */
+    virtual bool replaysOnLoadMiss() const { return speculateOnLoads(); }
+};
+
+/** The singleton implementation registered for @p id. */
+const SchedPolicy &policyFor(PolicyId id);
+
+/** Every registered policy, in PolicyId order; the per-policy test
+ *  batteries and the difftest corpora iterate this. */
+const std::vector<PolicyId> &registeredPolicies();
+
+/** CLI / fingerprint spelling of @p id. */
+const char *policyIdName(PolicyId id);
+
+/** Identifier-safe spelling ("paper", "loaddelay", "staticfuse") for
+ *  gtest parameter names. */
+const char *policyIdToken(PolicyId id);
+
+/** Parse a --policy argument; returns false on an unknown name. */
+bool parsePolicyId(std::string_view text, PolicyId &out);
+
+} // namespace mop::sched
+
+#endif // MOP_SCHED_POLICY_HH

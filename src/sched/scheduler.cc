@@ -1,5 +1,7 @@
 #include "sched/scheduler.hh"
 
+#include "sched/policy.hh"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -71,12 +73,28 @@ srcMask(int n)
 Scheduler::Scheduler(const SchedParams &params)
     : params_(params), fu_(params.fuCounts)
 {
+    const SchedPolicy &pol = policyFor(params_.policyId);
+    loadsSpeculate_ = pol.speculateOnLoads();
+    // Clamp once here so appendTail, the select-time FU booking and
+    // the structural audit all agree on the entry size the policy's
+    // formation can produce.
+    params_.maxMopSize = pol.clampMopSize(params_.maxMopSize);
+
     if (params_.mopEnabled &&
-        (params_.policy == SchedPolicy::SelectFreeSquashDep ||
-         params_.policy == SchedPolicy::SelectFreeScoreboard)) {
+        (params_.policy == LoopPolicy::SelectFreeSquashDep ||
+         params_.policy == LoopPolicy::SelectFreeScoreboard)) {
         throw std::invalid_argument(
             "macro-op scheduling is built on the 2-cycle policy; it "
             "cannot be combined with a select-free policy");
+    }
+    if (!loadsSpeculate_ &&
+        (params_.policy == LoopPolicy::SelectFreeSquashDep ||
+         params_.policy == LoopPolicy::SelectFreeScoreboard)) {
+        throw std::invalid_argument(
+            "load-delay scheduling computes an entry's broadcast "
+            "timing at issue, from the load's sampled delay; the "
+            "select-free organizations broadcast before selection, "
+            "when the delay is not yet known");
     }
 
     size_t n = size_t(params_.numEntries > 0 ? params_.numEntries : 512);
@@ -101,8 +119,8 @@ Scheduler::Scheduler(const SchedParams &params)
 bool
 Scheduler::isSelectFree() const
 {
-    return params_.policy == SchedPolicy::SelectFreeSquashDep ||
-           params_.policy == SchedPolicy::SelectFreeScoreboard;
+    return params_.policy == LoopPolicy::SelectFreeSquashDep ||
+           params_.policy == LoopPolicy::SelectFreeScoreboard;
 }
 
 int
@@ -116,7 +134,7 @@ Scheduler::schedDepthVal() const
 {
     if (params_.schedDepth > 0)
         return params_.schedDepth;
-    return params_.policy == SchedPolicy::TwoCycle ? 2 : 1;
+    return params_.policy == LoopPolicy::TwoCycle ? 2 : 1;
 }
 
 int
@@ -130,9 +148,32 @@ Scheduler::schedLatency(int idx) const
         return std::max(num_ops, schedDepthVal());
     const SchedOp &op = cold_[size_t(idx)].ops[0];
     int lat = execLatency(op);
-    if (op.op == isa::OpClass::Load)
-        lat += params_.dl1HitLatency;  // speculative hit assumption
+    if (op.op == isa::OpClass::Load) {
+        // Speculative hit assumption -- or, under the load-delay
+        // policy, the sampled true delay: the broadcast then fires
+        // exactly when the value is ready and is never recalled.
+        lat += loadsSpeculate_ ? params_.dl1HitLatency
+                               : knownLoadDelay(op.seq);
+    }
     return std::max(lat, schedDepthVal());
+}
+
+int
+Scheduler::loadDelayOf(uint64_t seq)
+{
+    auto it = loadDelay_.find(seq);
+    if (it != loadDelay_.end())
+        return it->second;
+    int lat = loadLatency_ ? loadLatency_(seq) : params_.dl1HitLatency;
+    loadDelay_.emplace(seq, lat);
+    return lat;
+}
+
+int
+Scheduler::knownLoadDelay(uint64_t seq) const
+{
+    auto it = loadDelay_.find(seq);
+    return it == loadDelay_.end() ? params_.dl1HitLatency : it->second;
 }
 
 void
@@ -628,6 +669,19 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
         ++slotDebt(now + Cycle(k));  // the MOP sequences through its slot
     }
 
+    // Load-delay policy: sample each load's true delay before the
+    // broadcast is scheduled -- schedLatency consults the memo table,
+    // and the latency sampler is side-effecting (fault campaigns draw
+    // from an RNG) so it must be queried exactly once per load. Gated
+    // off for speculating policies to keep the injector's draw order
+    // (and hence every Paper fault campaign) byte-identical.
+    if (!loadsSpeculate_) {
+        for (int o = 0; o < num_ops; ++o) {
+            if (c.ops[size_t(o)].op == isa::OpClass::Load)
+                loadDelayOf(c.ops[size_t(o)].seq);
+        }
+    }
+
     // Broadcast scheduling. Select-free entries that were never
     // collision victims already broadcast speculatively at ready time
     // with identical timing; everything else broadcasts issue-gated.
@@ -635,7 +689,7 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
         scheduleBcast(idx, now + Cycle(schedLatency(idx)), false);
 
     bool pileup = false;
-    if (params_.policy == SchedPolicy::SelectFreeScoreboard) {
+    if (params_.policy == LoopPolicy::SelectFreeScoreboard) {
         // Scoreboard check: a mis-woken consumer flows to RF and is
         // killed there if any source value is not actually available.
         Cycle exec_start = now + Cycle(params_.dispatchDepth);
@@ -663,11 +717,17 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
         Cycle complete = exec_start + Cycle(execLatency(op));
         bool was_miss = false;
         if (op.op == isa::OpClass::Load) {
-            int mem_lat =
-                loadLatency_ ? loadLatency_(op.seq) : params_.dl1HitLatency;
+            int mem_lat;
+            if (loadsSpeculate_) {
+                mem_lat = loadLatency_ ? loadLatency_(op.seq)
+                                       : params_.dl1HitLatency;
+            } else {
+                mem_lat = loadDelayOf(op.seq);
+                loadDelay_.erase(op.seq);  // memo dead past this point
+            }
             was_miss = mem_lat > params_.dl1HitLatency;
             complete += Cycle(mem_lat);
-            if (was_miss) {
+            if (was_miss && loadsSpeculate_) {
                 // Mis-scheduling discovered when addr-gen completes.
                 Cycle discover = exec_start + 1;
                 Cycle corrected =
@@ -675,6 +735,12 @@ Scheduler::issueEntry(int idx, Cycle now, std::vector<MopIssue> *mop_issues)
                              discover + 1);
                 missCal_.push(discover,
                               MissDiscoveryEv{idx, c.gen, corrected});
+            } else if (was_miss && stallProbe_ && c.dstTag != kNoTag) {
+                // The load-delay policy never recalls: consumers just
+                // wait out the predicted miss latency. Charge them to
+                // the dcache-miss cause from issue until the single,
+                // correctly-timed broadcast delivers.
+                setBit(tagMissPending_, size_t(c.dstTag));
             }
         }
         c.opComplete[size_t(o)] = complete;
@@ -741,11 +807,11 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
     for (int idx : readyScratch_) {
         const EntryOps &oc = opcls_[size_t(idx)];
         // issueEntry reserves a unit for every op of the MOP at
-        // consecutive cycles, so the grant must check every slot;
-        // with 3/4-op MOPs a two-op check overbooks units.
-        bool fu_ok = true;
-        for (int k = 0; k < int(oc.numOps) && fu_ok; ++k)
-            fu_ok = fu_.available(oc.cls[size_t(k)], now + Cycle(k));
+        // consecutive cycles, so the grant must simulate the whole
+        // reservation sequence: per-op independent checks both
+        // overbook units on 3/4-op MOPs and miss the occupancy an
+        // earlier unpipelined op (divide) of the same entry commits.
+        bool fu_ok = fu_.availableSeq(oc.cls.data(), int(oc.numOps), now);
         if (width > 0 && fu_ok) {
             if (inj_ && inj_->fire(verify::FaultKind::DropGrant)) {
                 // Injected grant loss: the select arbiter granted this
@@ -762,7 +828,7 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
                 if (isSelectFree() && !(st.flags & kFCollided)) {
                     ++collisions_;
                     st.flags |= kFCollided;
-                    if (params_.policy == SchedPolicy::SelectFreeSquashDep) {
+                    if (params_.policy == LoopPolicy::SelectFreeSquashDep) {
                         recallCal_.push(now + 1,
                                         RecallEv{idx,
                                                  cold_[size_t(idx)].gen});
@@ -784,7 +850,7 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
             record(now, verify::SchedEvent::Kind::Collision,
                    cold_[size_t(idx)].ops[0].seq, cold_[size_t(idx)].dstTag,
                    idx);
-            if (params_.policy == SchedPolicy::SelectFreeSquashDep) {
+            if (params_.policy == LoopPolicy::SelectFreeSquashDep) {
                 // The squash-dep mechanism detects the victim in the
                 // select stage and selectively squashes dependents one
                 // cycle later; the victim re-broadcasts at real issue.
@@ -888,7 +954,7 @@ Scheduler::tick(Cycle now, std::vector<ExecEvent> &completed,
         EntryCold &c = cold_[size_t(ev.entry)];
         if (!(st.flags & kFValid) || c.gen != ev.gen)
             return;
-        if (params_.policy == SchedPolicy::SelectFreeScoreboard) {
+        if (params_.policy == LoopPolicy::SelectFreeScoreboard) {
             if (st.flags & kFIssued)
                 invalidateEntry(ev.entry, now);
             return;
@@ -1102,6 +1168,21 @@ Scheduler::auditStructures()
                            " MOP ops out of program order (head seq " +
                            std::to_string(c.ops[0].seq) + ")";
                 });
+        }
+        if (!loadsSpeculate_ && int(oc.numOps) > 1) {
+            // The load-delay broadcast algebra assumes a load is its
+            // entry's only op (formation never groups loads); a load
+            // smuggled into a MOP would broadcast on MOP timing and
+            // wake consumers before its value exists.
+            for (int o = 0; o < int(oc.numOps); ++o) {
+                integrity_.require(
+                    oc.cls[size_t(o)] != isa::OpClass::Load,
+                    Check::MopPairing, [i] {
+                        return "entry " + std::to_string(i) +
+                               " groups a load under the load-delay "
+                               "policy";
+                    });
+            }
         }
         integrity_.require(
             st.numSrcs <= kMaxEntrySrcs, Check::MopPairing, [&st, i] {

@@ -34,6 +34,17 @@
  * and consumers that already issued inside the load shadow are
  * selectively invalidated and replayed with a penalty (Table 1's
  * "speculative scheduling with selective replay, 2-cycle penalty").
+ *
+ * Scheduler behaviour beyond the loop organization is factored into
+ * the SchedPolicy interface (sched/policy.hh): speculative-wakeup
+ * decision, MOP-formation eligibility, select priority and replay
+ * semantics. SchedParams::policyId picks the implementation; its
+ * answers are cached as plain bools at construction, so the Paper
+ * policy is byte-identical to the pre-interface scheduler. Under
+ * PolicyId::LoadDelay the load paragraph above is replaced: the
+ * broadcast for a load entry fires when its value is really ready
+ * (predicted from the per-load delay table) and no recall or replay
+ * ever happens.
  */
 
 #ifndef MOP_SCHED_SCHEDULER_HH
@@ -42,6 +53,7 @@
 #include <functional>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -316,6 +328,14 @@ class Scheduler
     static int execLatency(const SchedOp &op);
     bool isSelectFree() const;
 
+    /** Memoized per-load memory latency (load-delay policy). The
+     *  LoadLatencyFn is a side-effecting sampler (fault campaigns draw
+     *  from an RNG), so it is queried exactly once per load; the
+     *  answer feeds both schedLatency and the per-op timing loop. */
+    int loadDelayOf(uint64_t seq);
+    /** Table lookup only; dl1HitLatency if the load was never seen. */
+    int knownLoadDelay(uint64_t seq) const;
+
     int allocEntry();
     void freeEntry(int idx);
     void scheduleBcast(int entry, Cycle fire, bool speculative);
@@ -349,6 +369,13 @@ class Scheduler
     SchedParams params_;
     FuPool fu_;
     LoadLatencyFn loadLatency_;
+
+    /** Policy answer cached at construction (sched/policy.hh); the
+     *  hot paths branch on a plain bool, never a virtual call. */
+    bool loadsSpeculate_ = true;
+    /** Load-delay policy: seq -> sampled memory latency, alive from
+     *  the issue-time prologue until the op's timing is computed. */
+    std::unordered_map<uint64_t, int> loadDelay_;
 
     // Entry planes (see the EntryState/EntryOps/EntryCold comment).
     std::vector<std::array<Tag, kMaxEntrySrcs>> srcTag_;

@@ -27,8 +27,12 @@ constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
 using Tag = int32_t;
 constexpr Tag kNoTag = -1;
 
-/** Scheduling-loop organization (Section 6.2 configurations). */
-enum class SchedPolicy : uint8_t
+/** Scheduling-loop organization (Section 6.2 configurations). This is
+ *  the loop-pipelining axis (how deep wakeup+select is pipelined and
+ *  how collisions are repaired), orthogonal to the SchedPolicy
+ *  behaviour interface (sched/policy.hh) which decides speculation,
+ *  formation eligibility and replay semantics. */
+enum class LoopPolicy : uint8_t
 {
     /** "Base": ideally pipelined scheduling logic, conceptually atomic
      *  wakeup+select with one extra pipeline stage. Dependent
@@ -47,6 +51,30 @@ enum class SchedPolicy : uint8_t
      *  selectively replayed. */
     SelectFreeScoreboard,
 };
+
+/**
+ * Scheduler behaviour policies (see sched/policy.hh for the interface
+ * and registry). Paper is the reproduction's native rule set; the two
+ * alternatives reuse the same issue-queue machinery with different
+ * speculation/formation decisions.
+ */
+enum class PolicyId : uint8_t
+{
+    /** Kim & Lipasti: dynamic MOP detection, speculative load wakeup
+     *  with selective replay on a miss. */
+    Paper,
+    /** Load-delay tracking (Diavastos & Carlson): consumers of a load
+     *  are woken non-speculatively from a per-load delay table, so a
+     *  DL1 miss causes no recall and no replay. */
+    LoadDelay,
+    /** Static-pair fusion (Celio et al., RISC-V macro-op fusion):
+     *  pairs are decided at decode from a fixed opcode-pattern table;
+     *  the dynamic detector and pointer cache are bypassed and MOPs
+     *  are capped at two ops. */
+    StaticFuse,
+};
+
+constexpr int kNumPolicyIds = int(PolicyId::StaticFuse) + 1;
 
 /** Wakeup-array flavour; constrains MOP source-operand counts. */
 enum class WakeupStyle : uint8_t
@@ -105,7 +133,9 @@ struct StallSnapshot
 
 struct SchedParams
 {
-    SchedPolicy policy = SchedPolicy::Atomic;
+    LoopPolicy policy = LoopPolicy::Atomic;
+    /** Behaviour policy (speculation / formation / replay rules). */
+    PolicyId policyId = PolicyId::Paper;
     WakeupStyle style = WakeupStyle::Cam2;
     bool mopEnabled = false;
 

@@ -35,6 +35,7 @@ makeCoreParams(const RunConfig &cfg)
     p.faults = cfg.faults;
     p.obs = cfg.obs;
 
+    p.sched.policyId = cfg.policy;
     p.sched.numEntries = cfg.iqEntries;
     p.sched.issueWidth = 4;
     p.sched.dispatchDepth = 4;   // Disp Disp RF RF (Figure 2)
@@ -44,26 +45,26 @@ makeCoreParams(const RunConfig &cfg)
 
     switch (cfg.machine) {
       case Machine::Base:
-        p.sched.policy = sched::SchedPolicy::Atomic;
+        p.sched.policy = sched::LoopPolicy::Atomic;
         break;
       case Machine::TwoCycle:
-        p.sched.policy = sched::SchedPolicy::TwoCycle;
+        p.sched.policy = sched::LoopPolicy::TwoCycle;
         break;
       case Machine::MopCam:
-        p.sched.policy = sched::SchedPolicy::TwoCycle;
+        p.sched.policy = sched::LoopPolicy::TwoCycle;
         p.sched.style = sched::WakeupStyle::Cam2;
         p.mopEnabled = true;
         break;
       case Machine::MopWiredOr:
-        p.sched.policy = sched::SchedPolicy::TwoCycle;
+        p.sched.policy = sched::LoopPolicy::TwoCycle;
         p.sched.style = sched::WakeupStyle::WiredOr;
         p.mopEnabled = true;
         break;
       case Machine::SelectFreeSquashDep:
-        p.sched.policy = sched::SchedPolicy::SelectFreeSquashDep;
+        p.sched.policy = sched::LoopPolicy::SelectFreeSquashDep;
         break;
       case Machine::SelectFreeScoreboard:
-        p.sched.policy = sched::SchedPolicy::SelectFreeScoreboard;
+        p.sched.policy = sched::LoopPolicy::SelectFreeScoreboard;
         break;
     }
 

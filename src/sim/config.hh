@@ -31,6 +31,14 @@ const char *machineName(Machine m);
 struct RunConfig
 {
     Machine machine = Machine::Base;
+    /** Scheduler behaviour policy (sched/policy.hh). Paper is the
+     *  default and leaves every result byte-identical to the
+     *  pre-policy simulator; LoadDelay rejects the select-free
+     *  machines (the Scheduler constructor throws); StaticFuse caps
+     *  MOPs at decode-fused pairs and bypasses the detector. Folded
+     *  into result fingerprints only when not Paper, so existing
+     *  cached results keep their keys. */
+    sched::PolicyId policy = sched::PolicyId::Paper;
     /** Issue-queue entries; 0 = unrestricted (Table 2 / Figure 14). */
     int iqEntries = 32;
     /** Extra MOP formation pipeline stages (Figure 15: 0, 1 or 2). */

@@ -20,6 +20,7 @@
 
 #include "prog/interpreter.hh"
 #include "prog/kernels.hh"
+#include "sched/policy.hh"
 #include "sim/cli_opts.hh"
 #include "sim/config.hh"
 #include "sim/selftest.hh"
@@ -43,6 +44,13 @@ usage()
         "  --kernel <name>    assembly kernel (functional execution)\n"
         "  --machine <m>      base | 2-cycle | mop-2src | mop-wiredor |\n"
         "                     sf-squash-dep | sf-scoreboard\n"
+        "  --policy <p>       scheduler behaviour policy:\n"
+        "                     paper (default) | loaddelay (predict load\n"
+        "                     completion from a delay table, no replays;\n"
+        "                     incompatible with the select-free machines)\n"
+        "                     | staticfuse (decode-time pair fusion from\n"
+        "                     a fixed pattern table, detector bypassed);\n"
+        "                     also the per-script policy for --difftest\n"
         "  --iq <n>           issue-queue entries (0 = unrestricted)\n"
         "  --insts <n>        instructions to simulate\n"
         "  --extra-stages <n> extra MOP formation stages (0-2)\n"
@@ -139,6 +147,11 @@ main(int argc, char **argv)
                 if (!parseMachine(m, cfg.machine))
                     throw std::invalid_argument("unknown machine '" + m +
                                                 "'");
+            } else if (a == "--policy") {
+                std::string p = next();
+                if (!sched::parsePolicyId(p, cfg.policy))
+                    throw std::invalid_argument("unknown policy '" + p +
+                                                "'");
             } else if (a == "--iq") {
                 cfg.iqEntries = int(sim::parseIntOption(a, next(), 0, 65536));
             } else if (a == "--insts") {
@@ -224,7 +237,8 @@ main(int argc, char **argv)
                   << ")\n";
         int bad = verify::runDifftestCampaign(difftest_n, difftest_seed,
                                               difftest_repro,
-                                              difftest_skip_idle);
+                                              difftest_skip_idle,
+                                              cfg.policy);
         return bad == 0 ? 0 : 1;
     }
 
@@ -256,8 +270,10 @@ main(int argc, char **argv)
         std::cout << (bench.empty() ? kernel : bench) << " on "
                   << sim::machineName(cfg.machine) << " (iq="
                   << (cfg.iqEntries ? std::to_string(cfg.iqEntries)
-                                    : std::string("unrestricted"))
-                  << ")\n"
+                                    : std::string("unrestricted"));
+        if (cfg.policy != sched::PolicyId::Paper)
+            std::cout << ", policy=" << sched::policyIdName(cfg.policy);
+        std::cout << ")\n"
                   << "  insts   " << r.insts << "\n"
                   << "  cycles  " << r.cycles << "\n"
                   << "  IPC     " << r.ipc << "\n"

@@ -80,6 +80,13 @@ hashRunConfig(Hasher &h, const sim::RunConfig &cfg)
         h.u64(cfg.obs.enabled);
         h.u64(cfg.obs.tracePeriod);
     }
+    // Scheduler behaviour policy, same trick: the Paper policy is the
+    // pre-policy simulator bit-for-bit, so hashing the block only for
+    // the new policies keeps every existing fingerprint stable.
+    if (cfg.policy != sched::PolicyId::Paper) {
+        h.u64(0x90cULL);  // domain tag for the policy block
+        h.u64(uint64_t(cfg.policy));
+    }
 }
 
 Fingerprint

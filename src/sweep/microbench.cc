@@ -83,7 +83,7 @@ runMicrobench()
     constexpr uint64_t kInsts = 30000;
 
     sched::SchedParams p;
-    p.policy = sched::SchedPolicy::TwoCycle;
+    p.policy = sched::LoopPolicy::TwoCycle;
     p.numEntries = 32;
     {
         // Warm-up pass first so neither side pays first-touch costs.

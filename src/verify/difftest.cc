@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sched/policy.hh"
 #include "sched/scheduler.hh"
 
 namespace mop::verify
@@ -17,7 +18,7 @@ using sched::kNoCycle;
 using sched::kNoTag;
 using sched::SchedOp;
 using sched::SchedParams;
-using sched::SchedPolicy;
+using sched::LoopPolicy;
 using sched::Tag;
 using sched::WakeupStyle;
 
@@ -63,15 +64,26 @@ className(isa::OpClass c)
 }
 
 const char *
-policyName(SchedPolicy p)
+policyName(LoopPolicy p)
 {
     switch (p) {
-    case SchedPolicy::Atomic: return "Atomic";
-    case SchedPolicy::TwoCycle: return "TwoCycle";
-    case SchedPolicy::SelectFreeSquashDep: return "SelectFreeSquashDep";
-    case SchedPolicy::SelectFreeScoreboard: return "SelectFreeScoreboard";
+    case LoopPolicy::Atomic: return "Atomic";
+    case LoopPolicy::TwoCycle: return "TwoCycle";
+    case LoopPolicy::SelectFreeSquashDep: return "SelectFreeSquashDep";
+    case LoopPolicy::SelectFreeScoreboard: return "SelectFreeScoreboard";
     }
     return "Atomic";
+}
+
+const char *
+policyIdEnumName(sched::PolicyId id)
+{
+    switch (id) {
+    case sched::PolicyId::Paper: return "Paper";
+    case sched::PolicyId::LoadDelay: return "LoadDelay";
+    case sched::PolicyId::StaticFuse: return "StaticFuse";
+    }
+    return "Paper";
 }
 
 /** Driver-side view of one script item while running lockstep. */
@@ -106,13 +118,13 @@ makeRandomScript(uint64_t seed, const ScriptConfig &cfg)
     ScheduleScript s;
     SchedParams &p = s.params;
     if (cfg.sweepParams) {
-        static const SchedPolicy kPols[4] = {
-            SchedPolicy::Atomic, SchedPolicy::TwoCycle,
-            SchedPolicy::SelectFreeSquashDep,
-            SchedPolicy::SelectFreeScoreboard};
+        static const LoopPolicy kPols[4] = {
+            LoopPolicy::Atomic, LoopPolicy::TwoCycle,
+            LoopPolicy::SelectFreeSquashDep,
+            LoopPolicy::SelectFreeScoreboard};
         p.policy = kPols[rng.range(4)];
         p.style = rng.chance(50) ? WakeupStyle::Cam2 : WakeupStyle::WiredOr;
-        p.mopEnabled = p.policy == SchedPolicy::TwoCycle;
+        p.mopEnabled = p.policy == LoopPolicy::TwoCycle;
         p.maxMopSize = 2 + rng.range(3);
         p.numEntries = 8 + 8 * rng.range(3);
         p.issueWidth = 1 + rng.range(3);
@@ -124,13 +136,29 @@ makeRandomScript(uint64_t seed, const ScriptConfig &cfg)
         // Fixed, deliberately adversarial shape: big MOPs, starved FUs,
         // a small queue. Used by the mutation tests, which need dense
         // coverage of the MOP issue/squash corners.
-        p.policy = SchedPolicy::TwoCycle;
+        p.policy = LoopPolicy::TwoCycle;
         p.mopEnabled = true;
         p.maxMopSize = 4;
         p.numEntries = 16;
         p.issueWidth = 2;
         p.dispatchDepth = 4;
         p.fuCounts = {1, 1, 1, 1, 1};
+    }
+    p.policyId = cfg.policy;
+    if (cfg.policy == sched::PolicyId::LoadDelay &&
+        (p.policy == LoopPolicy::SelectFreeSquashDep ||
+         p.policy == LoopPolicy::SelectFreeScoreboard)) {
+        // The Scheduler rejects load-delay + select-free (the delay is
+        // unknown at speculative-broadcast time); keep the rotation's
+        // entropy but fold it onto the two legal organizations.
+        p.policy = rng.chance(50) ? LoopPolicy::Atomic
+                                  : LoopPolicy::TwoCycle;
+        p.mopEnabled = p.policy == LoopPolicy::TwoCycle;
+    }
+    if (cfg.policy == sched::PolicyId::StaticFuse) {
+        // Decode-time fusion produces pairs only; both models clamp,
+        // so generate scripts that respect the cap up front.
+        p.maxMopSize = std::min(p.maxMopSize, 2);
     }
     // The driver detects stalls itself, long before the watchdog.
     p.watchdogCycles = 1u << 20;
@@ -753,8 +781,12 @@ formatRepro(const ScheduleScript &script, const DivergenceReport &rep)
     if (!rep.detail.empty())
         os << "//   " << rep.detail << "\n";
     os << "verify::ScheduleScript s;\n";
-    os << "s.params.policy = sched::SchedPolicy::" << policyName(p.policy)
+    os << "s.params.policy = sched::LoopPolicy::" << policyName(p.policy)
        << ";\n";
+    if (p.policyId != sched::PolicyId::Paper) {
+        os << "s.params.policyId = sched::PolicyId::"
+           << policyIdEnumName(p.policyId) << ";\n";
+    }
     os << "s.params.style = sched::WakeupStyle::"
        << (p.style == WakeupStyle::Cam2 ? "Cam2" : "WiredOr") << ";\n";
     os << "s.params.mopEnabled = " << (p.mopEnabled ? "true" : "false")
@@ -812,12 +844,14 @@ formatRepro(const ScheduleScript &script, const DivergenceReport &rep)
 
 int
 runDifftestCampaign(int n, uint64_t baseSeed, const std::string &reproPath,
-                    bool skip_idle)
+                    bool skip_idle, sched::PolicyId policy)
 {
     int bad = 0;
+    ScriptConfig cfg;
+    cfg.policy = policy;
     for (int i = 0; i < n; ++i) {
         uint64_t seed = baseSeed + uint64_t(i);
-        ScheduleScript script = makeRandomScript(seed);
+        ScheduleScript script = makeRandomScript(seed, cfg);
         DivergenceReport rep;
         if (runLockstep(script, RefQuirks{}, &rep, skip_idle))
             continue;
@@ -838,9 +872,10 @@ runDifftestCampaign(int n, uint64_t baseSeed, const std::string &reproPath,
         }
     }
     if (bad == 0) {
-        std::printf("difftest%s: %d script(s) from seed %llu, "
+        std::printf("difftest%s [%s]: %d script(s) from seed %llu, "
                     "0 divergences\n",
-                    skip_idle ? " (skip-idle)" : "", n,
+                    skip_idle ? " (skip-idle)" : "",
+                    sched::policyIdName(policy), n,
                     (unsigned long long)baseSeed);
     }
     return bad;

@@ -75,8 +75,13 @@ struct ScriptConfig
 {
     int numOps = 60;          ///< target op count
     bool faults = true;       ///< load misses, squashes, abandoned heads
-    /** Rotate policy/style/mopSize/queue-shape from the seed. */
+    /** Rotate loop policy/style/mopSize/queue-shape from the seed. */
     bool sweepParams = true;
+    /** Behaviour policy every generated script runs under. LoadDelay
+     *  restricts the loop-policy rotation to Atomic/TwoCycle (the
+     *  Scheduler rejects load-delay + select-free); StaticFuse caps
+     *  generated MOPs at pairs. */
+    sched::PolicyId policy = sched::PolicyId::Paper;
 };
 
 struct DivergenceReport
@@ -133,7 +138,8 @@ std::string formatRepro(const ScheduleScript &script,
  */
 int runDifftestCampaign(int n, uint64_t baseSeed,
                         const std::string &reproPath = "",
-                        bool skip_idle = false);
+                        bool skip_idle = false,
+                        sched::PolicyId policy = sched::PolicyId::Paper);
 
 } // namespace mop::verify
 

@@ -1,5 +1,7 @@
 #include "verify/oracle.hh"
 
+#include "sched/policy.hh"
+
 #include <algorithm>
 
 namespace mop::verify
@@ -12,7 +14,7 @@ using sched::kNoCycle;
 using sched::kNoTag;
 using sched::SchedOp;
 using sched::SchedParams;
-using sched::SchedPolicy;
+using sched::LoopPolicy;
 using sched::Tag;
 using sched::WakeupStyle;
 
@@ -20,6 +22,10 @@ RefScheduler::RefScheduler(const SchedParams &params,
                            const RefQuirks &quirks)
     : params_(params), quirks_(quirks)
 {
+    const sched::SchedPolicy &pol = sched::policyFor(params_.policyId);
+    loadsSpeculate_ = pol.speculateOnLoads();
+    params_.maxMopSize = pol.clampMopSize(params_.maxMopSize);
+    lastLoadLat_ = params_.dl1HitLatency;
     capacity_ = params_.numEntries > 0 ? params_.numEntries : 512;
     for (size_t k = 0; k < isa::kNumFuKinds; ++k)
         fuBusy_[k].assign(size_t(params_.fuCounts[k]), 0);
@@ -28,8 +34,8 @@ RefScheduler::RefScheduler(const SchedParams &params,
 bool
 RefScheduler::isSelectFree() const
 {
-    return params_.policy == SchedPolicy::SelectFreeSquashDep ||
-           params_.policy == SchedPolicy::SelectFreeScoreboard;
+    return params_.policy == LoopPolicy::SelectFreeSquashDep ||
+           params_.policy == LoopPolicy::SelectFreeScoreboard;
 }
 
 int
@@ -37,7 +43,7 @@ RefScheduler::schedDepthVal() const
 {
     if (params_.schedDepth > 0)
         return params_.schedDepth;
-    return params_.policy == SchedPolicy::TwoCycle ? 2 : 1;
+    return params_.policy == LoopPolicy::TwoCycle ? 2 : 1;
 }
 
 int
@@ -56,9 +62,40 @@ RefScheduler::schedLatency(const REntry &e) const
         return std::max(e.numOps, schedDepthVal());
     const SchedOp &op = e.ops[0];
     int lat = execLatency(op);
-    if (op.op == isa::OpClass::Load)
-        lat += params_.dl1HitLatency;  // speculative hit (Section 2.2)
+    if (op.op == isa::OpClass::Load) {
+        // Speculative hit (Section 2.2) -- or, under the load-delay
+        // policy, the predicted true delay so the single broadcast
+        // fires when the value is really ready.
+        lat += loadsSpeculate_ ? params_.dl1HitLatency
+                               : knownLoadDelay(op.seq);
+    }
     return std::max(lat, schedDepthVal());
+}
+
+int
+RefScheduler::loadDelayOf(uint64_t seq)
+{
+    auto it = loadDelay_.find(seq);
+    if (it != loadDelay_.end())
+        return it->second;
+    int lat = loadLatency_ ? loadLatency_(seq) : params_.dl1HitLatency;
+    int use = lat;
+    if (quirks_.staleLoadDelay) {
+        // Historical bug under test: the table slot is never
+        // invalidated, so this load is scheduled with whatever delay
+        // the previous load left behind.
+        use = lastLoadLat_;
+        lastLoadLat_ = lat;
+    }
+    loadDelay_.emplace(seq, use);
+    return use;
+}
+
+int
+RefScheduler::knownLoadDelay(uint64_t seq) const
+{
+    auto it = loadDelay_.find(seq);
+    return it == loadDelay_.end() ? params_.dl1HitLatency : it->second;
 }
 
 bool
@@ -393,6 +430,44 @@ RefScheduler::fuAvailable(const SchedOp &op, Cycle c) const
     return free_units - initiated > 0;
 }
 
+bool
+RefScheduler::fuAvailableSeq(const REntry &e, Cycle start) const
+{
+    // Mirrors FuPool::availableSeq: scratch busy-until copies absorb
+    // the occupancy the entry's own unpipelined ops would commit, so a
+    // later same-kind op of the entry sees its predecessor's unit held.
+    std::array<std::vector<Cycle>, isa::kNumFuKinds> scratch;
+    std::array<bool, isa::kNumFuKinds> copied{};
+    for (int k = 0; k < e.numOps; ++k) {
+        const SchedOp &op = e.ops[size_t(k)];
+        Cycle c = start + Cycle(k);
+        auto kind = size_t(isa::opFuKind(op.op));
+        if (kind >= isa::kNumFuKinds)
+            continue;
+        if (!copied[kind]) {
+            scratch[kind] = fuBusy_[kind];
+            copied[kind] = true;
+        }
+        int free_units = 0;
+        for (Cycle b : scratch[kind])
+            if (b <= c)
+                ++free_units;
+        auto it = fuInit_[kind].find(c);
+        int initiated = it != fuInit_[kind].end() ? it->second : 0;
+        if (free_units - initiated <= 0)
+            return false;
+        if (isa::opUnpipelined(op.op)) {
+            for (Cycle &b : scratch[kind]) {
+                if (b <= c) {
+                    b = c + Cycle(isa::opLatency(op.op));
+                    break;
+                }
+            }
+        }
+    }
+    return true;
+}
+
 void
 RefScheduler::fuReserve(const SchedOp &op, Cycle c)
 {
@@ -438,11 +513,20 @@ RefScheduler::issueEntry(REntry &e, Cycle now,
         ++slotDebt_[now + Cycle(k)];  // MOP sequencing holds the slot
     }
 
+    // Load-delay policy: predict each load's delay before the
+    // broadcast timing is computed (schedLatency reads the table).
+    if (!loadsSpeculate_) {
+        for (int o = 0; o < e.numOps; ++o) {
+            if (e.ops[size_t(o)].op == isa::OpClass::Load)
+                loadDelayOf(e.ops[size_t(o)].seq);
+        }
+    }
+
     if (!hasBcast(e.uid))
         scheduleBcast(e, now + Cycle(schedLatency(e)), false);
 
     bool pileup = false;
-    if (params_.policy == SchedPolicy::SelectFreeScoreboard) {
+    if (params_.policy == LoopPolicy::SelectFreeScoreboard) {
         // Scoreboard repair: a mis-woken consumer is killed at RF if
         // any source value is not actually available (Section 6.2).
         Cycle exec_start = now + Cycle(params_.dispatchDepth);
@@ -468,11 +552,16 @@ RefScheduler::issueEntry(REntry &e, Cycle now,
         Cycle complete = exec_start + Cycle(execLatency(op));
         bool was_miss = false;
         if (op.op == isa::OpClass::Load) {
-            int mem_lat =
-                loadLatency_ ? loadLatency_(op.seq) : params_.dl1HitLatency;
+            int mem_lat;
+            if (loadsSpeculate_) {
+                mem_lat = loadLatency_ ? loadLatency_(op.seq)
+                                       : params_.dl1HitLatency;
+            } else {
+                mem_lat = loadDelayOf(op.seq);
+            }
             was_miss = mem_lat > params_.dl1HitLatency;
             complete += Cycle(mem_lat);
-            if (was_miss) {
+            if (was_miss && loadsSpeculate_) {
                 Cycle discover = exec_start + 1;
                 Cycle corrected =
                     std::max(complete - Cycle(params_.dispatchDepth),
@@ -542,11 +631,18 @@ RefScheduler::doSelect(Cycle now, std::vector<RefMopIssue> *mop_issues)
     for (size_t i : ready) {
         REntry &e = entries_[i];
         bool fu_ok = true;
-        int check_ops = quirks_.fuHeadOnlyCheck
-                            ? std::min(e.numOps, 2)
-                            : e.numOps;
-        for (int k = 0; k < check_ops && fu_ok; ++k)
-            fu_ok = fuAvailable(e.ops[size_t(k)], now + Cycle(k));
+        if (quirks_.fuHeadOnlyCheck || quirks_.fuIndependentCheck) {
+            // Historical bugs under test: per-op independent checks,
+            // limited to the first two ops under fuHeadOnlyCheck; both
+            // miss occupancy committed within the entry itself.
+            int check_ops = quirks_.fuHeadOnlyCheck
+                                ? std::min(e.numOps, 2)
+                                : e.numOps;
+            for (int k = 0; k < check_ops && fu_ok; ++k)
+                fu_ok = fuAvailable(e.ops[size_t(k)], now + Cycle(k));
+        } else {
+            fu_ok = fuAvailableSeq(e, now);
+        }
         if (width > 0 && fu_ok) {
             issueEntry(e, now, mop_issues);
             --width;
@@ -557,7 +653,7 @@ RefScheduler::doSelect(Cycle now, std::vector<RefMopIssue> *mop_issues)
         if (isSelectFree() && !e.collided) {
             ++collisions_;
             e.collided = true;
-            if (params_.policy == SchedPolicy::SelectFreeSquashDep)
+            if (params_.policy == LoopPolicy::SelectFreeSquashDep)
                 recalls_.push_back(RRecall{e.uid, now + 1});
         }
     }
@@ -629,7 +725,7 @@ RefScheduler::tick(Cycle now, std::vector<sched::ExecEvent> &completed,
             REntry *e = byUid(r.uid);
             if (!e)
                 continue;
-            if (params_.policy == SchedPolicy::SelectFreeScoreboard) {
+            if (params_.policy == LoopPolicy::SelectFreeScoreboard) {
                 if (e->issued)
                     invalidateEntry(*e, now);
                 continue;
@@ -683,6 +779,13 @@ RefScheduler::squashAfter(uint64_t seq, Cycle now)
             continue;
         }
         if (e.numOps > 1 && e.maxSeq > seq) {
+            if (quirks_.fusedPairSurvivesSquash &&
+                params_.policyId == sched::PolicyId::StaticFuse) {
+                // Historical bug under test: the decode-fused pair is
+                // treated as indivisible, so the squashed tail stays
+                // fused and still issues/completes with its head.
+                continue;
+            }
             // Squashed MOP suffix: the surviving prefix stays; source
             // operands contributed by squashed ops are forced ready
             // (Section 5.3.2).

@@ -66,6 +66,12 @@ struct RefQuirks
     /** Select checks FU availability only for ops[0]/ops[1], but issue
      *  reserves every op of the MOP (the FU overbooking bug). */
     bool fuHeadOnlyCheck = false;
+    /** Select checks each MOP op's FU availability independently,
+     *  ignoring the unit occupancy an earlier unpipelined op (divide)
+     *  of the same entry commits, so a granted div+div pair can fail
+     *  its reservation (the intra-entry FU double-booking bug fixed by
+     *  FuPool::availableSeq). */
+    bool fuIndependentCheck = false;
     /** squashAfter shrinks issued MOPs without re-checking completion
      *  or broadcast/value timing (the squashed-MOP entry-leak bug). */
     bool squashLeak = false;
@@ -75,6 +81,16 @@ struct RefQuirks
      *  in flight and the entry is reaped early (the premature-free
      *  bug). */
     bool countedCompletion = false;
+    /** Load-delay policy: the delay-table entry is never invalidated
+     *  between loads, so each load is scheduled with the *previous*
+     *  load's latency (the stale-delay-table bug; the first load sees
+     *  the hit latency). Only meaningful under PolicyId::LoadDelay. */
+    bool staleLoadDelay = false;
+    /** Static-fuse policy: squashAfter treats a decode-fused pair as
+     *  indivisible, so a tail squashed out from under its head (the
+     *  pair was fused across a taken branch) stays fused and still
+     *  completes. Only meaningful under PolicyId::StaticFuse. */
+    bool fusedPairSurvivesSquash = false;
 };
 
 class RefScheduler
@@ -204,7 +220,16 @@ class RefScheduler
     void invalidateEntry(REntry &e, sched::Cycle now);
     void becameReady(REntry &e, sched::Cycle now);
     bool fuAvailable(const sched::SchedOp &op, sched::Cycle c) const;
+    /** Sequence-aware FU check mirroring FuPool::availableSeq: op k of
+     *  the entry initiates at @p start + k, and the occupancy an
+     *  earlier unpipelined op of the same entry commits is visible to
+     *  the later checks. */
+    bool fuAvailableSeq(const REntry &e, sched::Cycle start) const;
     void fuReserve(const sched::SchedOp &op, sched::Cycle c);
+    /** Memoized per-load delay (load-delay policy); applies the
+     *  staleLoadDelay quirk. */
+    int loadDelayOf(uint64_t seq);
+    int knownLoadDelay(uint64_t seq) const;
     void issueEntry(REntry &e, sched::Cycle now,
                     std::vector<RefMopIssue> *mop_issues);
     void doSelect(sched::Cycle now, std::vector<RefMopIssue> *mop_issues);
@@ -216,6 +241,13 @@ class RefScheduler
     RefQuirks quirks_;
     LoadLatencyFn loadLatency_;
     int capacity_ = 0;
+
+    /** Policy answer resolved at construction (sched/policy.hh). */
+    bool loadsSpeculate_ = true;
+    /** Load-delay policy: seq -> delay the scheduler predicted. */
+    std::map<uint64_t, int> loadDelay_;
+    /** staleLoadDelay quirk: the latency the previous load sampled. */
+    int lastLoadLat_ = 0;
 
     /** All entries ever allocated; dead ones stay with live=false and
      *  are scanned over anyway (this model favours simplicity). */

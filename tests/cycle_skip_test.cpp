@@ -13,7 +13,9 @@
 #include <string>
 
 #include "prog/interpreter.hh"
+
 #include "prog/kernels.hh"
+#include "sched/policy.hh"
 #include "sched/scheduler.hh"
 #include "sim/config.hh"
 #include "stats/stats.hh"
@@ -66,23 +68,27 @@ runWith(trace::TraceSource &src, const RunConfig &cfg, bool skip)
 }
 
 RunOut
-runKernel(const std::string &kernel, Machine m, bool skip)
+runKernel(const std::string &kernel, Machine m, bool skip,
+          sched::PolicyId pol = sched::PolicyId::Paper)
 {
     prog::Interpreter src(prog::assemble(prog::kernelSource(kernel)));
     RunConfig cfg;
     cfg.machine = m;
     cfg.iqEntries = 32;
+    cfg.policy = pol;
     return runWith(src, cfg, skip);
 }
 
 RunOut
 runSynthetic(const std::string &bench, Machine m, bool skip,
-             uint64_t insts = 100'000)
+             uint64_t insts = 100'000,
+             sched::PolicyId pol = sched::PolicyId::Paper)
 {
     trace::SyntheticSource src(trace::profileFor(bench));
     RunConfig cfg;
     cfg.machine = m;
     cfg.iqEntries = 32;
+    cfg.policy = pol;
     pipeline::CoreParams params = sim::makeCoreParams(cfg);
     params.cycleSkip = skip;
     pipeline::OooCore core(params, src);
@@ -148,6 +154,36 @@ TEST(CycleSkip, SyntheticRunsAreByteIdentical)
             expectEquivalent(skip, step,
                             std::string(bench) + "/" +
                                 sim::machineName(m));
+        }
+    }
+}
+
+/** The behaviour policies change what counts as an event (load-delay
+ *  retimes load broadcasts; static-fuse swaps the formation engine):
+ *  nextEventCycle() must stay exact under each, on every machine the
+ *  policy admits and on both trace paths. */
+TEST(CycleSkip, PolicyRunsAreByteIdentical)
+{
+    for (auto pol : {sched::PolicyId::LoadDelay,
+                     sched::PolicyId::StaticFuse}) {
+        std::string tok = sched::policyIdToken(pol);
+        for (Machine m : kMachines) {
+            if (pol == sched::PolicyId::LoadDelay &&
+                (m == Machine::SelectFreeSquashDep ||
+                 m == Machine::SelectFreeScoreboard))
+                continue;  // load-delay rejects select-free loops
+            RunOut skip = runKernel("chase", m, true, pol);
+            RunOut step = runKernel("chase", m, false, pol);
+            expectEquivalent(skip, step,
+                             tok + "/" + sim::machineName(m) + "/chase");
+        }
+        for (const char *bench : {"mcf", "gcc"}) {
+            RunOut skip =
+                runSynthetic(bench, Machine::MopWiredOr, true, 100'000, pol);
+            RunOut step =
+                runSynthetic(bench, Machine::MopWiredOr, false, 100'000, pol);
+            expectEquivalent(skip, step,
+                             tok + "/" + bench + "/MopWiredOr");
         }
     }
 }

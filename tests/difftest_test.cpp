@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sched/policy.hh"
 #include "verify/difftest.hh"
 
 namespace
@@ -82,6 +83,55 @@ TEST(Difftest, AdversarialMopCorpusHasNoDivergence)
         ASSERT_TRUE(runLockstep(s, RefQuirks{}, &rep))
             << "seed " << seed << " cycle " << rep.cycle << " ["
             << rep.what << "] " << rep.detail;
+    }
+}
+
+/** The same corpora under each non-paper behaviour policy: the oracle
+ *  models load-delay scheduling and static pair fusion too, and must
+ *  agree with production everywhere. */
+TEST(Difftest, PolicyCorpusHasNoDivergence)
+{
+    for (auto pol : {mop::sched::PolicyId::LoadDelay,
+                     mop::sched::PolicyId::StaticFuse}) {
+        ScriptConfig sweeping;
+        sweeping.policy = pol;
+        ScriptConfig adversarial = adversarialMopConfig();
+        adversarial.policy = pol;
+        for (const ScriptConfig &cfg : {sweeping, adversarial}) {
+            for (uint64_t seed = 1; seed <= 60; ++seed) {
+                ScheduleScript s = makeRandomScript(seed, cfg);
+                DivergenceReport rep;
+                ASSERT_TRUE(runLockstep(s, RefQuirks{}, &rep))
+                    << mop::sched::policyIdToken(pol) << " seed " << seed
+                    << " cycle " << rep.cycle << " [" << rep.what << "] "
+                    << rep.detail;
+            }
+        }
+    }
+}
+
+/** Skip-idle lockstep under each non-paper policy: the next-event
+ *  invariant must hold for the retimed load broadcasts (load-delay)
+ *  and the decode-fused formation engine (static-fuse) too. */
+TEST(Difftest, PolicySkipIdleCorpusHasNoDivergence)
+{
+    for (auto pol : {mop::sched::PolicyId::LoadDelay,
+                     mop::sched::PolicyId::StaticFuse}) {
+        ScriptConfig sweeping;
+        sweeping.policy = pol;
+        ScriptConfig adversarial = adversarialMopConfig();
+        adversarial.policy = pol;
+        for (const ScriptConfig &cfg : {sweeping, adversarial}) {
+            for (uint64_t seed = 1; seed <= 40; ++seed) {
+                ScheduleScript s = makeRandomScript(seed, cfg);
+                DivergenceReport rep;
+                ASSERT_TRUE(runLockstep(s, RefQuirks{}, &rep,
+                                        /*skip_idle=*/true))
+                    << mop::sched::policyIdToken(pol) << " seed " << seed
+                    << " cycle " << rep.cycle << " [" << rep.what << "] "
+                    << rep.detail;
+            }
+        }
     }
 }
 
@@ -207,6 +257,82 @@ TEST(Difftest, FuzzerFindsReintroducedCountedCompletionBug)
     ASSERT_TRUE(fuzzAndShrink(quirks, adversarialMopConfig(), 400, 20,
                               &min))
         << "no script distinguished counted completion in 400 seeds";
+    EXPECT_LT(scriptOpCount(min), 20)
+        << "ddmin left " << scriptOpCount(min) << " ops";
+
+    DivergenceReport mrep;
+    EXPECT_FALSE(runLockstep(min, quirks, &mrep))
+        << "shrunken script no longer reproduces";
+    DivergenceReport crep;
+    EXPECT_TRUE(runLockstep(min, RefQuirks{}, &crep))
+        << "fixed production diverges from the clean oracle: "
+        << crep.what << ": " << crep.detail;
+}
+
+/** Mutation test: the intra-entry FU double-booking bug (select
+ *  checked each MOP op's unit independently, missing occupancy
+ *  committed by an earlier unpipelined op in the same entry — the bug
+ *  FuPool::availableSeq fixes). */
+TEST(Difftest, FuzzerFindsReintroducedFuIndependentCheckBug)
+{
+    RefQuirks quirks;
+    quirks.fuIndependentCheck = true;
+
+    ScheduleScript min;
+    ASSERT_TRUE(fuzzAndShrink(quirks, adversarialMopConfig(), 400, 20,
+                              &min))
+        << "no script distinguished the independent FU check in 400 "
+           "seeds";
+    EXPECT_LT(scriptOpCount(min), 20)
+        << "ddmin left " << scriptOpCount(min) << " ops";
+
+    DivergenceReport mrep;
+    EXPECT_FALSE(runLockstep(min, quirks, &mrep))
+        << "shrunken script no longer reproduces";
+    DivergenceReport crep;
+    EXPECT_TRUE(runLockstep(min, RefQuirks{}, &crep))
+        << "fixed production diverges from the clean oracle: "
+        << crep.what << ": " << crep.detail;
+}
+
+/** Mutation test, load-delay policy: the stale-delay-table bug (the
+ *  per-load delay slot is never invalidated, so each load is scheduled
+ *  with the latency the previous load sampled). */
+TEST(Difftest, FuzzerFindsReintroducedStaleLoadDelayBug)
+{
+    RefQuirks quirks;
+    quirks.staleLoadDelay = true;
+    ScriptConfig cfg;
+    cfg.policy = mop::sched::PolicyId::LoadDelay;
+
+    ScheduleScript min;
+    ASSERT_TRUE(fuzzAndShrink(quirks, cfg, 400, 20, &min))
+        << "no script distinguished the stale delay table in 400 seeds";
+    EXPECT_LT(scriptOpCount(min), 20)
+        << "ddmin left " << scriptOpCount(min) << " ops";
+
+    DivergenceReport mrep;
+    EXPECT_FALSE(runLockstep(min, quirks, &mrep))
+        << "shrunken script no longer reproduces";
+    DivergenceReport crep;
+    EXPECT_TRUE(runLockstep(min, RefQuirks{}, &crep))
+        << "fixed production diverges from the clean oracle: "
+        << crep.what << ": " << crep.detail;
+}
+
+/** Mutation test, static-fuse policy: the indivisible-pair bug (a
+ *  decode-fused pair formed across a taken branch keeps its squashed
+ *  tail fused, so the tail issues and completes anyway). */
+TEST(Difftest, FuzzerFindsReintroducedFusedPairSquashBug)
+{
+    RefQuirks quirks;
+    quirks.fusedPairSurvivesSquash = true;
+    ScriptConfig cfg = adversarialMopConfig();
+    cfg.policy = mop::sched::PolicyId::StaticFuse;
+
+    ScheduleScript min;
+    ASSERT_TRUE(fuzzAndShrink(quirks, cfg, 400, 20, &min))
+        << "no script distinguished the fused-pair squash in 400 seeds";
     EXPECT_LT(scriptOpCount(min), 20)
         << "ddmin left " << scriptOpCount(min) << " ops";
 

@@ -168,8 +168,8 @@ TEST(DeadlockDiag, WatchdogReportsStuckEntriesAndEvents)
 {
     // Figure 8(a) circular wait, built directly: the diagnostic must
     // name the stall window and dump the stuck entries.
-    using test::SchedPolicy;
-    sched::SchedParams p = Harness::params(SchedPolicy::TwoCycle);
+    using test::LoopPolicy;
+    sched::SchedParams p = Harness::params(LoopPolicy::TwoCycle);
     p.watchdogCycles = 500;
     Harness h(p);
     int e = h.s.insert(Harness::alu(1, 0), h.now, /*expect_tail=*/true);
@@ -192,8 +192,8 @@ TEST(DeadlockDiag, DissolvingThePendingMopRecovers)
 {
     // Same cycle as above, but dissolved before the watchdog window
     // closes: clearPending() releases the head and the queue drains.
-    using test::SchedPolicy;
-    sched::SchedParams p = Harness::params(SchedPolicy::TwoCycle);
+    using test::LoopPolicy;
+    sched::SchedParams p = Harness::params(LoopPolicy::TwoCycle);
     p.watchdogCycles = 500;
     Harness h(p);
     int e = h.s.insert(Harness::alu(1, 0), h.now, /*expect_tail=*/true);

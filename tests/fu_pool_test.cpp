@@ -67,4 +67,63 @@ TEST(FuPool, ControlOpsUseIntAlu)
     EXPECT_FALSE(fu.available(OpClass::IntAlu, 2));
 }
 
+// --- availableSeq: the whole-entry admission check -------------------
+//
+// Regression tests for the intra-entry FU double-booking bug: per-op
+// available() checks at start+k miss the occupancy an earlier
+// unpipelined op of the same entry commits, so select granted entries
+// whose reserve() then hit assert(available).
+
+TEST(FuPool, SeqRejectsIntraEntryUnpipelinedDoubleBooking)
+{
+    FuPool fu(counts(4, /*muldiv=*/1));
+    const OpClass divdiv[] = {OpClass::IntDiv, OpClass::IntDiv};
+    // The independent checks both pass on the idle pool...
+    EXPECT_TRUE(fu.available(OpClass::IntDiv, 10));
+    EXPECT_TRUE(fu.available(OpClass::IntDiv, 11));
+    // ...but the first divide occupies the only unit for its full
+    // latency, so the pair can never be admitted together.
+    EXPECT_FALSE(fu.availableSeq(divdiv, 2, 10));
+}
+
+TEST(FuPool, SeqAdmitsPairWithEnoughUnits)
+{
+    FuPool fu(counts(4, /*muldiv=*/2));
+    const OpClass divdiv[] = {OpClass::IntDiv, OpClass::IntDiv};
+    EXPECT_TRUE(fu.availableSeq(divdiv, 2, 10));
+    // A prior reservation eats one unit: back to rejection.
+    fu.reserve(OpClass::IntDiv, 10);
+    EXPECT_FALSE(fu.availableSeq(divdiv, 2, 10));
+}
+
+TEST(FuPool, SeqHonorsPipelinedInitiationLimits)
+{
+    FuPool fu(counts(/*alu=*/1));
+    // Staggered single-ALU ops pipeline fine...
+    const OpClass aa[] = {OpClass::IntAlu, OpClass::IntAlu};
+    EXPECT_TRUE(fu.availableSeq(aa, 2, 4));
+    // ...until an existing same-cycle reservation takes the slot.
+    fu.reserve(OpClass::IntAlu, 5);
+    EXPECT_FALSE(fu.availableSeq(aa, 2, 4));
+    EXPECT_TRUE(fu.availableSeq(aa, 2, 6));
+}
+
+TEST(FuPool, SeqMixedKindsIndependent)
+{
+    FuPool fu(counts(1, 1));
+    const OpClass da[] = {OpClass::IntDiv, OpClass::IntAlu};
+    EXPECT_TRUE(fu.availableSeq(da, 2, 3));
+}
+
+TEST(FuPool, SeqIsSideEffectFree)
+{
+    FuPool fu(counts(4, 1));
+    const OpClass divdiv[] = {OpClass::IntDiv, OpClass::IntDiv};
+    EXPECT_FALSE(fu.availableSeq(divdiv, 2, 10));
+    // The scratch simulation must not have committed anything.
+    EXPECT_TRUE(fu.available(OpClass::IntDiv, 10));
+    fu.reserve(OpClass::IntDiv, 10);
+    EXPECT_EQ(fu.reservations(mop::isa::FuKind::IntMultDiv), 1u);
+}
+
 } // namespace

@@ -17,7 +17,7 @@ namespace
 
 using namespace mop;
 using test::Harness;
-using test::SchedPolicy;
+using test::LoopPolicy;
 
 TEST(NopFilter, NopsConsumeFetchButNeverCommit)
 {
@@ -95,7 +95,7 @@ TEST(InterpreterEdge, ShiftAndCompareCorners)
 
 TEST(SchedulerIntrospection, TagReadyTracksBroadcasts)
 {
-    Harness h(Harness::params(SchedPolicy::Atomic));
+    Harness h(Harness::params(LoopPolicy::Atomic));
     EXPECT_FALSE(h.s.tagIsReady(0));
     h.s.insert(Harness::alu(0, 0), h.now);
     h.runUntilIdle();
@@ -105,7 +105,7 @@ TEST(SchedulerIntrospection, TagReadyTracksBroadcasts)
 
 TEST(SchedulerIntrospection, OccupancyAverageSampled)
 {
-    Harness h(Harness::params(SchedPolicy::Atomic));
+    Harness h(Harness::params(LoopPolicy::Atomic));
     h.s.insert(Harness::alu(0, 0), h.now);
     h.runUntilIdle();
     EXPECT_GT(h.s.occupancyAvg().count(), 0u);

@@ -24,7 +24,7 @@ namespace core = mop::core;
 SchedParams
 mopParams(int size, int depth = 0)
 {
-    SchedParams p = Harness::params(SchedPolicy::TwoCycle);
+    SchedParams p = Harness::params(LoopPolicy::TwoCycle);
     p.maxMopSize = size;
     p.schedDepth = depth;
     p.style = sched::WakeupStyle::WiredOr;

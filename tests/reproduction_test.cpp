@@ -149,6 +149,9 @@ struct GoldenRun
     uint64_t insts;
     uint64_t uops;
     std::array<uint64_t, obs::kNumStallCauses> stall;
+    /** Behaviour policy of the pinned run (the non-paper policies get
+     *  their own pins so a refactor cannot silently retime them). */
+    sched::PolicyId policy = sched::PolicyId::Paper;
 };
 
 constexpr uint64_t kGoldenInsts = 20000;
@@ -161,6 +164,12 @@ const GoldenRun kGolden[] = {
      {23094, 21759, 0, 2074, 11875, 113, 0, 4261, 0}},
     {"mcf",  Machine::Base,       65237, 20000, 22371,
      {25650, 10575, 0, 167, 8725, 1203, 1109, 213519, 0}},
+    {"gzip", Machine::MopWiredOr, 15218, 20000, 21719,
+     {21822, 26098, 0, 6229, 5224, 95, 0, 1404, 0},
+     sched::PolicyId::LoadDelay},
+    {"gzip", Machine::MopWiredOr, 15175, 20000, 21719,
+     {22314, 26600, 0, 6263, 4478, 246, 0, 799, 0},
+     sched::PolicyId::StaticFuse},
 };
 // clang-format on
 
@@ -173,7 +182,12 @@ goldenRow(const GoldenRun &g, const pipeline::SimResult &r)
        << r.cycles << ", " << r.insts << ", " << r.uops << ", {";
     for (size_t i = 0; i < obs::kNumStallCauses; ++i)
         os << (i ? ", " : "") << r.stallSlots[i];
-    os << "}},";
+    os << "}";
+    if (g.policy != sched::PolicyId::Paper)
+        os << ", sched::PolicyId::"
+           << (g.policy == sched::PolicyId::LoadDelay ? "LoadDelay"
+                                                      : "StaticFuse");
+    os << "},";
     return os.str();
 }
 
@@ -184,6 +198,7 @@ TEST(Golden, PinnedIpcAndStallAttribution)
         cfg.machine = g.machine;
         cfg.iqEntries = 32;
         cfg.obs.enabled = true;
+        cfg.policy = g.policy;
         auto r = sim::runBenchmark(g.bench, cfg, kGoldenInsts);
 
         bool match = r.cycles == g.cycles && r.insts == g.insts &&
@@ -220,6 +235,7 @@ TEST(Golden, PinnedIpcIsConsistent)
         cfg.machine = g.machine;
         cfg.iqEntries = 32;
         cfg.obs.enabled = true;
+        cfg.policy = g.policy;
         auto r = sim::runBenchmark(g.bench, cfg, kGoldenInsts);
         EXPECT_EQ(r.ipc, double(r.insts) / double(r.cycles)) << g.bench;
     }
@@ -252,6 +268,7 @@ critPathOf(const GoldenRun &g)
     cfg.machine = g.machine;
     cfg.iqEntries = 32;
     cfg.obs.enabled = true;
+    cfg.policy = g.policy;
     cfg.obs.traceOut = path;
     sim::runBenchmark(g.bench, cfg, kGoldenInsts);
     auto events = trace::readEventTrace(path);

@@ -1,6 +1,9 @@
 /**
  * @file
- * Shared test harness for driving the Scheduler cycle by cycle.
+ * Shared test harness for driving the Scheduler cycle by cycle, plus
+ * the per-policy conformance machinery: fixtures parameterized over
+ * sched::registeredPolicies() so one test body runs once per
+ * registered behaviour policy (paper / load-delay / static-fuse).
  */
 
 #ifndef MOP_TESTS_SCHED_HARNESS_HH
@@ -11,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "sched/policy.hh"
 #include "sched/scheduler.hh"
 
 namespace mop::test
@@ -18,9 +22,10 @@ namespace mop::test
 
 using sched::Cycle;
 using sched::ExecEvent;
+using sched::PolicyId;
 using sched::SchedOp;
 using sched::SchedParams;
-using sched::SchedPolicy;
+using sched::LoopPolicy;
 using sched::Tag;
 
 struct Harness
@@ -34,15 +39,33 @@ struct Harness
     explicit Harness(const SchedParams &p) : s(p) {}
 
     static SchedParams
-    params(SchedPolicy pol, int entries = 64)
+    params(LoopPolicy pol, int entries = 64)
     {
         SchedParams p;
         p.policy = pol;
         p.numEntries = entries;
         p.watchdogCycles = 50000;
-        if (pol == SchedPolicy::TwoCycle)
+        if (pol == LoopPolicy::TwoCycle)
             p.mopEnabled = true;
         return p;
+    }
+
+    static SchedParams
+    params(LoopPolicy pol, PolicyId pid, int entries = 64)
+    {
+        SchedParams p = params(pol, entries);
+        p.policyId = pid;
+        return p;
+    }
+
+    /** False only for the one rejected combination: load-delay
+     *  scheduling under a select-free loop organization. */
+    static bool
+    policyAllows(PolicyId pid, LoopPolicy pol)
+    {
+        return pid != PolicyId::LoadDelay ||
+               (pol != LoopPolicy::SelectFreeSquashDep &&
+                pol != LoopPolicy::SelectFreeScoreboard);
     }
 
     static SchedOp
@@ -101,6 +124,50 @@ struct Harness
         }
     }
 };
+
+/**
+ * Base fixture for the per-policy conformance battery: derive, write
+ * policy-agnostic TEST_P bodies against policyId()/params(), and
+ * instantiate with MOP_INSTANTIATE_PER_POLICY so the suite runs once
+ * per registered behaviour policy with gtest-safe names
+ * (paper / loaddelay / staticfuse).
+ */
+class PerPolicyTest : public ::testing::TestWithParam<PolicyId>
+{
+  protected:
+    PolicyId policyId() const { return GetParam(); }
+
+    SchedParams
+    params(LoopPolicy pol, int entries = 64) const
+    {
+        return Harness::params(pol, GetParam(), entries);
+    }
+
+    /** Skip-or-substitute helper: the loop organization this policy
+     *  actually runs for a requested @p pol (load-delay folds the
+     *  select-free organizations onto their non-select-free bases). */
+    LoopPolicy
+    effectiveLoop(LoopPolicy pol) const
+    {
+        if (Harness::policyAllows(GetParam(), pol))
+            return pol;
+        return pol == LoopPolicy::SelectFreeSquashDep
+                   ? LoopPolicy::Atomic
+                   : LoopPolicy::TwoCycle;
+    }
+};
+
+inline std::string
+policyParamName(const ::testing::TestParamInfo<PolicyId> &info)
+{
+    return sched::policyIdToken(info.param);
+}
+
+#define MOP_INSTANTIATE_PER_POLICY(fixture)                              \
+    INSTANTIATE_TEST_SUITE_P(                                            \
+        Policies, fixture,                                               \
+        ::testing::ValuesIn(mop::sched::registeredPolicies()),           \
+        mop::test::policyParamName)
 
 } // namespace mop::test
 

@@ -97,33 +97,30 @@ makeDag(std::mt19937 &rng, bool allow_mops, int n)
     return ops;
 }
 
-struct Params
-{
-    SchedPolicy policy;
-    int seed;
-};
-
 class SchedProperty
-    : public ::testing::TestWithParam<std::tuple<int, int>>
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, mop::sched::PolicyId>>
 {
 };
 
 TEST_P(SchedProperty, RandomDagsCompleteInDataflowOrder)
 {
-    auto [pol_idx, seed] = GetParam();
-    const SchedPolicy policies[] = {
-        SchedPolicy::Atomic,
-        SchedPolicy::TwoCycle,
-        SchedPolicy::SelectFreeSquashDep,
-        SchedPolicy::SelectFreeScoreboard,
+    auto [pol_idx, seed, pid] = GetParam();
+    const LoopPolicy policies[] = {
+        LoopPolicy::Atomic,
+        LoopPolicy::TwoCycle,
+        LoopPolicy::SelectFreeSquashDep,
+        LoopPolicy::SelectFreeScoreboard,
     };
-    SchedPolicy pol = policies[pol_idx];
+    LoopPolicy pol = policies[pol_idx];
+    if (!Harness::policyAllows(pid, pol))
+        GTEST_SKIP() << "load-delay rejects select-free organizations";
 
     std::mt19937 rng(uint32_t(seed) * 7919 + uint32_t(pol_idx));
-    bool mops = pol == SchedPolicy::TwoCycle;
+    bool mops = pol == LoopPolicy::TwoCycle;
     std::vector<GenOp> dag = makeDag(rng, mops, 60);
 
-    SchedParams p = Harness::params(pol);
+    SchedParams p = Harness::params(pol, pid);
     p.numEntries = 24;  // force contention and stalls
     p.issueWidth = 2;
     Harness h(p);
@@ -228,21 +225,27 @@ runProbedSchedule(Harness &h, std::vector<GenOp> &dag,
     return true;
 }
 
-TEST(SchedStallInvariant, HoldsOverThousandRandomSchedules)
+class SchedStallInvariant : public PerPolicyTest
 {
-    const SchedPolicy policies[] = {
-        SchedPolicy::Atomic,
-        SchedPolicy::TwoCycle,
-        SchedPolicy::SelectFreeSquashDep,
-        SchedPolicy::SelectFreeScoreboard,
+};
+
+TEST_P(SchedStallInvariant, HoldsOverThousandRandomSchedules)
+{
+    const LoopPolicy policies[] = {
+        LoopPolicy::Atomic,
+        LoopPolicy::TwoCycle,
+        LoopPolicy::SelectFreeSquashDep,
+        LoopPolicy::SelectFreeScoreboard,
     };
     for (int seed = 0; seed < 1000; ++seed) {
-        SchedPolicy pol = policies[seed % 4];
+        // effectiveLoop keeps all 1000 seeds live under load-delay by
+        // folding the select-free rotations onto their bases.
+        LoopPolicy pol = effectiveLoop(policies[seed % 4]);
         std::mt19937 rng(uint32_t(seed) * 2654435761u + 17);
         std::vector<GenOp> dag =
-            makeDag(rng, pol == SchedPolicy::TwoCycle, 30);
+            makeDag(rng, pol == LoopPolicy::TwoCycle, 30);
 
-        SchedParams p = Harness::params(pol);
+        SchedParams p = params(pol);
         p.numEntries = 16;
         p.issueWidth = 2 + seed % 3;
         Harness h(p);
@@ -263,7 +266,7 @@ TEST(SchedStallInvariant, HoldsOverThousandRandomSchedules)
     }
 }
 
-TEST(SchedStallInvariant, HoldsUnderEveryFaultKind)
+TEST(SchedStallFaults, HoldsUnderEveryFaultKind)
 {
     // Fault injection perturbs wakeup/select arbitrarily; whatever the
     // scheduler does, every charged cycle must still account for
@@ -279,7 +282,7 @@ TEST(SchedStallInvariant, HoldsUnderEveryFaultKind)
             std::mt19937 rng(uint32_t(seed) * 7919 + uint32_t(k));
             std::vector<GenOp> dag = makeDag(rng, true, 40);
 
-            SchedParams p = Harness::params(SchedPolicy::TwoCycle);
+            SchedParams p = Harness::params(LoopPolicy::TwoCycle);
             p.numEntries = 16;
             p.issueWidth = 2;
             p.watchdogCycles = 5000;
@@ -306,16 +309,22 @@ TEST(SchedStallInvariant, HoldsUnderEveryFaultKind)
     }
 }
 
-TEST(SchedOracle, ProductionMatchesReferenceOnThousandSchedules)
+class SchedOracle : public PerPolicyTest
+{
+};
+
+TEST_P(SchedOracle, ProductionMatchesReferenceOnThousandSchedules)
 {
     // The strongest property we have: the production scheduler and the
     // deliberately simple reference oracle agree cycle-for-cycle on
     // every issue, completion and occupancy over a large random corpus
-    // spanning all four policies (the generator sweeps them).
+    // spanning all four loop organizations (the generator sweeps them)
+    // — run once per registered behaviour policy.
     for (int seed = 0; seed < 1000; ++seed) {
         uint64_t s = uint64_t(uint32_t(seed) * 2654435761u + 17);
         mop::verify::ScriptConfig cfg;
         cfg.numOps = 30;
+        cfg.policy = policyId();
         mop::verify::ScheduleScript script =
             mop::verify::makeRandomScript(s, cfg);
         mop::verify::DivergenceReport rep;
@@ -328,17 +337,24 @@ TEST(SchedOracle, ProductionMatchesReferenceOnThousandSchedules)
 }
 
 std::string
-propertyName(const ::testing::TestParamInfo<std::tuple<int, int>> &info)
+propertyName(const ::testing::TestParamInfo<
+             std::tuple<int, int, mop::sched::PolicyId>> &info)
 {
     static const char *names[] = {"atomic", "twocycle", "squashdep",
                                   "scoreboard"};
     return std::string(names[std::get<0>(info.param)]) + "_s" +
-           std::to_string(std::get<1>(info.param));
+           std::to_string(std::get<1>(info.param)) + "_" +
+           mop::sched::policyIdToken(std::get<2>(info.param));
 }
 
 INSTANTIATE_TEST_SUITE_P(
     PoliciesAndSeeds, SchedProperty,
-    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(1, 9)),
+    ::testing::Combine(
+        ::testing::Range(0, 4), ::testing::Range(1, 9),
+        ::testing::ValuesIn(mop::sched::registeredPolicies())),
     propertyName);
+
+MOP_INSTANTIATE_PER_POLICY(SchedStallInvariant);
+MOP_INSTANTIATE_PER_POLICY(SchedOracle);
 
 } // namespace

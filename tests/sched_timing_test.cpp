@@ -20,10 +20,18 @@ using namespace mop::test;
 using mop::isa::OpClass;
 namespace sched = mop::sched;
 
-TEST(Timing, AtomicBackToBack)
+// Every timing contract below is policy-agnostic: the new policies
+// change load-miss handling (load-delay) and MOP formation eligibility
+// (static-fuse), but pairs built by hand through appendTail and
+// load hits must keep the paper's Figure 4/5 timings under all three.
+class Timing : public PerPolicyTest
+{
+};
+
+TEST_P(Timing, AtomicBackToBack)
 {
     // Base scheduling: dependent single-cycle ops issue consecutively.
-    Harness h(Harness::params(SchedPolicy::Atomic));
+    Harness h(params(LoopPolicy::Atomic));
     h.s.insert(Harness::alu(0, /*dst=*/0), h.now);
     h.s.insert(Harness::alu(1, 1, /*src=*/0), h.now);
     h.s.insert(Harness::alu(2, 2, 1), h.now);
@@ -36,9 +44,9 @@ TEST(Timing, AtomicBackToBack)
     EXPECT_EQ(h.completeAt(1), h.execAt(2));
 }
 
-TEST(Timing, TwoCycleInsertsOneBubble)
+TEST_P(Timing, TwoCycleInsertsOneBubble)
 {
-    Harness h(Harness::params(SchedPolicy::TwoCycle));
+    Harness h(params(LoopPolicy::TwoCycle));
     h.s.insert(Harness::alu(0, 0), h.now);
     h.s.insert(Harness::alu(1, 1, 0), h.now);
     h.s.insert(Harness::alu(2, 2, 1), h.now);
@@ -48,11 +56,11 @@ TEST(Timing, TwoCycleInsertsOneBubble)
     EXPECT_EQ(h.issuedAt(2), 5u);
 }
 
-TEST(Timing, TwoCycleDoesNotPenalizeMultiCycleOps)
+TEST_P(Timing, TwoCycleDoesNotPenalizeMultiCycleOps)
 {
     // A multiply (3 cycles) already covers the pipelined loop.
-    Harness a(Harness::params(SchedPolicy::Atomic));
-    Harness t(Harness::params(SchedPolicy::TwoCycle));
+    Harness a(params(LoopPolicy::Atomic));
+    Harness t(params(LoopPolicy::TwoCycle));
     for (Harness *h : {&a, &t}) {
         h->s.insert(Harness::op(0, OpClass::IntMult, 0), h->now);
         h->s.insert(Harness::alu(1, 1, 0), h->now);
@@ -62,11 +70,11 @@ TEST(Timing, TwoCycleDoesNotPenalizeMultiCycleOps)
     EXPECT_EQ(t.issuedAt(1), t.issuedAt(0) + 3);  // same timing
 }
 
-TEST(Timing, MopTailConsumerIsConsecutive)
+TEST_P(Timing, MopTailConsumerIsConsecutive)
 {
     // Figure 5: MOP(1,3); instruction 4 depends on the tail and issues
     // as if 1-cycle scheduling were performed.
-    Harness h(Harness::params(SchedPolicy::TwoCycle));
+    Harness h(params(LoopPolicy::TwoCycle));
     // MOP tag 0 covers both head (seq 0) and tail (seq 1).
     int e = h.s.insert(Harness::alu(0, 0), h.now, /*expect_tail=*/true);
     ASSERT_TRUE(h.s.appendTail(e, Harness::alu(1, 0, 0), h.now));
@@ -82,9 +90,9 @@ TEST(Timing, MopTailConsumerIsConsecutive)
     EXPECT_EQ(h.execAt(2), h.completeAt(1));
 }
 
-TEST(Timing, MopHeadConsumerSeesTwoCycleTiming)
+TEST_P(Timing, MopHeadConsumerSeesTwoCycleTiming)
 {
-    Harness h(Harness::params(SchedPolicy::TwoCycle));
+    Harness h(params(LoopPolicy::TwoCycle));
     int e = h.s.insert(Harness::alu(0, 0), h.now, true);
     ASSERT_TRUE(h.s.appendTail(e, Harness::alu(1, 0, 0), h.now));
     h.s.insert(Harness::alu(2, 1, 0), h.now);  // reads head's value
@@ -95,7 +103,7 @@ TEST(Timing, MopHeadConsumerSeesTwoCycleTiming)
     EXPECT_EQ(h.execAt(2), h.completeAt(0) + 1);
 }
 
-TEST(Timing, Figure5CompleteExample)
+TEST_P(Timing, Figure5CompleteExample)
 {
     // 1: add r1 <- ...   2: lw r4 <- 0(r1)
     // 3: sub r5 <- r1    4: bez r5
@@ -107,7 +115,7 @@ TEST(Timing, Figure5CompleteExample)
                    h.now);
     };
 
-    Harness atomic(Harness::params(SchedPolicy::Atomic));
+    Harness atomic(params(LoopPolicy::Atomic));
     build_conventional(atomic);
     atomic.runUntilIdle();
     Cycle n = atomic.issuedAt(1);
@@ -115,7 +123,7 @@ TEST(Timing, Figure5CompleteExample)
     EXPECT_EQ(atomic.issuedAt(3), n + 1);
     EXPECT_EQ(atomic.issuedAt(4), n + 2);
 
-    Harness two(Harness::params(SchedPolicy::TwoCycle));
+    Harness two(params(LoopPolicy::TwoCycle));
     build_conventional(two);
     two.runUntilIdle();
     n = two.issuedAt(1);
@@ -124,7 +132,7 @@ TEST(Timing, Figure5CompleteExample)
     EXPECT_EQ(two.issuedAt(4), n + 4);
 
     // Macro-op: MOP(1,3) with shared tag; 2 and 4 wake from it.
-    Harness m(Harness::params(SchedPolicy::TwoCycle));
+    Harness m(params(LoopPolicy::TwoCycle));
     int e = m.s.insert(Harness::alu(1, 1), m.now, true);
     ASSERT_TRUE(m.s.appendTail(e, Harness::alu(3, 1, 1), m.now));
     m.s.insert(Harness::op(2, OpClass::Load, 4, 1), m.now);
@@ -138,7 +146,7 @@ TEST(Timing, Figure5CompleteExample)
     EXPECT_EQ(m.execAt(4), m.completeAt(3));
 }
 
-TEST(Timing, Figure4DependenceTreeDepth)
+TEST_P(Timing, Figure4DependenceTreeDepth)
 {
     // The gzip example of Figure 4: grouping shortens the critical
     // path of a 16-instruction dependence tree from 17 cycles (2-cycle
@@ -164,17 +172,17 @@ TEST(Timing, Figure4DependenceTreeDepth)
         }
     };
 
-    Harness one(Harness::params(SchedPolicy::Atomic));
+    Harness one(params(LoopPolicy::Atomic));
     chain(one, false);
     one.runUntilIdle();
     Cycle depth1 = one.issuedAt(7) - one.issuedAt(0);
 
-    Harness two(Harness::params(SchedPolicy::TwoCycle));
+    Harness two(params(LoopPolicy::TwoCycle));
     chain(two, false);
     two.runUntilIdle();
     Cycle depth2 = two.issuedAt(7) - two.issuedAt(0);
 
-    Harness m(Harness::params(SchedPolicy::TwoCycle));
+    Harness m(params(LoopPolicy::TwoCycle));
     chain(m, true);
     m.runUntilIdle();
     Cycle depthm = m.execAt(7) - m.execAt(0);
@@ -184,9 +192,9 @@ TEST(Timing, Figure4DependenceTreeDepth)
     EXPECT_EQ(depthm, 7u);   // grouping restores consecutive execution
 }
 
-TEST(Timing, LoadConsumerSpeculativeHitTiming)
+TEST_P(Timing, LoadConsumerSpeculativeHitTiming)
 {
-    Harness h(Harness::params(SchedPolicy::Atomic));
+    Harness h(params(LoopPolicy::Atomic));
     h.s.setLoadLatencyFn([](uint64_t) { return 2; });  // DL1 hit
     h.s.insert(Harness::op(0, OpClass::Load, 0), h.now);
     h.s.insert(Harness::alu(1, 1, 0), h.now);
@@ -197,10 +205,10 @@ TEST(Timing, LoadConsumerSpeculativeHitTiming)
     EXPECT_EQ(h.execAt(1), h.completeAt(0));
 }
 
-TEST(Timing, LastArrivingTailOperandReported)
+TEST_P(Timing, LastArrivingTailOperandReported)
 {
     // Figure 12: the MOP's issue is triggered by the tail's operand.
-    Harness h(Harness::params(SchedPolicy::TwoCycle));
+    Harness h(params(LoopPolicy::TwoCycle));
     // Slow producer (a divide) feeding the tail only.
     h.s.insert(Harness::op(10, OpClass::IntDiv, 5), h.now);
     int e = h.s.insert(Harness::alu(0, 0), h.now, true);
@@ -211,7 +219,7 @@ TEST(Timing, LastArrivingTailOperandReported)
     EXPECT_EQ(h.mops[0].headSeq, 0u);
 
     // Mirror case: last-arriving operand in the head -> not flagged.
-    Harness g(Harness::params(SchedPolicy::TwoCycle));
+    Harness g(params(LoopPolicy::TwoCycle));
     g.s.insert(Harness::op(10, OpClass::IntDiv, 5), g.now);
     int e2 = g.s.insert(Harness::alu(0, 0, 5), g.now, true);
     ASSERT_TRUE(g.s.appendTail(e2, Harness::alu(1, 0, 0), g.now));
@@ -219,5 +227,7 @@ TEST(Timing, LastArrivingTailOperandReported)
     ASSERT_EQ(g.mops.size(), 1u);
     EXPECT_FALSE(g.mops[0].tailLastArriving);
 }
+
+MOP_INSTANTIATE_PER_POLICY(Timing);
 
 } // namespace

@@ -43,12 +43,12 @@ TEST(Config, MachineVariantsMapToPolicies)
     RunConfig cfg;
     cfg.machine = Machine::Base;
     EXPECT_EQ(sim::makeCoreParams(cfg).sched.policy,
-              sched::SchedPolicy::Atomic);
+              sched::LoopPolicy::Atomic);
     EXPECT_FALSE(sim::makeCoreParams(cfg).mopEnabled);
 
     cfg.machine = Machine::TwoCycle;
     EXPECT_EQ(sim::makeCoreParams(cfg).sched.policy,
-              sched::SchedPolicy::TwoCycle);
+              sched::LoopPolicy::TwoCycle);
     EXPECT_FALSE(sim::makeCoreParams(cfg).mopEnabled);
 
     cfg.machine = Machine::MopCam;
@@ -64,7 +64,7 @@ TEST(Config, MachineVariantsMapToPolicies)
 
     cfg.machine = Machine::SelectFreeScoreboard;
     EXPECT_EQ(sim::makeCoreParams(cfg).sched.policy,
-              sched::SchedPolicy::SelectFreeScoreboard);
+              sched::LoopPolicy::SelectFreeScoreboard);
 }
 
 TEST(Config, ExtraStagesOnlyApplyToMopMachines)
