@@ -90,9 +90,12 @@ CritPathReport::dominantStall() const
 }
 
 CritPathReport
-analyzeCritPath(const std::vector<CycleEvent> &events)
+analyzeCritPath(const std::vector<CycleEvent> &events,
+                std::vector<UopBlame> *per_uop)
 {
     CritPathReport r;
+    if (per_uop)
+        per_uop->clear();
 
     // Gather µop records and index them by dynamic id so dependence
     // edges resolve in O(1).
@@ -118,8 +121,13 @@ analyzeCritPath(const std::vector<CycleEvent> &events)
     }
     r.cycles = r.lastCommit - r.firstFetch;
 
-    auto charge = [&r](CritCause c, uint64_t cyc) {
+    // Also mirrored into the current per-µop row when requested; the
+    // reserve above the spine loop guarantees `cur` stays valid.
+    UopBlame *cur = nullptr;
+    auto charge = [&r, &cur](CritCause c, uint64_t cyc) {
         r.causeCycles[size_t(c)] += cyc;
+        if (cur)
+            cur->causeCycles[size_t(c)] += cyc;
     };
 
     // Service time of a DL1 hit, inferred from the trace (shortest
@@ -197,11 +205,18 @@ analyzeCritPath(const std::vector<CycleEvent> &events)
         charge(CritCause::CommitWait, overlap(u.complete, hi, lo, hi));
     };
 
+    if (per_uop)
+        per_uop->reserve(uops.size());
     uint64_t prevCommit = r.firstFetch;
     for (const auto *u : uops) {
+        if (per_uop) {
+            per_uop->push_back(UopBlame{u->seq, {}});
+            cur = &per_uop->back();
+        }
         chargeWindow(*u, prevCommit, u->commit);
         prevCommit = std::max(prevCommit, u->commit);
     }
+    cur = nullptr;
 
     // What-if for the pipelined 2-cycle scheduling loop: stretch every
     // observed producer->consumer issue gap to >= 2 cycles and

@@ -98,10 +98,23 @@ struct CritPathReport
     CritCause dominantStall() const;
 };
 
+/** One row of the interval-blame decomposition: the causes charged
+ *  to the commit window this µop closes. Summing the entries over a
+ *  whole trace reproduces CritPathReport::causeCycles exactly, so a
+ *  per-row view (e.g. the waterfall renderer) stays consistent with
+ *  the aggregate composition by construction. */
+struct UopBlame
+{
+    uint64_t seq = 0;
+    std::array<uint64_t, kNumCritCauses> causeCycles{};
+};
+
 /** @p events in commit order (as written by the exporter); Counter
- *  records are ignored. */
+ *  records are ignored. When @p per_uop is non-null it receives one
+ *  UopBlame per committed µop, in commit order. */
 CritPathReport analyzeCritPath(
-    const std::vector<trace::CycleEvent> &events);
+    const std::vector<trace::CycleEvent> &events,
+    std::vector<UopBlame> *per_uop = nullptr);
 
 /** One timeline interval (fixed cycle window over commit time). */
 struct IntervalSample

@@ -10,6 +10,11 @@
  *                                        2-cycle-loop what-if estimate
  *   moptrace diff     <A> <B> [--fail-on PCT]
  *                                        field-level regression triage
+ *   moptrace render   <trace> [-o out.html] [--window A:B]
+ *                     [--max-insts N] [--critpath]
+ *                                        self-contained interactive HTML
+ *                                        waterfall (pan/zoom schedule
+ *                                        visualization)
  *
  * Traces come from `mopsim --trace-out file.evt` (any MOPEVTRC
  * version; v1 files load with the lifecycle extension defaulted, so
@@ -18,11 +23,13 @@
 
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "obs/critpath.hh"
+#include "obs/render.hh"
 #include "trace/trace_file.hh"
 
 namespace
@@ -37,7 +44,10 @@ usage()
         << "usage: moptrace report   <trace.evt>\n"
         << "       moptrace timeline <trace.evt> [--interval CYCLES]\n"
         << "       moptrace critpath <trace.evt>\n"
-        << "       moptrace diff     <A.evt> <B.evt> [--fail-on PCT]\n";
+        << "       moptrace diff     <A.evt> <B.evt> [--fail-on PCT]\n"
+        << "       moptrace render   <trace.evt> [-o out.html]"
+           " [--window A:B]\n"
+        << "                         [--max-insts N] [--critpath]\n";
     return 2;
 }
 
@@ -86,6 +96,49 @@ cmdCritpath(const std::string &path)
                   << " trace lacks lifecycle records; attribution is "
                      "coarse\n";
     obs::printCritPath(std::cout, obs::analyzeCritPath(t.events));
+    return 0;
+}
+
+/** "A:B" / "A:" / ":B" -> inclusive cycle window (missing side stays
+ *  at the RenderOptions default). */
+void
+parseWindow(const std::string &spec, obs::RenderOptions &opts)
+{
+    size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        throw std::runtime_error("--window expects LO:HI, got '" + spec +
+                                 "'");
+    if (colon > 0)
+        opts.windowLo = std::stoull(spec.substr(0, colon));
+    if (colon + 1 < spec.size())
+        opts.windowHi = std::stoull(spec.substr(colon + 1));
+    if (opts.windowHi < opts.windowLo)
+        throw std::runtime_error("--window: HI < LO");
+}
+
+int
+cmdRender(const std::string &path, const std::string &outPath,
+          obs::RenderOptions opts)
+{
+    LoadedTrace t = load(path);
+    opts.traceVersion = t.version;
+    if (t.version < 2)
+        std::cerr << "note: v" << t.version
+                  << " trace renders in degraded mode (no frontend "
+                     "stages, dep edges or MOP groups; see DESIGN.md)\n";
+    obs::RenderModel model = obs::buildRenderModel(t.events, opts);
+    std::string html = obs::renderWaterfallHtml(model);
+    std::ofstream out(outPath, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open " + outPath);
+    out.write(html.data(), std::streamsize(html.size()));
+    out.close();
+    if (!out)
+        throw std::runtime_error("short write to " + outPath);
+    std::cout << "rendered " << model.rows.size() << " row(s) ("
+              << model.windowInsts << " inst(s)"
+              << (model.truncated ? ", truncated" : "") << ") -> "
+              << outPath << " (" << html.size() << " bytes)\n";
     return 0;
 }
 
@@ -183,6 +236,34 @@ main(int argc, char **argv)
                     return usage();
             }
             return cmdTimeline(argv[2], interval);
+        }
+        if (cmd == "render") {
+            const std::string in = argv[2];
+            std::string out;
+            obs::RenderOptions opts;
+            for (int i = 3; i < argc; ++i) {
+                if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc)
+                    out = argv[++i];
+                else if (std::strcmp(argv[i], "--window") == 0 &&
+                         i + 1 < argc)
+                    parseWindow(argv[++i], opts);
+                else if (std::strcmp(argv[i], "--max-insts") == 0 &&
+                         i + 1 < argc)
+                    opts.maxInsts = std::stoull(argv[++i]);
+                else if (std::strcmp(argv[i], "--critpath") == 0)
+                    opts.critpath = true;
+                else
+                    return usage();
+            }
+            if (out.empty()) {
+                out = in;
+                if (out.size() > 4 &&
+                    out.compare(out.size() - 4, 4, ".evt") == 0)
+                    out.replace(out.size() - 4, 4, ".html");
+                else
+                    out += ".html";
+            }
+            return cmdRender(in, out, opts);
         }
         if (cmd == "diff") {
             if (argc < 4)

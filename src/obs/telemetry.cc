@@ -8,6 +8,44 @@
 namespace mop::obs
 {
 
+namespace
+{
+
+/** See injectTelemetryShortWriteForTest(). Not atomic: the hook is a
+ *  test-only toggle flipped before single-threaded flush() calls. */
+bool gInjectShortWrite = false;
+
+} // namespace
+
+void
+injectTelemetryShortWriteForTest(bool enable)
+{
+    gInjectShortWrite = enable;
+}
+
+std::string
+promEscapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
 TelemetrySink::TelemetrySink(std::string path, int workers)
     : path_(std::move(path)), workers_(workers < 1 ? 1 : workers)
 {
@@ -29,6 +67,13 @@ TelemetrySink::beginBatch(uint64_t total_runs, uint64_t cache_hits)
     cacheEvictions_ = 0;
     start_ = Clock::now();
     flushedOnce_ = false;
+}
+
+void
+TelemetrySink::setBatchLabel(std::string label)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    batch_ = std::move(label);
 }
 
 void
@@ -73,6 +118,7 @@ TelemetrySink::Snapshot
 TelemetrySink::snapshotLocked() const
 {
     Snapshot s;
+    s.batch = batch_;
     s.totalRuns = totalRuns_;
     s.completedRuns = completedRuns_;
     s.cacheHits = cacheHits_;
@@ -112,10 +158,17 @@ std::string
 renderPrometheus(const TelemetrySink::Snapshot &s)
 {
     std::ostringstream os;
-    auto gauge = [&os](const char *name, const char *help, double v) {
+    // No-label batches keep the bare `name value` series the
+    // existing consumers (and golden tests) expect.
+    const std::string labels =
+        s.batch.empty()
+            ? std::string()
+            : "{batch=\"" + promEscapeLabelValue(s.batch) + "\"}";
+    auto gauge = [&os, &labels](const char *name, const char *help,
+                                double v) {
         os << "# HELP " << name << " " << help << "\n"
            << "# TYPE " << name << " gauge\n"
-           << name << " " << v << "\n";
+           << name << labels << " " << v << "\n";
     };
     gauge("mop_sweep_runs_total", "Jobs in the sweep batch.",
           double(s.totalRuns));
@@ -137,10 +190,11 @@ renderPrometheus(const TelemetrySink::Snapshot &s)
           "Estimated seconds until the batch drains.", s.etaSeconds);
     gauge("mop_sweep_simulated_insts_total",
           "Instructions simulated so far.", double(s.simulatedInsts));
-    auto counter = [&os](const char *name, const char *help, double v) {
+    auto counter = [&os, &labels](const char *name, const char *help,
+                                  double v) {
         os << "# HELP " << name << " " << help << "\n"
            << "# TYPE " << name << " counter\n"
-           << name << " " << v << "\n";
+           << name << labels << " " << v << "\n";
     };
     counter("mop_sweep_retries_total",
             "Failed job attempts that were retried.", double(s.retries));
@@ -229,8 +283,22 @@ TelemetrySink::flush()
     FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f)
         throw std::runtime_error("cannot write telemetry: " + tmp);
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
+    // A short write or a failed close means the temp file does not
+    // hold a complete snapshot: never rename it into place -- a
+    // half-written exposition would be served as truth by whatever
+    // scrapes the published path.
+    size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+    if (gInjectShortWrite)
+        wrote = wrote / 2;
+    if (wrote != text.size()) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        throw std::runtime_error("short write to telemetry: " + tmp);
+    }
+    if (std::fclose(f) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot finish telemetry: " + tmp);
+    }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         throw std::runtime_error("cannot publish telemetry: " + path);

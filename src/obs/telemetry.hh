@@ -31,6 +31,9 @@ class TelemetrySink
     /** Point-in-time view of the batch (all derived metrics filled). */
     struct Snapshot
     {
+        /** Batch label, attached to every series as {batch="..."}
+         *  when non-empty (values are escaped per the text format). */
+        std::string batch;
         uint64_t totalRuns = 0;      ///< jobs in the batch (incl. cached)
         uint64_t completedRuns = 0;  ///< simulated to completion
         uint64_t cacheHits = 0;      ///< satisfied from the result cache
@@ -56,6 +59,10 @@ class TelemetrySink
     /** Declare the batch: total jobs and how many the cache already
      *  resolved. Resets the clock. */
     void beginBatch(uint64_t total_runs, uint64_t cache_hits);
+
+    /** Label this batch (e.g. the figure selection); survives
+     *  beginBatch. Empty (the default) omits the label entirely. */
+    void setBatchLabel(std::string label);
 
     /** One run finished; @p seconds of worker time, @p insts simulated.
      *  Thread-safe. */
@@ -107,11 +114,22 @@ class TelemetrySink
     uint64_t quarantinedJobs_ = 0;
     uint64_t cacheCorrupt_ = 0;
     uint64_t cacheEvictions_ = 0;
+    std::string batch_;
 };
 
 /** Render @p s in Prometheus text exposition format (exposed for
  *  tests; prometheusText() is this over a live snapshot). */
 std::string renderPrometheus(const TelemetrySink::Snapshot &s);
+
+/** Escape a Prometheus label *value* per the text exposition format:
+ *  backslash -> \\, double-quote -> \", newline -> \n (exposed for
+ *  tests). */
+std::string promEscapeLabelValue(const std::string &v);
+
+/** Test hook: make the next flush() observe a short fwrite so the
+ *  error path (temp-file cleanup + throw) can be exercised without a
+ *  full filesystem. */
+void injectTelemetryShortWriteForTest(bool enable);
 
 /** Render the one-line progress string for @p s. */
 std::string renderProgressLine(const TelemetrySink::Snapshot &s);

@@ -72,6 +72,30 @@ field(const std::string &line, const std::string &key, std::string &out)
     return true;
 }
 
+PerfEntry
+parseEntryLine(const std::string &line)
+{
+    PerfEntry e;
+    std::string v;
+    if (field(line, "label", v))
+        e.label = v;
+    if (field(line, "sim_version", v))
+        e.simVersion = v;
+    if (field(line, "jobs", v))
+        e.jobs = std::atoi(v.c_str());
+    if (field(line, "insts_per_run", v))
+        e.instsPerRun = std::strtoull(v.c_str(), nullptr, 10);
+    if (field(line, "repeats", v))
+        e.repeats = std::atoi(v.c_str());
+    if (field(line, "ips_median", v))
+        e.ipsMedian = std::strtod(v.c_str(), nullptr);
+    if (field(line, "ips_min", v))
+        e.ipsMin = std::strtod(v.c_str(), nullptr);
+    if (field(line, "ips_max", v))
+        e.ipsMax = std::strtod(v.c_str(), nullptr);
+    return e;
+}
+
 } // namespace
 
 double
@@ -132,24 +156,20 @@ readLastPerfEntry(const std::string &path, PerfEntry &e)
             last = line;
     if (last.empty())
         return false;
-    std::string v;
-    if (field(last, "label", v))
-        e.label = v;
-    if (field(last, "sim_version", v))
-        e.simVersion = v;
-    if (field(last, "jobs", v))
-        e.jobs = std::atoi(v.c_str());
-    if (field(last, "insts_per_run", v))
-        e.instsPerRun = std::strtoull(v.c_str(), nullptr, 10);
-    if (field(last, "repeats", v))
-        e.repeats = std::atoi(v.c_str());
-    if (field(last, "ips_median", v))
-        e.ipsMedian = std::strtod(v.c_str(), nullptr);
-    if (field(last, "ips_min", v))
-        e.ipsMin = std::strtod(v.c_str(), nullptr);
-    if (field(last, "ips_max", v))
-        e.ipsMax = std::strtod(v.c_str(), nullptr);
+    e = parseEntryLine(last);
     return true;
+}
+
+std::vector<PerfEntry>
+readPerfEntries(const std::string &path)
+{
+    std::vector<PerfEntry> out;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        if (line.find("\"label\"") != std::string::npos)
+            out.push_back(parseEntryLine(line));
+    return out;
 }
 
 bool

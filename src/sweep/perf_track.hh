@@ -59,6 +59,10 @@ bool appendPerfEntry(const std::string &path, const PerfEntry &e);
  *  file is absent or holds no entries. */
 bool readLastPerfEntry(const std::string &path, PerfEntry &e);
 
+/** Read the whole trajectory at @p path in file (pin) order; empty
+ *  when the file is absent or holds no entries. */
+std::vector<PerfEntry> readPerfEntries(const std::string &path);
+
 /**
  * Compare a fresh measurement against the last pinned entry:
  * passes when @p measured_median >= (1 - tolerance_pct/100) * pinned

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/render.hh"
 #include "sim/cli_opts.hh"
 #include "sweep/microbench.hh"
 #include "sweep/perf_track.hh"
@@ -363,9 +364,14 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
 
     const int workerCount = SweepExecutor(opts.jobs).jobs();
     std::unique_ptr<obs::TelemetrySink> telemetry;
-    if (!opts.telemetryPath.empty() || opts.progress) {
+    if (!opts.telemetryPath.empty() || opts.progress ||
+        !opts.renderDashPath.empty()) {
         telemetry = std::make_unique<obs::TelemetrySink>(
             opts.telemetryPath, workerCount);
+        std::string batch;
+        for (const auto &name : opts.only)
+            batch += (batch.empty() ? "" : ",") + name;
+        telemetry->setBatchLabel(opts.only.empty() ? "all" : batch);
         telemetry->beginBatch(jobs.size(), jobs.size() - misses.size());
         telemetry->flush();
     }
@@ -710,6 +716,49 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
                   << opts.perfBaselinePath << "\n";
     }
 
+    // Sweep dashboard, after gating/pinning so a --perf-pin from this
+    // same invocation already appears in the trajectory chart.
+    if (!opts.renderDashPath.empty()) {
+        obs::DashModel dm;
+        dm.simVersion = kSimVersion;
+        dm.jobs = workerCount;
+        dm.instsPerRun = insts;
+        dm.uniqueRuns = jobs.size();
+        dm.cacheHits = cacheHits;
+        dm.journalHits = journalHits;
+        dm.computedRuns = misses.size();
+        dm.quarantined = failed.size();
+        dm.simulatedInsts = simulatedInsts;
+        dm.wallSeconds = wallSeconds;
+        for (size_t i = 0; i < perf.size(); ++i)
+            dm.figures.push_back({perf[i].name, selected[i]->title,
+                                  perf[i].runs, perf[i].cacheHits,
+                                  perf[i].computeSeconds,
+                                  perf[i].renderSeconds});
+        for (const auto &[name, acc] : machineIpc)
+            dm.machineIpc.emplace_back(name,
+                                       acc.first / double(acc.second));
+        for (const PerfEntry &e : readPerfEntries(opts.perfBaselinePath))
+            dm.trajectory.push_back(
+                {e.label, e.simVersion, e.ipsMedian, e.ipsMin, e.ipsMax});
+        if (telemetry) {
+            dm.hasTelemetry = true;
+            dm.telemetry = telemetry->snapshot();
+        }
+        std::string html = obs::renderDashHtml(dm);
+        std::ofstream df(opts.renderDashPath,
+                         std::ios::trunc | std::ios::binary);
+        df.write(html.data(), std::streamsize(html.size()));
+        df.close();
+        if (!df) {
+            std::cerr << "mopsuite: cannot write dashboard to "
+                      << opts.renderDashPath << "\n";
+            return 2;
+        }
+        std::cerr << "mopsuite: dashboard (" << html.size()
+                  << " bytes) -> " << opts.renderDashPath << "\n";
+    }
+
     if (!failed.empty()) {
         std::cerr << "mopsuite: " << failed.size()
                   << " run(s) quarantined; tables contain FAILED "
@@ -757,6 +806,10 @@ usage(std::ostream &os)
           "  --telemetry F   write live batch telemetry to F as a\n"
           "                  Prometheus-style text file (rewritten\n"
           "                  atomically as runs complete)\n"
+          "  --render-dash F write a self-contained sweep-dashboard\n"
+          "                  HTML to F after the render pass (stat\n"
+          "                  tiles, perf trajectory, per-machine IPC,\n"
+          "                  per-figure cost, telemetry counters)\n"
           "  --isolate       compute each uncached run in a forked,\n"
           "                  watchdogged child: a crash/hang/OOM is a\n"
           "                  retried-then-quarantined FAILED cell, not\n"
@@ -828,6 +881,8 @@ parseArgs(int argc, char **argv, SuiteOptions &opts)
             opts.useCache = false;
         } else if (a == "--telemetry") {
             opts.telemetryPath = value("--telemetry");
+        } else if (a == "--render-dash") {
+            opts.renderDashPath = value("--render-dash");
         } else if (a == "--isolate") {
             opts.isolate = true;
         } else if (a == "--job-timeout") {

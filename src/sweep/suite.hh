@@ -129,6 +129,10 @@ struct SuiteOptions
     /** Single updating TTY progress line on stderr (replaces the
      *  per-run verbose lines). */
     bool progress = false;
+    /** Write the self-contained sweep-dashboard HTML here after the
+     *  render pass ("" = off). Pulls the perf trajectory from
+     *  perfBaselinePath and telemetry counters from the live sink. */
+    std::string renderDashPath;
 
     // --- Fault tolerance (see supervisor.hh / sandbox.hh) ---
     /** Compute each uncached job in a forked, watchdogged child with

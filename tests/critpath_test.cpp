@@ -472,4 +472,83 @@ TEST(Telemetry, PathlessSinkAggregatesWithoutIo)
     EXPECT_FALSE(sink.progressLine().empty());
 }
 
+TEST(Telemetry, BatchLabelIsEscapedPerTextFormat)
+{
+    // Label values get the text-format escapes: backslash,
+    // double-quote and newline. A figure selection can contain any of
+    // them (e.g. a quoted title pasted into --only by a wrapper).
+    EXPECT_EQ(obs::promEscapeLabelValue("plain"), "plain");
+    EXPECT_EQ(obs::promEscapeLabelValue("a\\b\"c\nd"),
+              "a\\\\b\\\"c\\nd");
+
+    obs::TelemetrySink::Snapshot s;
+    s.batch = "fig\\14 \"IQ=32\"\nrest";
+    s.totalRuns = 2;
+    std::string text = obs::renderPrometheus(s);
+    EXPECT_NE(
+        text.find("mop_sweep_runs_total"
+                  "{batch=\"fig\\\\14 \\\"IQ=32\\\"\\nrest\"} 2\n"),
+        std::string::npos);
+    // No raw newline may survive inside a series line.
+    for (size_t p = text.find('\n'); p != std::string::npos;
+         p = text.find('\n', p + 1))
+        if (p + 1 < text.size())
+            EXPECT_TRUE(text[p + 1] == '#' ||
+                        text.compare(p + 1, 4, "mop_") == 0)
+                << "series line broken at offset " << p;
+
+    // And the label rides on every series, counters included.
+    EXPECT_NE(text.find("mop_sweep_retries_total{batch="),
+              std::string::npos);
+
+    // Empty label: the exact label-less lines of old.
+    s.batch.clear();
+    std::string bare = obs::renderPrometheus(s);
+    EXPECT_NE(bare.find("mop_sweep_runs_total 2\n"), std::string::npos);
+    EXPECT_EQ(bare.find('{'), std::string::npos);
+}
+
+TEST(Telemetry, SinkLabelFlowsIntoSnapshotAndFile)
+{
+    std::string path = tmpPath("telemetry_label.prom");
+    obs::TelemetrySink sink(path, 1);
+    sink.setBatchLabel("fig14,tbl3");
+    sink.beginBatch(3, 1);
+    EXPECT_EQ(sink.snapshot().batch, "fig14,tbl3");
+    sink.flush();
+    std::stringstream ss;
+    ss << std::ifstream(path).rdbuf();
+    EXPECT_NE(ss.str().find("{batch=\"fig14,tbl3\"}"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, FlushShortWriteCleansUpAndThrows)
+{
+    std::string path = tmpPath("telemetry_short.prom");
+    obs::TelemetrySink sink(path, 1);
+    sink.beginBatch(2, 0);
+    sink.flush();  // publish a good snapshot first
+
+    std::stringstream before;
+    before << std::ifstream(path).rdbuf();
+    ASSERT_FALSE(before.str().empty());
+
+    // An injected short write must throw, remove the temp file, and
+    // leave the previously published snapshot untouched.
+    obs::injectTelemetryShortWriteForTest(true);
+    EXPECT_THROW(sink.flush(), std::runtime_error);
+    obs::injectTelemetryShortWriteForTest(false);
+
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::stringstream after;
+    after << std::ifstream(path).rdbuf();
+    EXPECT_EQ(before.str(), after.str());
+
+    // The sink still works once the failure clears.
+    sink.onRunCompleted(1.0, 50);
+    EXPECT_NO_THROW(sink.flush());
+    std::remove(path.c_str());
+}
+
 } // namespace
