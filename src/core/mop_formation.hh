@@ -106,6 +106,30 @@ class Formation
     /** Heads currently awaiting their tail (grouping-pending count). */
     virtual int pendingCount() const = 0;
 
+    /**
+     * Snapshot the translation table at a mispredicted branch's
+     * dispatch (wrong-path execution). Only the table is saved: the
+     * tag allocator is monotonic and never rewound (wrong-path tags
+     * are simply abandoned), and pending windows are dropped wholesale
+     * at restore — any right-path pending head has either resolved or
+     * expired by the time the branch resolves, and a stale window
+     * matching a *recycled* dyn id would silently corrupt pairing.
+     * One checkpoint is live at a time (the core enters wrong-path
+     * mode on the oldest unresolved mispredict only).
+     */
+    virtual void checkpoint()
+    {
+        ckptTable_ = table_;
+    }
+
+    /** Restore the checkpointed table and drop all pending windows
+     *  (the wrong path dispatched after the checkpoint is being
+     *  squashed). */
+    virtual void restoreToCheckpoint()
+    {
+        table_ = ckptTable_;
+    }
+
     /** Fresh tag in the grouping name space. */
     sched::Tag freshTag() { return next_++; }
 
@@ -135,6 +159,8 @@ class Formation
     sched::Tag next_ = 0;
     std::array<sched::Tag, isa::kNumLogicalRegs> table_;
 
+    std::array<sched::Tag, isa::kNumLogicalRegs> ckptTable_{};
+
     uint64_t groupsFormed_ = 0;
     uint64_t independentFormed_ = 0;
     uint64_t pendingExpired_ = 0;
@@ -154,6 +180,12 @@ class MopFormation : public Formation
     sched::Tag demoteTail(const isa::MicroOp &u, int entry = -1) override;
     std::vector<int> groupBoundary() override;
     int pendingCount() const override { return int(pending_.size()); }
+
+    void restoreToCheckpoint() override
+    {
+        Formation::restoreToCheckpoint();
+        pending_.clear();
+    }
 
   private:
     struct PendingHead

@@ -38,6 +38,12 @@ class StaticFuser : public Formation
     std::vector<int> groupBoundary() override;
     int pendingCount() const override { return head_.active ? 1 : 0; }
 
+    void restoreToCheckpoint() override
+    {
+        Formation::restoreToCheckpoint();
+        head_ = PendingPair{};
+    }
+
     /** Pattern table, head side: single-cycle integer ALU op that
      *  produces a register. */
     static bool headPattern(const isa::MicroOp &u);

@@ -60,6 +60,7 @@ critCauseName(CritCause c)
       case CritCause::Replay: return "replay";
       case CritCause::Dispatch: return "dispatch";
       case CritCause::CommitWait: return "commit-wait";
+      case CritCause::WrongPath: return "wrong-path";
       case CritCause::kCount: break;
     }
     return "?";
@@ -81,6 +82,7 @@ CritPathReport::dominantStall() const
     static constexpr CritCause kStallish[] = {
         CritCause::Frontend,   CritCause::Capacity, CritCause::WakeupWait,
         CritCause::DcacheMiss, CritCause::SelectLoss, CritCause::Replay,
+        CritCause::WrongPath,
     };
     CritCause best = CritCause::Frontend;
     for (CritCause c : kStallish)
@@ -98,16 +100,41 @@ analyzeCritPath(const std::vector<CycleEvent> &events,
         per_uop->clear();
 
     // Gather µop records and index them by dynamic id so dependence
-    // edges resolve in O(1).
+    // edges resolve in O(1). Wrong-path rows never committed, so they
+    // stay off the commit spine and out of the dependence index (a
+    // squashed dyn id may be recycled by a later committed µop);
+    // instead they reconstruct the squash episodes, each spanning the
+    // episode's earliest wrong-path fetch up to the squash cycle the
+    // rows record in their commit field.
     std::vector<const CycleEvent *> uops;
     uops.reserve(events.size());
     std::unordered_map<uint64_t, size_t> bySeq;
+    std::vector<std::pair<uint64_t, uint64_t>> episodes;  // [fetch, squash)
     for (const auto &ev : events) {
         if (ev.kind != CycleEvent::Kind::Uop)
             continue;
+        if (ev.flags & CycleEvent::kFlagWrongPath) {
+            if (!episodes.empty() && episodes.back().second == ev.commit)
+                episodes.back().first =
+                    std::min(episodes.back().first, ev.fetch);
+            else
+                episodes.emplace_back(ev.fetch, ev.commit);
+            continue;
+        }
         bySeq.emplace(ev.seq, uops.size());
         uops.push_back(&ev);
     }
+    // Merge any overlap so episode cycles are never double-charged.
+    std::sort(episodes.begin(), episodes.end());
+    size_t nEp = 0;
+    for (const auto &ep : episodes) {
+        if (nEp > 0 && ep.first < episodes[nEp - 1].second)
+            episodes[nEp - 1].second =
+                std::max(episodes[nEp - 1].second, ep.second);
+        else
+            episodes[nEp++] = ep;
+    }
+    episodes.resize(nEp);
     if (uops.empty())
         return r;
 
@@ -159,6 +186,21 @@ analyzeCritPath(const std::vector<CycleEvent> &events,
         charge(CritCause::DcacheMiss, overlap(split, b, lo, hi));
     };
 
+    // Frontend-supply cycles falling inside a wrong-path episode are
+    // the mispredict's fault, not a generic fetch-supply problem: the
+    // machine was busy fetching (and later squashing) the wrong path.
+    auto chargeFrontend = [&](uint64_t a, uint64_t b, uint64_t lo,
+                              uint64_t hi) {
+        uint64_t s = std::max(a, lo), e = std::min(b, hi);
+        if (e <= s)
+            return;
+        uint64_t wp = 0;
+        for (const auto &ep : episodes)
+            wp += overlap(ep.first, ep.second, s, e);
+        charge(CritCause::WrongPath, wp);
+        charge(CritCause::Frontend, (e - s) - wp);
+    };
+
     // Resolve the last-arriving producer of a µop (by completion).
     auto lastProducer = [&](const CycleEvent &u) -> const CycleEvent * {
         const CycleEvent *best = nullptr;
@@ -186,7 +228,7 @@ analyzeCritPath(const std::vector<CycleEvent> &events,
         if (hi <= lo)
             return;
         Life u(ev);
-        charge(CritCause::Frontend, overlap(lo, u.queueReady, lo, hi));
+        chargeFrontend(lo, u.queueReady, lo, hi);
         charge(CritCause::Capacity, overlap(u.queueReady, u.insert, lo, hi));
         if (const CycleEvent *pe = lastProducer(ev)) {
             Life p(*pe);
@@ -284,8 +326,9 @@ analyzeTimeline(const std::vector<CycleEvent> &events,
     uint64_t lo = ~0ULL, hi = 0;
     uint64_t nuops = 0;
     for (const auto &ev : events) {
-        if (ev.kind != CycleEvent::Kind::Uop)
-            continue;
+        if (ev.kind != CycleEvent::Kind::Uop ||
+            (ev.flags & CycleEvent::kFlagWrongPath))
+            continue;  // wrong-path rows never committed
         lo = std::min(lo, ev.commit);
         hi = std::max(hi, ev.commit);
         ++nuops;
@@ -309,7 +352,8 @@ analyzeTimeline(const std::vector<CycleEvent> &events,
         t.intervals[i].endCycle = lo + (i + 1) * interval_cycles;
     }
     for (const auto &ev : events) {
-        if (ev.kind != CycleEvent::Kind::Uop)
+        if (ev.kind != CycleEvent::Kind::Uop ||
+            (ev.flags & CycleEvent::kFlagWrongPath))
             continue;
         auto &iv = t.intervals[size_t((ev.commit - lo) / interval_cycles)];
         ++iv.uops;
@@ -371,6 +415,10 @@ summarizeTrace(const std::vector<CycleEvent> &events)
             robSum += ev.execStart;
             continue;
         }
+        if (ev.flags & CycleEvent::kFlagWrongPath) {
+            ++s.wrongPathUops;
+            continue;  // squashed: not a committed µop
+        }
         ++s.uops;
         firstFetch = std::min(firstFetch, ev.fetch);
         s.lastCommit = std::max(s.lastCommit, ev.commit);
@@ -413,8 +461,11 @@ printSummary(std::ostream &os, const TraceSummary &s)
        << "mop coverage  " << std::setprecision(4) << s.mopCoverage << "\n"
        << "replay rate   " << std::setprecision(4) << s.replayRate << "\n"
        << "loads         " << s.loads << " (" << s.dl1Misses
-       << " DL1 misses)\n"
-       << "avg iq occ    " << std::setprecision(2) << s.avgIqOcc << "\n"
+       << " DL1 misses)\n";
+    if (s.wrongPathUops)
+        os << "wrong-path    " << s.wrongPathUops
+           << " squashed uops\n";
+    os << "avg iq occ    " << std::setprecision(2) << s.avgIqOcc << "\n"
        << "avg rob occ   " << std::setprecision(2) << s.avgRobOcc << "\n";
     os.unsetf(std::ios::fixed);
 }
@@ -426,6 +477,13 @@ printCritPath(std::ostream &os, const CritPathReport &r)
        << r.insts << ")\n";
     os << "critical-path composition:\n";
     for (size_t i = 0; i < kNumCritCauses; ++i) {
+        // The wrong-path row only exists when a v3 trace actually
+        // recorded squashed rows; suppressing the zero row keeps
+        // wrong-path-off reports byte-identical to the pre-v3 output
+        // (each percent is per-cause over r.cycles, so skipping a row
+        // does not change the others).
+        if (CritCause(i) == CritCause::WrongPath && !r.causeCycles[i])
+            continue;
         double pct = r.cycles
                          ? 100.0 * double(r.causeCycles[i]) / double(r.cycles)
                          : 0.0;

@@ -57,6 +57,11 @@ enum class CritCause : uint8_t
     Replay,       ///< re-issue delay of selectively replayed entries
     Dispatch,     ///< select-to-execute pipeline stages (fixed depth)
     CommitWait,   ///< completed, waiting for in-order commit
+    /** Fetch-supply cycles spent inside a wrong-path episode (from
+     *  the first wrong-path fetch to the squash recorded in the v3
+     *  rows); appended last so wrong-path-free reports keep their
+     *  historical cause layout. */
+    WrongPath,
     kCount,
 };
 
@@ -110,8 +115,13 @@ struct UopBlame
 };
 
 /** @p events in commit order (as written by the exporter); Counter
- *  records are ignored. When @p per_uop is non-null it receives one
- *  UopBlame per committed µop, in commit order. */
+ *  records are ignored. Wrong-path rows (kFlagWrongPath, v3 traces)
+ *  never committed: they are excluded from the commit spine and the
+ *  dependence index, and instead define squash episodes — frontend
+ *  cycles a committed row spends inside one are charged to
+ *  CritCause::WrongPath. When @p per_uop is non-null it receives one
+ *  UopBlame per *committed* µop, in commit order; their sum still
+ *  reproduces causeCycles exactly. */
 CritPathReport analyzeCritPath(
     const std::vector<trace::CycleEvent> &events,
     std::vector<UopBlame> *per_uop = nullptr);
@@ -167,6 +177,9 @@ struct TraceSummary
     uint64_t replayed = 0;
     uint64_t loads = 0;
     uint64_t dl1Misses = 0;
+    /** Squashed wrong-path rows (v3 traces); excluded from every
+     *  committed-µop statistic above. */
+    uint64_t wrongPathUops = 0;
     double ipc = 0;
     double mopCoverage = 0;
     double replayRate = 0;

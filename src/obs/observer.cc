@@ -27,7 +27,8 @@ Observer::Observer(const ObsConfig &cfg, int issueWidth, int iqCapacity,
       frontendOcc_(0, 64, 32), mopPending_(0, 16, 16)
 {
     if (!cfg_.traceOut.empty())
-        exporter_ = std::make_unique<TraceExporter>(cfg_.traceOut);
+        exporter_ = std::make_unique<TraceExporter>(
+            cfg_.traceOut, cfg_.wrongPath ? 3u : 2u);
 }
 
 void

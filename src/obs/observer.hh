@@ -33,6 +33,10 @@ struct ObsConfig
     std::string traceOut;
     /** Cycles between occupancy counter samples in the trace. */
     uint32_t tracePeriod = 128;
+    /** The producing run executes wrong-path µops: binary traces are
+     *  stamped MOPEVTRC v3 (flag bit 7 = kFlagWrongPath) instead of
+     *  v2, so wrong-path-off traces stay byte-identical. */
+    bool wrongPath = false;
 };
 
 class Observer

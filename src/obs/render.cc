@@ -119,6 +119,20 @@ buildRenderModel(const std::vector<CycleEvent> &events,
     if (opts.critpath) {
         m.critpath = analyzeCritPath(events, &blames);
         m.hasCritPath = true;
+        // Integrity: the per-row blame vectors are a complete
+        // decomposition of the trace's cycle span -- summed over every
+        // committed row they must reproduce the whole-trace composition
+        // exactly, wrong-path episodes included. A mismatch means the
+        // waterfall would show a different story than the aggregate
+        // report, so fail loudly instead of rendering it.
+        std::array<uint64_t, kNumCritCauses> sum{};
+        for (const auto &b : blames)
+            for (size_t c = 0; c < kNumCritCauses; ++c)
+                sum[c] += b.causeCycles[c];
+        if (sum != m.critpath.causeCycles)
+            throw std::logic_error(
+                "render: per-row blame does not sum to the "
+                "critical-path composition");
     }
 
     // Row selection: lifetime intersects the inclusive cycle window,
@@ -135,12 +149,17 @@ buildRenderModel(const std::vector<CycleEvent> &events,
                  ev.commit});
             continue;
         }
-        size_t blameIdx = uopIdx++;
+        // Wrong-path rows (v3 traces) never committed: they render as
+        // a single dimmed squashed band, carry no critpath blame (the
+        // analyzer excludes them from the commit spine), and do not
+        // count toward the instruction cap.
+        bool wp = (ev.flags & CycleEvent::kFlagWrongPath) != 0;
+        size_t blameIdx = wp ? ~size_t(0) : uopIdx++;
         std::array<uint64_t, 8> t = clampLife(ev);
         if (t[7] < m.windowLo || t[0] > m.windowHi)
             continue;
         bool instLike =
-            m.degraded || (ev.flags & CycleEvent::kFlagFirstUop);
+            !wp && (m.degraded || (ev.flags & CycleEvent::kFlagFirstUop));
         if (capped)
             continue;
         if (m.maxInsts && instLike && m.windowInsts == m.maxInsts) {
@@ -169,9 +188,17 @@ buildRenderModel(const std::vector<CycleEvent> &events,
             miss ? CritCause::DcacheMiss : CritCause::ChainLatency,
             CritCause::CommitWait,
         };
-        for (int s = 0; s < 7; ++s)
-            if (t[s + 1] > t[s])
-                row.segments.push_back({stageCause[s], t[s], t[s + 1]});
+        if (wp) {
+            // One span from fetch to squash (t[7] records the squash
+            // cycle, not a commit).
+            if (t[7] > t[0])
+                row.segments.push_back({CritCause::WrongPath, t[0], t[7]});
+        } else {
+            for (int s = 0; s < 7; ++s)
+                if (t[s + 1] > t[s])
+                    row.segments.push_back(
+                        {stageCause[s], t[s], t[s + 1]});
+        }
         if (m.hasCritPath && blameIdx < blames.size()) {
             const UopBlame &b = blames[blameIdx];
             for (size_t c = 0; c < kNumCritCauses; ++c)
@@ -238,6 +265,7 @@ renderModelJson(const RenderModel &m)
        << ", \"mopCoverage\": " << jsonNum(s.mopCoverage)
        << ", \"replayRate\": " << jsonNum(s.replayRate)
        << ", \"loads\": " << s.loads << ", \"dl1Misses\": " << s.dl1Misses
+       << ", \"wrongPathUops\": " << s.wrongPathUops
        << ", \"avgIqOcc\": " << jsonNum(s.avgIqOcc)
        << ", \"avgRobOcc\": " << jsonNum(s.avgRobOcc) << "},\n";
     os << "\"window\": {\"lo\": " << m.windowLo << ", \"hi\": " << m.windowHi
@@ -263,7 +291,7 @@ renderModelJson(const RenderModel &m)
     os << "],\n";
     os << "\"flagBits\": {\"first\": 1, \"grouped\": 2, \"head\": 4, "
           "\"replayed\": 8, \"load\": 16, \"miss\": 32, "
-          "\"mispredict\": 64},\n";
+          "\"mispredict\": 64, \"wrongPath\": 128},\n";
     os << "\"stages\": [\"fetch\", \"queueReady\", \"insert\", "
           "\"ready\", \"issue\", \"execStart\", \"complete\", "
           "\"commit\"],\n";

@@ -4,7 +4,7 @@
  *
  * Turns a decoded MOPEVTRC trace into a deterministic *render model*
  * -- rows of dynamic µops with per-stage intervals colored by the
- * 9-cause critical-path taxonomy, MOP-group brackets, producer dep
+ * critical-path cause taxonomy, MOP-group brackets, producer dep
  * edges, a per-interval IPC strip and periodic occupancy samples --
  * and serializes it as a JSON data block embedded into a single
  * self-contained HTML file (pan/zoom canvas waterfall, hover
@@ -64,7 +64,11 @@ struct RenderSegment
     uint64_t to = 0;
 };
 
-/** One waterfall row (a committed µop inside the window). */
+/** One waterfall row: a committed µop inside the window, or a
+ *  squashed wrong-path µop (kFlagWrongPath, v3 traces) rendered as a
+ *  single dimmed CritCause::WrongPath band from fetch to squash.
+ *  Wrong-path rows never carry blame and don't count as
+ *  instructions. */
 struct RenderRow
 {
     uint64_t seq = 0;

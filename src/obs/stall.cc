@@ -19,6 +19,7 @@ stallCauseName(StallCause c)
       case StallCause::Replay: return "replay";
       case StallCause::DcacheMiss: return "dcache-miss";
       case StallCause::Drain: return "drain";
+      case StallCause::WrongPath: return "wrong-path";
       case StallCause::kCount: break;
     }
     return "unknown";
@@ -41,6 +42,10 @@ StallAccounting::charge(const sched::StallSnapshot &snap,
     // plain wakeup. MOP heads pending their tail stall on the frontend
     // delivering that tail, so they fall through to upstream.
     take(StallCause::Useful, snap.issuedSlots);
+    // Wrong-path entries outrank every stall cause: whatever such an
+    // entry waits on, the slot it denies the right path is squashed
+    // work, not a scheduling loss.
+    take(StallCause::WrongPath, snap.wrongPath);
     take(StallCause::SelectLoss, snap.readyLosers);
     take(StallCause::DcacheMiss, snap.missWait);
     take(StallCause::Replay, snap.replayWait);
@@ -97,14 +102,27 @@ printBreakdown(std::ostream &os,
 {
     os << "stall attribution (" << width << " slots x " << cycles
        << " cycles):\n";
+    // The wrong-path row appears only when charged: wrong-path-off
+    // reports stay byte-identical to the pre-wrong-path format, and
+    // the percentages are computed over the printed rows only.
+    std::vector<size_t> rows;
+    for (size_t i = 0; i < kNumStallCauses; ++i) {
+        if (StallCause(i) == StallCause::WrongPath && slots[i] == 0)
+            continue;
+        rows.push_back(i);
+    }
+    std::vector<uint64_t> counts;
+    for (size_t i : rows)
+        counts.push_back(slots[i]);
     // Largest-remainder rounding: the printed column sums to exactly
     // 100.00 (independent rounding could reach 99.99 or 100.01).
-    std::vector<double> pct = stats::largestRemainderPercents(
-        std::vector<uint64_t>(slots.begin(), slots.end()), 2);
-    for (size_t i = 0; i < kNumStallCauses; ++i) {
+    std::vector<double> pct =
+        stats::largestRemainderPercents(counts, 2);
+    for (size_t r = 0; r < rows.size(); ++r) {
+        size_t i = rows[r];
         os << "  " << std::left << std::setw(12)
            << stallCauseName(StallCause(i)) << std::right << std::setw(7)
-           << std::fixed << std::setprecision(2) << pct[i] << "%  "
+           << std::fixed << std::setprecision(2) << pct[r] << "%  "
            << std::setw(12) << slots[i] << "\n";
     }
 }

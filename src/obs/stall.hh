@@ -44,6 +44,10 @@ enum class StallCause : uint8_t
     Replay,      ///< replayed entries serving the replay penalty
     DcacheMiss,  ///< entries waiting on an outstanding DL1-miss wakeup
     Drain,       ///< trace exhausted; pipeline draining
+    /** Slots consumed by wrong-path entries (issued or occupying the
+     *  queue) under --wrong-path; appended last so wrong-path-off
+     *  result arrays keep their historical layout. */
+    WrongPath,
     kCount,
 };
 

@@ -22,7 +22,7 @@ hasJsonExtension(const std::string &path)
 
 } // namespace
 
-TraceExporter::TraceExporter(const std::string &path)
+TraceExporter::TraceExporter(const std::string &path, uint32_t version)
     : path_(path), json_(hasJsonExtension(path))
 {
     ring_.reserve(kRingCap);
@@ -32,7 +32,7 @@ TraceExporter::TraceExporter(const std::string &path)
             throw std::runtime_error("cannot create trace: " + path);
         std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", jsonFile_);
     } else {
-        bin_ = std::make_unique<trace::EventTraceWriter>(path);
+        bin_ = std::make_unique<trace::EventTraceWriter>(path, version);
     }
 }
 

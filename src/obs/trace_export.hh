@@ -31,8 +31,11 @@ namespace mop::obs
 class TraceExporter
 {
   public:
-    /** @throws std::runtime_error if @p path cannot be created. */
-    explicit TraceExporter(const std::string &path);
+    /** Binary sinks stamp @p version into the MOPEVTRC header (JSON
+     *  output ignores it).
+     *  @throws std::runtime_error if @p path cannot be created. */
+    explicit TraceExporter(const std::string &path,
+                           uint32_t version = 2);
     ~TraceExporter();
 
     TraceExporter(const TraceExporter &) = delete;

@@ -78,8 +78,10 @@ OooCore::OooCore(const CoreParams &params, trace::TraceSource &source)
         });
     }
 
+    wpSynth_ = trace::WrongPathSynth(params_.wrongPathSeed);
     prodComplete_.assign(kProdRing, {~0ULL, 0});
     lastWriter_.fill(-1);
+    ckptLastWriter_.fill(-1);
     rob_.init(params_.robSize);
     completedScratch_.reserve(64);
     mopScratch_.reserve(64);
@@ -148,12 +150,107 @@ OooCore::handleCompletion(const sched::ExecEvent &ev)
     checkInvariant(*re, ev);
 
     if (waitingBranch_ && ev.seq == waitingBranchDynId_) {
-        // Mispredicted branch resolved: redirect fetch.
+        // Mispredicted branch resolved: redirect fetch. A wrong-path
+        // icache miss may still be in flight; the redirect does not
+        // wait out a fill for a doomed line (the line itself is
+        // already installed — IL1 pollution persists), so its stall
+        // is cancelled before the resume formula runs. The refetch
+        // time is therefore identical with and without wrong-path
+        // execution; the wrong path only changes what competed for
+        // resources in the meantime (and what must now be squashed).
+        if (wpActive_ && fetchStallUntil_ > now_)
+            fetchStallUntil_ = now_;
         fetchStallUntil_ =
             std::max(fetchStallUntil_,
                      ev.complete + sched::Cycle(params_.mispredictRedirect));
         waitingBranch_ = false;
+        if (wpActive_)
+            squashWrongPath(ev.seq);
     }
+}
+
+void
+OooCore::squashWrongPath(uint64_t boundary)
+{
+    integrity_.require(haveCkpt_,
+                       verify::IntegrityChecker::Check::RobOrder,
+                       [&] {
+                           return "wrong-path squash at dyn id " +
+                                  std::to_string(boundary) +
+                                  " without a dispatch checkpoint";
+                       });
+
+    // Everything younger than the branch is wrong path: it was fetched
+    // after the redirecting branch ended its fetch group, and right-
+    // path fetch stayed off until this resolution. Flush the ROB
+    // suffix, emitting trace rows for the flushed µops first (forward
+    // = program order). Rows carry kFlagWrongPath, never
+    // kFlagMispredict; stages the µop never reached report the squash
+    // cycle, and dep/mopId stay kNone (dyn ids are about to be
+    // recycled, so stale edges would alias future µops).
+    size_t keep = rob_.size();
+    if (!rob_.empty()) {
+        uint64_t front_id = rob_.front().dynId;
+        keep = boundary + 1 >= front_id ? size_t(boundary + 1 - front_id)
+                                        : 0;
+        keep = std::min(keep, rob_.size());
+    }
+    if (obs_ && obs_->tracing()) {
+        for (size_t i = keep; i < rob_.size(); ++i) {
+            const RobEntry &re = rob_.at(i);
+            bool done = rob_.completedAt(i);
+            trace::CycleEvent tev;
+            tev.kind = trace::CycleEvent::Kind::Uop;
+            tev.op = uint8_t(re.u.op);
+            tev.seq = re.dynId;
+            tev.pc = re.u.pc;
+            tev.fetch = re.fetchCycle;
+            tev.queueReady = re.queueReadyAt;
+            tev.insert = re.insertCycle;
+            tev.ready = done ? re.readyCycle : now_;
+            tev.issue = done ? re.issueCycle : now_;
+            tev.execStart = done ? re.execStart : now_;
+            tev.complete = done ? re.completeCycle : now_;
+            tev.commit = now_;  // the squash cycle
+            tev.flags = uint8_t(
+                trace::CycleEvent::kFlagWrongPath |
+                (re.u.firstUop ? trace::CycleEvent::kFlagFirstUop : 0) |
+                (re.replayed ? trace::CycleEvent::kFlagReplayed : 0) |
+                (re.u.isLoad() ? trace::CycleEvent::kFlagLoad : 0) |
+                (re.wasMiss ? trace::CycleEvent::kFlagDl1Miss : 0));
+            obs_->onCommit(tev);
+        }
+    }
+    wpSquashedUops_ += rob_.size() - keep;
+    while (rob_.size() > keep) {
+        // Stale dataflow producer records for recycled dyn ids would
+        // trip the invariant check against a *future* µop's sources.
+        auto &slot = prodComplete_[rob_.back().dynId % kProdRing];
+        if (slot.first == rob_.back().dynId)
+            slot = {~0ULL, 0};
+        rob_.popBack();
+    }
+
+    // Frontend wrong-path µops that never dispatched get no rows.
+    while (!frontend_.empty() && frontend_.back().dynId > boundary)
+        frontend_.pop_back();
+
+    sched_->squashAfter(boundary, now_);
+
+    // Rename-side recovery: the formation table and last-writer map
+    // revert to the branch's dispatch; pending pairing windows are
+    // dropped (squashAfter already unpended any surviving right-path
+    // head). The tag allocator is monotonic and never rewound, but
+    // dyn ids must stay dense for the ROB ring, so the allocator
+    // rewinds to just after the branch.
+    formation_->restoreToCheckpoint();
+    lastWriter_ = ckptLastWriter_;
+    haveCkpt_ = false;
+    nextDynId_ = boundary + 1;
+
+    wpSynth_.end();
+    wpActive_ = false;
+    wpSquashBoundary_ = boundary;
 }
 
 void
@@ -289,6 +386,7 @@ OooCore::doQueueInsert()
         op.op = f.u.op;
         op.dst = out.dst;
         op.src = out.src;
+        op.wrongPath = f.wrongPath;
 
         RobEntry &re = rob_.pushBack();
         re.u = f.u;
@@ -296,6 +394,7 @@ OooCore::doQueueInsert()
         re.fetchCycle = f.fetchCycle;
         re.queueReadyAt = f.queueReadyAt;
         re.mispredicted = f.mispredict;
+        re.wrongPath = f.wrongPath;
         re.insertCycle = now_;
         for (int s = 0; s < 2; ++s) {
             int16_t r = f.u.src[size_t(s)];
@@ -341,8 +440,20 @@ OooCore::doQueueInsert()
         if (f.u.hasDst())
             lastWriter_[size_t(f.u.dst)] = int64_t(f.dynId);
 
-        if (params_.mopEnabled && dynFormation_)
+        // The detector never sees wrong-path µops: pointers persist
+        // across squashes, and a squashed stream must not teach the
+        // pointer cache pairings no committed path exhibits.
+        if (params_.mopEnabled && dynFormation_ && !f.wrongPath)
             detector_->observe(f.u, f.dynId);
+
+        // The mispredicted branch just dispatched: checkpoint the
+        // rename-side state its squash will restore. Every µop
+        // dispatched from here until resolution is wrong path.
+        if (f.mispredict && params_.wrongPath) {
+            formation_->checkpoint();
+            ckptLastWriter_ = lastWriter_;
+            haveCkpt_ = true;
+        }
         frontend_.pop_front();
         ++inserted;
     }
@@ -363,7 +474,16 @@ OooCore::doQueueInsert()
 void
 OooCore::doFetch()
 {
-    if (now_ < fetchStallUntil_ || waitingBranch_ || traceDone_)
+    if (now_ < fetchStallUntil_)
+        return;
+    if (waitingBranch_) {
+        // Unresolved mispredict: fetch follows the predicted (wrong)
+        // path when enabled, otherwise stalls until resolution.
+        if (wpActive_)
+            doWrongPathFetch();
+        return;
+    }
+    if (traceDone_)
         return;
     // Keep the frontend from ballooning when the queue stage stalls.
     if (frontend_.size() >=
@@ -415,6 +535,12 @@ OooCore::doFetch()
                     waitingBranch_ = true;
                     waitingBranchDynId_ = dyn_id;
                     frontend_.back().mispredict = true;
+                    if (params_.wrongPath) {
+                        wpSynth_.begin(dyn_id, u.pc,
+                                       params_.wrongPathDepth);
+                        wpActive_ = true;
+                        ++wpEpisodes_;
+                    }
                 } else {
                     // Direction right, target unknown until decode.
                     fetchStallUntil_ =
@@ -445,9 +571,61 @@ OooCore::doFetch()
                 waitingBranch_ = true;
                 waitingBranchDynId_ = dyn_id;
                 frontend_.back().mispredict = true;
+                if (params_.wrongPath) {
+                    wpSynth_.begin(dyn_id, u.pc, params_.wrongPathDepth);
+                    wpActive_ = true;
+                    ++wpEpisodes_;
+                }
             }
             return;
         }
+    }
+}
+
+void
+OooCore::doWrongPathFetch()
+{
+    if (frontend_.size() >=
+        size_t(params_.fetchWidth * (params_.frontendDepth + 4))) {
+        return;
+    }
+
+    for (int slot = 0; slot < params_.fetchWidth; ++slot) {
+        const isa::MicroOp *u = wpSynth_.peek();
+        if (!u)
+            return;  // episode depth exhausted: wait for resolution
+
+        // Wrong-path fetch pays real instruction-cache latency and
+        // pollutes real IL1 state (lastFetchLine_ is deliberately not
+        // restored at squash — the fetched lines stay resident).
+        uint64_t line = u->pc / mem_.il1().lineBytes();
+        if (line != lastFetchLine_) {
+            int lat = mem_.instAccess(u->pc);
+            lastFetchLine_ = line;
+            if (lat > mem_.il1().hitLatency()) {
+                fetchStallUntil_ = now_ + sched::Cycle(lat);
+                return;  // µop stays in the synth for after the fill
+            }
+        }
+
+        isa::MicroOp wu = *u;
+        wpSynth_.pop();
+        uint64_t dyn_id = nextDynId_++;
+        wu.seq = dyn_id;
+        frontend_.push_back(InFlight{
+            wu, dyn_id, now_,
+            now_ + sched::Cycle(params_.frontendDepth +
+                                params_.extraFormationStages),
+            false, true});
+        ++wpFetched_;
+
+        // The predictor is neither consulted nor trained on the wrong
+        // path (equivalent to an ideal history checkpoint restored at
+        // the squash), and wrong-path branches never redirect — the
+        // machine is already off-path — but a taken one still ends
+        // the fetch group.
+        if (wu.op == isa::OpClass::Branch && wu.taken)
+            return;
     }
 }
 
@@ -461,16 +639,27 @@ OooCore::step()
     mopScratch_.clear();
     sched_->tick(now_, completedScratch_,
                  params_.mopEnabled ? &mopScratch_ : nullptr);
-    for (const auto &ev : completedScratch_)
+    wpSquashBoundary_ = ~0ULL;
+    for (const auto &ev : completedScratch_) {
+        // A wrong-path squash earlier in this loop already flushed
+        // every younger µop; their same-cycle completions (extracted
+        // before the squash ran) must be dropped, not delivered.
+        if (ev.seq > wpSquashBoundary_)
+            continue;
         handleCompletion(ev);
+    }
     if (params_.mopEnabled && dynFormation_ && params_.lastArrivalFilter) {
         for (const auto &mi : mopScratch_) {
             if (!mi.tailLastArriving)
                 continue;
             // Harmful grouping observed: delete the pointer and let
             // detection search for an alternative pair (Figure 12c).
-            if (RobEntry *head = robByDynId(mi.headSeq))
-                ptrCache_.deleteAndExclude(head->u.pc);
+            // Squashed (or wrong-path) heads are skipped: no pointer
+            // produced them and none should be excluded.
+            if (RobEntry *head = robByDynId(mi.headSeq)) {
+                if (!head->wrongPath)
+                    ptrCache_.deleteAndExclude(head->u.pc);
+            }
         }
     }
 
@@ -559,8 +748,15 @@ OooCore::maybeSkipIdle()
     }
     // Fetch: the next icache fill / redirect arrival. A resolving
     // branch is a scheduler completion; a full frontend drains only
-    // via inserts.
-    if (!traceDone_ && !waitingBranch_ &&
+    // via inserts. While a mispredict is unresolved, fetch is live
+    // exactly when wrong-path synthesis still has µops to deliver —
+    // omitting that term would skip over wrong-path fetch cycles and
+    // diverge from the stepped run (difftest --difftest-skip-idle
+    // catches exactly this; see the skipFoldIgnoresSquash mutation).
+    bool fetch_live = waitingBranch_
+                          ? (wpActive_ && wpSynth_.hasMore())
+                          : !traceDone_;
+    if (fetch_live &&
         frontend_.size() <
             size_t(params_.fetchWidth * (params_.frontendDepth + 4))) {
         fold(std::max(fetchStallUntil_, now_ + 1));
@@ -643,6 +839,20 @@ OooCore::addStats(stats::StatGroup &g) const
     g.addFormula("core.skippedCycles",
                  [this] { return double(res_.skippedCycles); },
                  "idle cycles advanced by the event-driven skipper");
+    // Registered only when the feature is on: wrong-path-off stats
+    // reports stay byte-identical to pre-feature builds (the CI
+    // bit-identity gate compares them verbatim).
+    if (params_.wrongPath) {
+        g.addFormula("core.wpEpisodes",
+                     [this] { return double(wpEpisodes_); },
+                     "misprediction episodes with wrong-path fetch");
+        g.addFormula("core.wpFetched",
+                     [this] { return double(wpFetched_); },
+                     "wrong-path µops fetched");
+        g.addFormula("core.wpSquashedUops",
+                     [this] { return double(wpSquashedUops_); },
+                     "wrong-path µops flushed from the ROB at squash");
+    }
     g.addFormula("core.groupedFrac",
                  [this] { return res_.groupedFrac(); },
                  "committed instructions inside MOPs");
@@ -726,7 +936,8 @@ OooCore::dumpState(std::ostream &os) const
            << " op=" << isa::opClassName(re.u.op)
            << (rob_.completedAt(i) ? " completed" : " in-flight")
            << (re.grouped ? " grouped" : "")
-           << (re.isHead ? " mop-head" : "") << "\n";
+           << (re.isHead ? " mop-head" : "")
+           << (re.wrongPath ? " wrong-path" : "") << "\n";
     }
     if (rob_.size() > show)
         os << "  ... " << rob_.size() - show << " more\n";

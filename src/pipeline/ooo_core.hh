@@ -6,12 +6,25 @@
  * selective replay, and optional macro-op scheduling.
  *
  * The core is trace-driven: a TraceSource supplies the executed
- * micro-op stream (synthetic workload or functional interpreter).
- * Branch mispredictions therefore stall fetch from the mispredicted
- * branch until it resolves plus a redirect penalty, rather than
- * fetching wrong-path instructions; the penalty matches Table 1's
- * >= 14-cycle recovery. MOP-specific squash behaviour (Section 5.3.2)
- * is exercised directly by the scheduler unit tests.
+ * micro-op stream (synthetic workload or functional interpreter), so
+ * there is no real wrong path to fetch after a branch mispredict.
+ * Two models close that gap:
+ *
+ *  - Default (CoreParams::wrongPath off): fetch stalls from the
+ *    mispredicted branch until it resolves plus a redirect penalty
+ *    matching Table 1's >= 14-cycle recovery. Wrong-path µops never
+ *    occupy the IQ, FU ports or broadcast buses.
+ *  - `--wrong-path`: fetch continues into a deterministic synthesized
+ *    wrong-path stream (trace/wrong_path.hh), which dispatches,
+ *    issues and completes like real work; the branch's resolution
+ *    squashes everything younger through Scheduler::squashAfter —
+ *    the Section 5.3.2 machinery, now exercised on every mispredict
+ *    — and restores the formation table, last-writer map and dyn-id
+ *    allocator from a checkpoint taken at the branch's dispatch.
+ *    The right-path refetch time is the same expression as the stall
+ *    model; only the competition the wrong path inflicted differs.
+ *    See DESIGN.md "Wrong-path execution" for the determinism and
+ *    fingerprint rules.
  *
  * Frontend model: fetch applies instruction-cache latency, branch
  * prediction (combined bimodal/gshare + BTB + RAS) and the
@@ -46,6 +59,7 @@
 #include "mem/cache.hh"
 #include "sched/scheduler.hh"
 #include "trace/source.hh"
+#include "trace/wrong_path.hh"
 #include "verify/event_ring.hh"
 #include "verify/fault_injector.hh"
 #include "verify/golden.hh"
@@ -69,6 +83,16 @@ struct CoreParams
     int mispredictRedirect = 3;
     /** Frontend bubble for decode-resolved misfetches (BTB misses). */
     int btbMissPenalty = 3;
+
+    /** True wrong-path execution (see the file comment): fetch a
+     *  synthesized wrong-path stream after every detected mispredict
+     *  and squash it at resolution, instead of stalling fetch. */
+    bool wrongPath = false;
+    /** Maximum wrong-path µops fetched per misprediction episode. */
+    int wrongPathDepth = 64;
+    /** Calibration seed for the wrong-path synthesizer; runs from the
+     *  same workload profile reproduce every wrong path bit-for-bit. */
+    uint64_t wrongPathSeed = 0;
 
     sched::SchedParams sched;
     core::DetectorParams detector;
@@ -191,6 +215,7 @@ class OooCore
         sched::Cycle fetchCycle = 0;
         sched::Cycle queueReadyAt = 0;
         bool mispredict = false;  ///< this µop will redirect fetch
+        bool wrongPath = false;   ///< synthesized wrong-path µop
     };
 
     /** Cold ROB record: everything commit and diagnostics read.
@@ -215,6 +240,7 @@ class OooCore
         bool replayed = false;
         bool wasMiss = false;
         bool mispredicted = false;
+        bool wrongPath = false;  ///< flushed, never commits
     };
 
     /**
@@ -277,6 +303,11 @@ class OooCore
             --size_;
         }
 
+        RobEntry &back() { return cold_[(head_ + size_ - 1) & mask_]; }
+
+        /** Drop the youngest entry (wrong-path squash). */
+        void popBack() { --size_; }
+
       private:
         std::vector<RobEntry> cold_;
         std::vector<uint8_t> completed_;  ///< hot plane (commit poll)
@@ -286,6 +317,13 @@ class OooCore
     };
 
     void doFetch();
+    /** Fetch from the wrong-path synthesizer while the mispredicted
+     *  branch is unresolved (CoreParams::wrongPath). */
+    void doWrongPathFetch();
+    /** Flush everything younger than @p boundary (the resolved
+     *  mispredicted branch): ROB suffix, frontend, scheduler entries,
+     *  formation/last-writer checkpoints and the dyn-id allocator. */
+    void squashWrongPath(uint64_t boundary);
     /** Returns how many ops entered the scheduler this cycle. */
     int doQueueInsert();
     void doCommit();
@@ -324,6 +362,22 @@ class OooCore
     uint64_t lastFetchLine_ = ~0ULL;
     bool havePending_ = false;
     isa::MicroOp pendingFetch_;
+
+    // Wrong-path execution state (CoreParams::wrongPath).
+    trace::WrongPathSynth wpSynth_;
+    bool wpActive_ = false;    ///< unresolved mispredict, wp mode on
+    /** Dispatch-time checkpoint of the last-writer map, taken at the
+     *  mispredicted branch's queue insert (the formation keeps its
+     *  own; see Formation::checkpoint). */
+    std::array<int64_t, isa::kNumLogicalRegs> ckptLastWriter_{};
+    bool haveCkpt_ = false;
+    /** Squash boundary of a squash performed *this cycle*: already
+     *  extracted completions for younger (squashed) µops must be
+     *  dropped, not delivered. ~0 = no squash this cycle. */
+    uint64_t wpSquashBoundary_ = ~0ULL;
+    uint64_t wpEpisodes_ = 0;
+    uint64_t wpFetched_ = 0;        ///< wp µops that entered the frontend
+    uint64_t wpSquashedUops_ = 0;   ///< wp µops flushed from the ROB
 
     std::deque<InFlight> frontend_;
     RobRing rob_;

@@ -279,7 +279,8 @@ Scheduler::insert(const SchedOp &op, Cycle now, bool expect_tail)
     c = EntryCold{};
     c.gen = gen;
     st = EntryState{};
-    st.flags = kFValid | (expect_tail ? kFPending : 0);
+    st.flags = kFValid | (expect_tail ? kFPending : 0) |
+               (op.wrongPath ? kFWrongPath : 0);
     setBit(validBits_, size_t(idx));
     srcTag_[size_t(idx)].fill(kNoTag);
     opcls_[size_t(idx)] = EntryOps{};
@@ -804,6 +805,7 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
     const int debt0 = slotDebt(now);
     int width = params_.issueWidth - debt0;
     int issuedNow = 0;
+    int issuedNowWp = 0;
     for (int idx : readyScratch_) {
         const EntryOps &oc = opcls_[size_t(idx)];
         // issueEntry reserves a unit for every op of the MOP at
@@ -836,6 +838,8 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
                 }
                 continue;
             }
+            if (state_[size_t(idx)].flags & kFWrongPath)
+                ++issuedNowWp;
             issueEntry(idx, now, mop_issues);
             --width;
             ++issuedNow;
@@ -860,17 +864,28 @@ Scheduler::doSelect(Cycle now, std::vector<MopIssue> *mop_issues)
     }
     // Slots sequencing a MOP's later ops count as useful work too.
     lastIssueSlots_ = std::min(params_.issueWidth, debt0 + issuedNow);
+    // Wrong-path issues are still charged per issued entry; debt slots
+    // from a wrong-path MOP's later ops stay in the useful bucket (a
+    // deliberate, documented imprecision — debt is not entry-tagged).
+    lastIssueSlotsWp_ = std::min(lastIssueSlots_, issuedNowWp);
 }
 
 void
 Scheduler::collectStallSnapshot(Cycle now, StallSnapshot &snap) const
 {
     snap = StallSnapshot{};
-    snap.issuedSlots = lastIssueSlots_;
+    snap.issuedSlots = lastIssueSlots_ - lastIssueSlotsWp_;
+    snap.wrongPath = lastIssueSlotsWp_;
     forEachSetBit(validBits_, [&](size_t i) {
         const EntryState &st = state_[i];
         if (st.flags & kFIssued)
             return;  // in flight; its slot was charged at issue time
+        if (st.flags & kFWrongPath) {
+            // Doomed occupancy: whatever a wrong-path entry waits on,
+            // the slot it denies the right path is a wrong-path cost.
+            ++snap.wrongPath;
+            return;
+        }
         if (st.flags & kFPending) {
             ++snap.pendingHeads;
             return;

@@ -254,6 +254,10 @@ class Scheduler
     static constexpr uint8_t kFIssued = 4;
     static constexpr uint8_t kFCollided = 8;  ///< lost a select once
     static constexpr uint8_t kFReplayed = 16; ///< invalidated (replay)
+    /** Entry holds wrong-path ops (SchedOp::wrongPath on its head).
+     *  Observational only: timing rules are identical, but stall
+     *  attribution charges these slots to the WrongPath cause. */
+    static constexpr uint8_t kFWrongPath = 32;
 
     /** Per-entry op classes; select-time FU grant plane. */
     struct EntryOps
@@ -455,6 +459,7 @@ class Scheduler
     // Stall-attribution probe state (see collectStallSnapshot).
     bool stallProbe_ = false;
     int lastIssueSlots_ = 0;  ///< useful select slots last doSelect
+    int lastIssueSlotsWp_ = 0; ///< of those, wrong-path entry issues
 };
 
 } // namespace mop::sched

@@ -99,6 +99,13 @@ struct SchedOp
     isa::OpClass op = isa::OpClass::IntAlu;
     Tag dst = kNoTag;       ///< producing tag (shared for MOP pairs)
     std::array<Tag, 2> src = {kNoTag, kNoTag};
+    /** Speculative wrong-path µop: competes for entries, grants and
+     *  buses like any other op but is destined to be squashed when
+     *  the mispredicted branch resolves. Purely observational in the
+     *  scheduler — wakeup/select/replay timing rules are identical —
+     *  so the differential oracle needs no wrong-path-specific
+     *  behaviour. */
+    bool wrongPath = false;
 };
 
 /** Per-µop execution report delivered by the scheduler each cycle. */
@@ -129,6 +136,10 @@ struct StallSnapshot
     int replayWait = 0;    ///< replayed entries serving their penalty
     int wakeupWait = 0;    ///< waiting on any other source operand
     int pendingHeads = 0;  ///< MOP heads awaiting their tail
+    /** Slots consumed by wrong-path entries this cycle: issued
+     *  wrong-path entries plus one per waiting wrong-path entry.
+     *  Wrong-path entries never appear in the other buckets. */
+    int wrongPath = 0;
 };
 
 struct SchedParams

@@ -34,6 +34,9 @@ makeCoreParams(const RunConfig &cfg)
     p.robSize = 128;
     p.faults = cfg.faults;
     p.obs = cfg.obs;
+    p.wrongPath = cfg.wrongPath;
+    p.wrongPathDepth = cfg.wrongPathDepth;
+    p.obs.wrongPath = cfg.wrongPath;
 
     p.sched.policyId = cfg.policy;
     p.sched.numEntries = cfg.iqEntries;
@@ -88,8 +91,15 @@ pipeline::SimResult
 runBenchmark(const std::string &bench, const RunConfig &cfg,
              uint64_t insts)
 {
-    trace::SyntheticSource src(trace::profileFor(bench));
-    pipeline::OooCore core(makeCoreParams(cfg), src);
+    trace::WorkloadProfile prof = trace::profileFor(bench);
+    trace::SyntheticSource src(prof);
+    pipeline::CoreParams params = makeCoreParams(cfg);
+    // Wrong-path synthesis reuses the workload's calibration seed so
+    // the squashed stream is a deterministic function of (bench,
+    // branch seq, branch pc) -- reruns and difftest repros see the
+    // same wrong-path µops.
+    params.wrongPathSeed = trace::wrongPathSeed(prof.seed);
+    pipeline::OooCore core(params, src);
     return core.run(insts);
 }
 

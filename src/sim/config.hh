@@ -53,6 +53,18 @@ struct RunConfig
     /** Wakeup+select pipeline depth override (0 = policy default);
      *  e.g. 3-cycle scheduling with 3-op MOPs. */
     int schedDepth = 0;
+    /** True wrong-path execution (--wrong-path): on a detected
+     *  mispredict the core fetches, dispatches and issues a
+     *  deterministic synthesized wrong-path stream that competes for
+     *  IQ slots and FU grants until the branch resolves and squashes
+     *  it. Off (the default) keeps the original fetch-stall model and
+     *  every result byte-identical; folded into result fingerprints
+     *  only when enabled, so existing cached results keep their
+     *  keys. The synthesis seed derives from the benchmark's profile
+     *  seed (runBenchmark), so runs stay reproducible per workload. */
+    bool wrongPath = false;
+    /** Max wrong-path µops fetched per mispredict episode. */
+    int wrongPathDepth = 64;
     /** Observability: stall attribution, occupancy histograms and the
      *  cycle-event trace (--trace-out / --report breakdown). Folded
      *  into result fingerprints only when enabled, so existing cached

@@ -60,6 +60,12 @@ usage()
         "  --precise-cycles   precise cycle detection (no heuristic)\n"
         "  --mop-size <n>     max instructions per MOP (2-4)\n"
         "  --sched-depth <n>  wakeup+select pipeline depth override\n"
+        "  --wrong-path[=<n>] true wrong-path execution: on a\n"
+        "                     mispredict, fetch and issue a synthesized\n"
+        "                     wrong-path stream (n µops deep, default\n"
+        "                     64) that competes for IQ/FU resources\n"
+        "                     until the branch resolves and squashes\n"
+        "                     it; default is the fetch-stall model\n"
         "  --stats            dump the full statistics report\n"
         "  --trace-out <f>    export a cycle-event trace; .json selects\n"
         "                     Chrome trace-event format, anything else\n"
@@ -93,6 +99,9 @@ usage()
         "                     cycles (nextEventCycle) while the oracle\n"
         "                     ticks every cycle; verifies the cycle-\n"
         "                     skipping invariant differentially\n"
+        "                     (--wrong-path also applies to --difftest:\n"
+        "                     scripts then weave mispredict episodes\n"
+        "                     with wrong-path bursts and squashes)\n"
         "  --list             list workloads, kernels and machines\n";
 }
 
@@ -169,6 +178,12 @@ main(int argc, char **argv)
                 cfg.mopSize = int(sim::parseIntOption(a, next(), 2, 4));
             } else if (a == "--sched-depth") {
                 cfg.schedDepth = int(sim::parseIntOption(a, next(), 0, 8));
+            } else if (a == "--wrong-path") {
+                cfg.wrongPath = true;
+            } else if (a.rfind("--wrong-path=", 0) == 0) {
+                cfg.wrongPath = true;
+                cfg.wrongPathDepth = int(sim::parseIntOption(
+                    "--wrong-path", a.substr(13), 1, 4096));
             } else if (a == "--stats") dump_stats = true;
             else if (a == "--trace-out") {
                 cfg.obs.traceOut = next();
@@ -238,7 +253,7 @@ main(int argc, char **argv)
         int bad = verify::runDifftestCampaign(difftest_n, difftest_seed,
                                               difftest_repro,
                                               difftest_skip_idle,
-                                              cfg.policy);
+                                              cfg.policy, cfg.wrongPath);
         return bad == 0 ? 0 : 1;
     }
 
@@ -261,8 +276,13 @@ main(int argc, char **argv)
             if (golden_enabled)
                 golden = std::make_unique<verify::GoldenModel>(prog);
         }
-        core = std::make_unique<pipeline::OooCore>(sim::makeCoreParams(cfg),
-                                                   *src);
+        pipeline::CoreParams params = sim::makeCoreParams(cfg);
+        // Same seed derivation as runBenchmark for workloads; kernels
+        // fall back to the fault seed (wrong-path µops never commit,
+        // so the golden cross-check is unaffected).
+        params.wrongPathSeed = trace::wrongPathSeed(
+            bench.empty() ? seed : trace::profileFor(bench).seed);
+        core = std::make_unique<pipeline::OooCore>(params, *src);
         if (golden)
             core->setGoldenModel(golden.get());
         pipeline::SimResult r = core->run(insts);
@@ -273,6 +293,8 @@ main(int argc, char **argv)
                                     : std::string("unrestricted"));
         if (cfg.policy != sched::PolicyId::Paper)
             std::cout << ", policy=" << sched::policyIdName(cfg.policy);
+        if (cfg.wrongPath)
+            std::cout << ", wrong-path depth " << cfg.wrongPathDepth;
         std::cout << ")\n"
                   << "  insts   " << r.insts << "\n"
                   << "  cycles  " << r.cycles << "\n"

@@ -87,6 +87,13 @@ hashRunConfig(Hasher &h, const sim::RunConfig &cfg)
         h.u64(0x90cULL);  // domain tag for the policy block
         h.u64(uint64_t(cfg.policy));
     }
+    // Wrong-path execution, same trick again: off is the fetch-stall
+    // simulator bit-for-bit, so only enabled runs fork their keys.
+    if (cfg.wrongPath) {
+        h.u64(0x3b9dULL);  // domain tag for the wrong-path block
+        h.u64(cfg.wrongPath);
+        h.i64(cfg.wrongPathDepth);
+    }
 }
 
 Fingerprint

@@ -257,8 +257,15 @@ unpackSimResult(const CacheRecord &rec, pipeline::SimResult &out)
     uint64_t sw = 0;
     if (ok && rec.get("stallWidth", sw) && sw > 0) {
         r.stallWidth = uint32_t(sw);
-        for (size_t i = 0; ok && i < r.stallSlots.size(); ++i)
-            ok = rec.get("stall" + std::to_string(i), r.stallSlots[i]);
+        // Causes appended after a record was written (e.g. the
+        // wrong-path slot) are absent from older records; they charged
+        // zero slots then, so a missing *suffix* reads back as zero.
+        // Records are whole-file checksummed, so a hole can only mean
+        // schema evolution, never corruption.
+        for (size_t i = 0; ok && i < r.stallSlots.size(); ++i) {
+            if (!rec.get("stall" + std::to_string(i), r.stallSlots[i]))
+                break;
+        }
     }
     if (ok)
         out = r;

@@ -136,12 +136,17 @@ Context::resolve(const SweepJob &job, const Fingerprint &fp)
 pipeline::SimResult
 Context::run(const std::string &bench, const sim::RunConfig &cfg)
 {
+    sim::RunConfig effective = cfg;
+    if (wrongPath_) {
+        effective.wrongPath = true;
+        effective.wrongPathDepth = wrongPathDepth_;
+    }
     SweepJob job;
     job.kind = JobKind::Sim;
     job.bench = bench;
-    job.cfg = cfg;
+    job.cfg = effective;
     job.insts = insts_;
-    Fingerprint fp = fingerprintSim(bench, cfg, insts_);
+    Fingerprint fp = fingerprintSim(bench, effective, insts_);
     pipeline::SimResult r;
     unpackSimResult(resolve(job, fp), r);  // plan pass: stays zeroed
     return r;
@@ -299,6 +304,8 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
         Context ctx;
         ctx.mode_ = Context::Mode::Plan;
         ctx.insts_ = insts;
+        ctx.wrongPath_ = opts.wrongPath;
+        ctx.wrongPathDepth_ = opts.wrongPathDepth;
         ctx.jobIndex_ = &jobIndex;
         ctx.jobs_ = &jobs;
         ctx.touched_ = &touched[i];
@@ -492,6 +499,8 @@ runSuite(const SuiteOptions &opts, std::ostream &out)
         Context ctx;
         ctx.mode_ = Context::Mode::Render;
         ctx.insts_ = insts;
+        ctx.wrongPath_ = opts.wrongPath;
+        ctx.wrongPathDepth_ = opts.wrongPathDepth;
         ctx.results_ = &results;
         ctx.failed_ = &failed;
         double t0 = now();
@@ -833,7 +842,12 @@ usage(std::ostream &os)
           "                  crash|hang|corrupt-record|short-write\n"
           "                  faults into workers, deterministically by\n"
           "                  (--sweep-seed, run fingerprint)\n"
-          "  --sweep-seed N  chaos victim-selection seed (default 1)\n";
+          "  --sweep-seed N  chaos victim-selection seed (default 1)\n"
+          "  --wrong-path[=N]\n"
+          "                  run every figure with true wrong-path\n"
+          "                  execution (N µops per mispredict episode,\n"
+          "                  default 64); enabled sweeps get their own\n"
+          "                  cache keys, default sweeps are untouched\n";
 }
 
 /** Shared flag parsing for suiteMain and figureMain. Returns an exit
@@ -907,6 +921,12 @@ parseArgs(int argc, char **argv, SuiteOptions &opts)
             opts.sweepSeed = sim::parseUintOption(
                 "--sweep-seed", value("--sweep-seed"), 0,
                 ~uint64_t(0) >> 1);
+        } else if (a == "--wrong-path") {
+            opts.wrongPath = true;
+        } else if (a.rfind("--wrong-path=", 0) == 0) {
+            opts.wrongPath = true;
+            opts.wrongPathDepth = int(sim::parseIntOption(
+                "--wrong-path", a.substr(13), 1, 4096));
         } else if (a == "--progress") {
             opts.progress = true;
         } else if (a == "--quiet") {

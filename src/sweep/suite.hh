@@ -70,6 +70,12 @@ class Context
 
     Mode mode_ = Mode::Plan;
     uint64_t insts_ = 0;
+    /** Sweep-wide wrong-path overlay (--wrong-path[=depth]): applied
+     *  to every figure-requested RunConfig before fingerprinting, so
+     *  enabled sweeps key (and cache) separately while the default
+     *  sweep's keys stay untouched. */
+    bool wrongPath_ = false;
+    int wrongPathDepth_ = 64;
     std::map<Fingerprint, size_t> *jobIndex_ = nullptr;  // fp -> jobs_[i]
     std::vector<SweepJob> *jobs_ = nullptr;
     const std::map<Fingerprint, CacheRecord> *results_ = nullptr;
@@ -157,6 +163,12 @@ struct SuiteOptions
      *  isolate). */
     std::string sweepInject;
     uint64_t sweepSeed = 1;
+    /** Run every figure with true wrong-path execution
+     *  (--wrong-path[=depth]). Folded into each run's fingerprint
+     *  only when enabled, so default sweeps keep their cache keys and
+     *  figure bytes. */
+    bool wrongPath = false;
+    int wrongPathDepth = 64;
 };
 
 /** CLI driver behind the mopsuite binary. */

@@ -24,6 +24,10 @@
  *    Separate from the walk stream so calibration's trial walk and
  *    op-conversion shuffling cannot perturb the stream the simulator
  *    later consumes.
+ *  - wrongPathSeed(seed)    — wrong-path synthesis (--wrong-path;
+ *    trace/wrong_path.hh). Not consumed by SyntheticSource at all,
+ *    but derived alongside so the squashed stream is decorrelated
+ *    from the committed one.
  *
  * The derivations must stay distinct: collapsing any two correlates
  * streams and silently changes every benchmark's dynamic trace.

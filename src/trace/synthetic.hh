@@ -45,6 +45,13 @@ constexpr uint64_t calibrationSeed(uint64_t seed)
 {
     return seed ^ 0x5eedcafeULL;
 }
+/** Wrong-path synthesis (trace/wrong_path.hh) -- not a
+ *  SyntheticSource stream, but derived here with the others so the
+ *  four derivations visibly stay distinct. */
+constexpr uint64_t wrongPathSeed(uint64_t seed)
+{
+    return seed ^ 0xbadfe7c4ULL;
+}
 
 /** Tunable knobs describing one benchmark-like workload. */
 struct WorkloadProfile

@@ -159,6 +159,9 @@ namespace
 constexpr char kEventMagic[8] = {'M', 'O', 'P', 'E', 'V', 'T', 'R', 'C'};
 constexpr uint32_t kEventVersionV1 = 1;
 constexpr uint32_t kEventVersion = 2;
+/** v3 = the v2 record layout with flag bit 7 (kFlagWrongPath)
+ *  reserved; stamped only by wrong-path-enabled runs. */
+constexpr uint32_t kEventVersionV3 = 3;
 
 /** On-disk v1 cycle-event record, 64 bytes, little-endian host
  *  assumed. Still readable: v1 files predate the lifecycle
@@ -275,12 +278,16 @@ unpackEventV1(const EventRecordV1 &r)
 
 } // namespace
 
-EventTraceWriter::EventTraceWriter(const std::string &path)
+EventTraceWriter::EventTraceWriter(const std::string &path,
+                                   uint32_t version)
 {
+    if (version != kEventVersion && version != kEventVersionV3)
+        throw std::runtime_error("unwritable event trace version " +
+                                 std::to_string(version));
     f_ = std::fopen(path.c_str(), "wb");
     if (!f_)
         throw std::runtime_error("cannot create event trace: " + path);
-    uint32_t version = kEventVersion, reserved = 0;
+    uint32_t reserved = 0;
     std::fwrite(kEventMagic, 1, sizeof(kEventMagic), f_);
     std::fwrite(&version, sizeof(version), 1, f_);
     std::fwrite(&reserved, sizeof(reserved), 1, f_);
@@ -324,12 +331,13 @@ EventTraceReader::EventTraceReader(const std::string &path)
         f_ = nullptr;
         throw std::runtime_error("bad event trace header: " + path);
     }
-    if (version != kEventVersionV1 && version != kEventVersion) {
+    if (version != kEventVersionV1 && version != kEventVersion &&
+        version != kEventVersionV3) {
         std::fclose(f_);
         f_ = nullptr;
         throw std::runtime_error(
             "unsupported event trace version " + std::to_string(version) +
-            " (reader supports 1-" + std::to_string(kEventVersion) +
+            " (reader supports 1-" + std::to_string(kEventVersionV3) +
             "): " + path);
     }
     version_ = version;

@@ -80,8 +80,12 @@ uint64_t recordTrace(TraceSource &src, const std::string &path,
  * (kind/op + seq/pc + the five v1 cycle fields); version 2 appends
  * the rest of the lifecycle (fetch / queue-ready / wakeup-ready
  * timestamps), the dependence edges and the MOP-pairing id in
- * 112-byte records. The reader accepts both versions; v1 records
- * load with the v2-only fields at their documented defaults.
+ * 112-byte records. Version 3 keeps the v2 record layout unchanged
+ * and merely reserves flag bit 7 (kFlagWrongPath) for squashed
+ * wrong-path rows; it is stamped only when wrong-path execution is
+ * enabled, so wrong-path-off traces stay byte-identical v2 files.
+ * The reader accepts all three versions; v1 records load with the
+ * v2-only fields at their documented defaults.
  */
 struct CycleEvent
 {
@@ -102,6 +106,11 @@ struct CycleEvent
     static constexpr uint8_t kFlagLoad = 1u << 4;
     static constexpr uint8_t kFlagDl1Miss = 1u << 5;   ///< load missed DL1
     static constexpr uint8_t kFlagMispredict = 1u << 6; ///< fetch redirect
+    /** Squashed wrong-path µop (v3): the row never committed; its
+     *  commit field records the squash cycle. Mutually exclusive
+     *  with kFlagMispredict — only the resolving right-path branch
+     *  carries that. */
+    static constexpr uint8_t kFlagWrongPath = 1u << 7;
 
     Kind kind = Kind::Uop;
     uint8_t op = 0;          ///< isa::OpClass (Uop only)
@@ -131,8 +140,13 @@ struct CycleEvent
 class EventTraceWriter
 {
   public:
-    /** @throws std::runtime_error if the file cannot be created. */
-    explicit EventTraceWriter(const std::string &path);
+    /** Opens @p path and stamps @p version (2 by default; 3 when the
+     *  producing run had wrong-path execution enabled — same record
+     *  layout, bit 7 of flags reserved).
+     *  @throws std::runtime_error if the file cannot be created or
+     *  @p version is not a writable version. */
+    explicit EventTraceWriter(const std::string &path,
+                              uint32_t version = 2);
     ~EventTraceWriter();
 
     EventTraceWriter(const EventTraceWriter &) = delete;
@@ -149,8 +163,9 @@ class EventTraceWriter
 };
 
 /** Reads a binary cycle-event trace back, record by record. Accepts
- *  both format versions: v2 files load in full, v1 files load with
- *  the lifecycle-extension fields at their documented defaults. */
+ *  all format versions: v2/v3 files load in full (v3 shares the v2
+ *  record layout), v1 files load with the lifecycle-extension
+ *  fields at their documented defaults. */
 class EventTraceReader
 {
   public:
@@ -165,7 +180,7 @@ class EventTraceReader
     /** @return false at end of file; throws on a truncated record. */
     bool next(CycleEvent &out);
 
-    /** Format version declared by the file header (1 or 2). */
+    /** Format version declared by the file header (1, 2 or 3). */
     uint32_t version() const { return version_; }
 
   private:

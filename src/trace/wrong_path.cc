@@ -1,0 +1,124 @@
+#include "trace/wrong_path.hh"
+
+namespace mop::trace
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+void
+WrongPathSynth::begin(uint64_t branch_seq, uint64_t branch_pc, int depth)
+{
+    // One stream per episode: a pure function of the calibration seed
+    // and the mispredicted branch's identity. The branch PC folds in
+    // so re-convergent traces (same dyn id across config sweeps) still
+    // diverge only when the branch itself differs.
+    rng_ = seed_ ^ (branch_seq * 0x9e3779b97f4a7c15ULL) ^
+           (branch_pc << 1);
+    left_ = depth;
+    have_ = false;
+    uint64_t r = splitmix64(rng_);
+    // A fresh line-aligned fetch target inside a 4 KB shadow
+    // footprint. Real wrong-path code is the alternate arm of a
+    // branch in the same working set, i.e. usually IL1-resident; a
+    // wide scatter would make every episode open with a cold miss to
+    // memory (100 cycles) that outlives the episode, and no wrong-path
+    // µop would ever dispatch. The small footprint warms after the
+    // first few episodes while still displacing right-path lines from
+    // the sets it covers.
+    pc_ = kPcBase + ((r & 0x3fULL) << 6);
+    // A 64 KB data window inside the workloads' data region.
+    dataWindow_ = kDataBase + (((r >> 16) & 0x1fULL) << 16);
+}
+
+const isa::MicroOp *
+WrongPathSynth::peek()
+{
+    if (!have_) {
+        if (left_ <= 0)
+            return nullptr;
+        synth();
+    }
+    return &cur_;
+}
+
+void
+WrongPathSynth::pop()
+{
+    have_ = false;
+    --left_;
+    ++synthesized_;
+}
+
+void
+WrongPathSynth::synth()
+{
+    uint64_t r = splitmix64(rng_);
+    cur_ = isa::MicroOp{};
+    cur_.pc = pc_;
+    cur_.firstUop = true;
+
+    // Integer registers 1..30: never the zero register, never the FP
+    // name space, and a real chance of reading live right-path values.
+    auto reg = [&](unsigned shift) {
+        return int16_t(1 + ((r >> shift) % 30));
+    };
+
+    unsigned roll = unsigned(r % 100);
+    uint64_t advance = 4;
+    if (roll < 52) {
+        cur_.op = isa::OpClass::IntAlu;
+        cur_.dst = reg(8);
+        cur_.src[0] = reg(16);
+        if (((r >> 40) & 3) != 0)
+            cur_.src[1] = reg(24);
+    } else if (roll < 70) {
+        cur_.op = isa::OpClass::Load;
+        cur_.dst = reg(8);
+        cur_.src[0] = reg(16);
+        cur_.memAddr = dataWindow_ + (((r >> 24) & 0xffffULL) & ~7ULL);
+    } else if (roll < 78) {
+        cur_.op = isa::OpClass::StoreAddr;
+        cur_.src[0] = reg(16);
+        cur_.src[1] = reg(24);
+        cur_.memAddr = dataWindow_ + (((r >> 32) & 0xffffULL) & ~7ULL);
+    } else if (roll < 84) {
+        cur_.op = isa::OpClass::IntMult;
+        cur_.dst = reg(8);
+        cur_.src[0] = reg(16);
+        cur_.src[1] = reg(24);
+    } else if (roll < 92) {
+        // Wrong-path branches never redirect fetch themselves (the
+        // machine is already on the wrong path; its own predictor
+        // state is checkpointed at the real branch), but taken ones
+        // end the fetch group and move the synthetic PC.
+        cur_.op = isa::OpClass::Branch;
+        cur_.src[0] = reg(16);
+        cur_.taken = ((r >> 34) % 10) < 3;
+        if (cur_.taken) {
+            uint64_t tgt = kPcBase + (((r >> 36) & 0x3fULL) << 6);
+            cur_.target = tgt;
+            advance = tgt - pc_;
+        }
+    } else {
+        // Zero-source immediate move: ready the cycle after insert.
+        cur_.op = isa::OpClass::IntAlu;
+        cur_.dst = reg(8);
+    }
+    pc_ += advance;
+    have_ = true;
+}
+
+} // namespace mop::trace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic wrong-path µop synthesis.
+ *
+ * The simulator is trace-driven: the source only ever supplies the
+ * committed (right-path) stream, so after a detected branch
+ * misprediction there is nothing real to fetch until the branch
+ * resolves. Historically the core substituted a fetch stall for the
+ * wrong path; with `--wrong-path` it instead fetches a synthesized
+ * wrong-path stream from this class, dispatches it normally, and lets
+ * the mispredicted branch's resolution squash it through the
+ * scheduler's `squashAfter` path (DESIGN.md "Wrong-path execution").
+ *
+ * Determinism contract: the stream for one misprediction episode is a
+ * pure function of (profile calibration seed, mispredicted branch's
+ * dyn id, branch PC). Re-running a workload reproduces every wrong
+ * path bit-for-bit, which keeps runs cache-fingerprintable; the seed
+ * folds into result fingerprints only when the feature is enabled
+ * (sweep/fingerprint.cc), so wrong-path-off results keep their keys.
+ *
+ * The synthesized mix is a plausible integer-code shadow: mostly
+ * single-cycle ALU ops with short dependence chains over the live
+ * logical registers (wrong-path code reads right-path values), a load
+ * fraction that touches the workload's data region (deterministic DL1
+ * pollution), occasional multiplies and store-address ops, and
+ * never-redirecting branches. PCs live in a reserved high region
+ * (kPcBase) no workload or kernel reaches, so wrong-path fetch
+ * pollutes the IL1 without ever aliasing a real static instruction
+ * (in particular: no MOP pointer can match a wrong-path PC).
+ */
+
+#ifndef MOP_TRACE_WRONG_PATH_HH
+#define MOP_TRACE_WRONG_PATH_HH
+
+#include <cstdint>
+
+#include "isa/uop.hh"
+
+namespace mop::trace
+{
+
+class WrongPathSynth
+{
+  public:
+    /** PCs of synthesized µops start here; disjoint from
+     *  StaticProgram::kCodeBase and the kernel interpreter's code. */
+    static constexpr uint64_t kPcBase = 0x7f000000ULL;
+    /** Wrong-path loads/stores touch this region (the synthetic
+     *  workloads' data base), so cache pollution lands in the same
+     *  sets the right path uses. */
+    static constexpr uint64_t kDataBase = 0x8000000ULL;
+
+    explicit WrongPathSynth(uint64_t calib_seed = 0)
+        : seed_(calib_seed)
+    {}
+
+    /** Start one misprediction episode: up to @p depth µops seeded
+     *  from (calibration seed, @p branch_seq, @p branch_pc). */
+    void begin(uint64_t branch_seq, uint64_t branch_pc, int depth);
+
+    /** The next µop of the episode, or nullptr when the depth budget
+     *  is exhausted (or no episode is active). Stable until pop(). */
+    const isa::MicroOp *peek();
+
+    /** Consume the µop returned by peek(). */
+    void pop();
+
+    /** Episode still has µops to deliver. */
+    bool hasMore() const { return have_ || left_ > 0; }
+
+    /** Abandon the current episode (branch resolved). */
+    void end()
+    {
+        left_ = 0;
+        have_ = false;
+    }
+
+    uint64_t synthesized() const { return synthesized_; }
+
+  private:
+    void synth();
+
+    uint64_t seed_;
+    uint64_t rng_ = 0;
+    uint64_t pc_ = kPcBase;
+    uint64_t dataWindow_ = kDataBase;
+    int left_ = 0;
+    bool have_ = false;
+    isa::MicroOp cur_;
+    uint64_t synthesized_ = 0;
+};
+
+} // namespace mop::trace
+
+#endif // MOP_TRACE_WRONG_PATH_HH

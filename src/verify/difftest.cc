@@ -213,6 +213,120 @@ makeRandomScript(uint64_t seed, const ScriptConfig &cfg)
         s.items.push_back(it);
     };
 
+    // One mispredict episode, mirroring the --wrong-path core: a
+    // branch anchor, a burst of wrong-path ops (missing loads so the
+    // squash can land inside replay windows; sometimes a pending MOP
+    // head whose tail is never fetched), an optional bubble to let
+    // the burst issue, then a squash at the anchor. Wrong-path ops
+    // never enter `producers`: a recovered front end cannot name
+    // them, and the driver's resolveSrc would zero them anyway.
+    auto emitWrongPathEpisode = [&]() {
+        ScriptItem br;
+        br.op = isa::OpClass::Branch;
+        br.src0 = pickSrc();
+        int anchor = int(s.items.size());
+        allOps.push_back(anchor);
+        s.items.push_back(br);
+        ++emitted;
+
+        std::vector<int> wpProducers;
+        auto pickWpSrc = [&]() -> int {
+            if (!wpProducers.empty() && rng.chance(50))
+                return wpProducers[size_t(rng.range(
+                    int(wpProducers.size())))];
+            return pickSrc();
+        };
+        int burst = 2 + rng.range(5);
+        for (int k = 0; k < burst; ++k) {
+            ScriptItem it;
+            it.wrongPath = true;
+            int cls = rng.range(100);
+            it.op = cls < 55   ? isa::OpClass::IntAlu
+                    : cls < 85 ? isa::OpClass::Load
+                    : cls < 93 ? isa::OpClass::IntMult
+                               : isa::OpClass::IntDiv;
+            it.src0 = pickWpSrc();
+            it.src1 = rng.chance(30) ? pickWpSrc() : -1;
+            if (it.op == isa::OpClass::Load) {
+                // Mostly misses: the squash should land inside the
+                // replay window the miss discovery opens.
+                it.memLat = rng.chance(70)
+                                ? p.dl1HitLatency + 1 + rng.range(18)
+                                : p.dl1HitLatency;
+            }
+            if (mops && k + 1 == burst && rng.chance(40)) {
+                // Mid-MOP squash coverage: the head is wrong-path and
+                // its tail is never fetched -- the squash closes the
+                // pending window in both models.
+                it.expectTail = true;
+            }
+            wpProducers.push_back(int(s.items.size()));
+            allOps.push_back(int(s.items.size()));
+            s.items.push_back(it);
+            ++emitted;
+        }
+        if (rng.chance(60))
+            emitBubble(1 + rng.range(6));
+        ScriptItem sq;
+        sq.kind = ScriptItem::Kind::Squash;
+        sq.ref = anchor;
+        s.items.push_back(sq);
+        // Post-squash idle ticks: squash-created events (rescheduled
+        // broadcasts, forced-ready sources) land here, inside whatever
+        // idle window the production side declared before the squash.
+        if (rng.chance(70))
+            emitBubble(1 + rng.range(6));
+    };
+
+    // Mid-MOP mispredict, the other half of the coverage: the MOP
+    // head is right-path and already dispatched, the mispredicted
+    // branch lands while its window is open, and the tails fetched
+    // after the branch are wrong-path. The squash splits the MOP --
+    // the surviving right-path prefix stays, its tail-contributed
+    // sources are forced ready, and a shrunken in-flight entry
+    // completes earlier than the pre-squash event horizon promised.
+    // These are exactly the squash-created events a stale cycle-skip
+    // window would hide, so this shape is what arms the
+    // skipFoldIgnoresSquash mutation test.
+    auto emitMidMopEpisode = [&]() {
+        ScriptItem br;
+        br.op = isa::OpClass::Branch;
+        br.src0 = pickSrc();
+        int anchor = int(s.items.size());
+        allOps.push_back(anchor);
+        s.items.push_back(br);
+        ++emitted;
+
+        int tails = std::min(tailsLeft, 1 + rng.range(2));
+        for (int k = 0; k < tails; ++k) {
+            ScriptItem it;
+            it.wrongPath = true;
+            int cls = rng.range(100);
+            it.op = cls < 70   ? isa::OpClass::IntAlu
+                    : cls < 90 ? isa::OpClass::IntMult
+                               : isa::OpClass::IntDiv;
+            it.head = openHead;
+            it.src0 = rng.chance(45) ? openHead
+                                     : pickSrcBefore(openHead);
+            it.src1 = rng.chance(30) ? pickSrcBefore(openHead) : -1;
+            --tailsLeft;
+            it.moreComing = tailsLeft > 0;
+            allOps.push_back(int(s.items.size()));
+            s.items.push_back(it);
+            ++emitted;
+        }
+        if (rng.chance(60))
+            emitBubble(1 + rng.range(4));
+        ScriptItem sq;
+        sq.kind = ScriptItem::Kind::Squash;
+        sq.ref = anchor;
+        s.items.push_back(sq);
+        // The squash closed the head's window in both models.
+        openHead = -1;
+        tailsLeft = 0;
+        emitBubble(1 + rng.range(6));
+    };
+
     while (emitted < cfg.numOps) {
         int roll = rng.range(100);
         if (openHead >= 0) {
@@ -237,6 +351,9 @@ makeRandomScript(uint64_t seed, const ScriptConfig &cfg)
                 ++emitted;
                 if (!it.moreComing)
                     openHead = -1;
+            } else if (cfg.wrongPath && cfg.faults && roll < 65 &&
+                       emitted + 2 <= cfg.numOps) {
+                emitMidMopEpisode();
             } else if (roll < 75) {
                 // An op dispatched inside the pending window.
                 ScriptItem it;
@@ -304,6 +421,9 @@ makeRandomScript(uint64_t seed, const ScriptConfig &cfg)
                 allOps.push_back(int(s.items.size()));
                 s.items.push_back(it);
                 ++emitted;
+            } else if (cfg.wrongPath && cfg.faults && roll < 80 &&
+                       emitted + 3 <= cfg.numOps) {
+                emitWrongPathEpisode();
             } else if (roll < 85) {
                 emitBubble(1 + rng.range(3));
             } else {
@@ -476,6 +596,15 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
         return ps.tag;
     };
 
+    // Set when both models refused an insert for 5000 straight cycles.
+    // The watchdog only ever trips mutually: a production-only stall
+    // surfaces as a canInsert divergence on the first differing cycle.
+    // Like the drain guard below, equal refusal every compared tick is
+    // the models *agreeing* on a genuinely deadlocked script (the
+    // generator can produce one under small rotated queues), so the
+    // driver stops feeding and falls through to the drain phase.
+    bool feedDeadlocked = false;
+
     auto insertSolo = [&](size_t i, bool expect_tail) {
         const ScriptItem &it = script.items[i];
         ItemState &is = st[i];
@@ -490,15 +619,17 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
                 break;
             if (!tick())
                 return false;
-            if (++waited > 5000)
-                return diverge("insert.stall",
-                               "queue full for 5000 cycles");
+            if (++waited > 5000) {
+                feedDeadlocked = true;
+                return false;
+            }
         }
         SchedOp op;
         op.seq = is.seq;
         op.op = it.op;
         op.dst = is.tag;
         op.src = {resolveSrc(it.src0), resolveSrc(it.src1)};
+        op.wrongPath = it.wrongPath;
         is.ph = prod.insert(op, now, expect_tail);
         is.rh = ref.insert(op, now, expect_tail);
         prodSkipUntil = 0;
@@ -522,6 +653,7 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
                     op.op = it.op;
                     op.dst = is.tag;
                     op.src = {resolveSrc(it.src0), resolveSrc(it.src1)};
+                    op.wrongPath = it.wrongPath;
                     bool bp = prod.appendTail(hs.ph, op, now, it.moreComing);
                     bool bo = ref.appendTail(hs.rh, op, now, it.moreComing);
                     prodSkipUntil = 0;
@@ -546,8 +678,11 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
                 }
             }
             if (!appended) {
-                if (!insertSolo(i, it.expectTail))
+                if (!insertSolo(i, it.expectTail)) {
+                    if (feedDeadlocked)
+                        break;  // stop feeding; drain below
                     return false;
+                }
                 if (it.head >= 0)
                     st[i].referencable = false;  // generated as a tail
             }
@@ -559,7 +694,12 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
             uint64_t boundary = st[size_t(it.ref)].seq;
             prod.squashAfter(boundary, now);
             ref.squashAfter(boundary, now);
-            prodSkipUntil = 0;
+            // The skip window must not survive a squash (forced-ready
+            // sources and rescheduled broadcasts can fire inside it);
+            // the quirk leaves the stale window in place to prove the
+            // skip-idle campaign catches exactly that omission.
+            if (!quirks.skipFoldIgnoresSquash)
+                prodSkipUntil = 0;
             for (ItemState &o : st) {
                 if (o.inserted && !o.completed && o.seq > boundary) {
                     o.dead = true;
@@ -590,6 +730,8 @@ runLockstepImpl(const ScheduleScript &script, const RefQuirks &quirks,
             break;
         }
         }
+        if (feedDeadlocked)
+            break;
     }
 
     // Drain: close leftover pending windows, then run both dry.
@@ -820,6 +962,8 @@ formatRepro(const ScheduleScript &script, const DivergenceReport &rep)
                 os << "it.moreComing = true; ";
             if (it.memLat > 0)
                 os << "it.memLat = " << it.memLat << "; ";
+            if (it.wrongPath)
+                os << "it.wrongPath = true; ";
             break;
         case ScriptItem::Kind::Squash:
             os << "it.kind = verify::ScriptItem::Kind::Squash; it.ref = "
@@ -844,11 +988,12 @@ formatRepro(const ScheduleScript &script, const DivergenceReport &rep)
 
 int
 runDifftestCampaign(int n, uint64_t baseSeed, const std::string &reproPath,
-                    bool skip_idle, sched::PolicyId policy)
+                    bool skip_idle, sched::PolicyId policy, bool wrong_path)
 {
     int bad = 0;
     ScriptConfig cfg;
     cfg.policy = policy;
+    cfg.wrongPath = wrong_path;
     for (int i = 0; i < n; ++i) {
         uint64_t seed = baseSeed + uint64_t(i);
         ScheduleScript script = makeRandomScript(seed, cfg);
@@ -872,9 +1017,10 @@ runDifftestCampaign(int n, uint64_t baseSeed, const std::string &reproPath,
         }
     }
     if (bad == 0) {
-        std::printf("difftest%s [%s]: %d script(s) from seed %llu, "
+        std::printf("difftest%s%s [%s]: %d script(s) from seed %llu, "
                     "0 divergences\n",
                     skip_idle ? " (skip-idle)" : "",
+                    wrong_path ? " (wrong-path)" : "",
                     sched::policyIdName(policy), n,
                     (unsigned long long)baseSeed);
     }

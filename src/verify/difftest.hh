@@ -55,6 +55,12 @@ struct ScriptItem
     /** Loads only: memory latency handed to both models through the
      *  shared LoadLatencyFn; > dl1HitLatency means a miss. */
     int memLat = 0;
+    /** Wrong-path op (SchedOp::wrongPath): part of a mispredict
+     *  episode the generator always terminates with a Squash at the
+     *  episode's branch anchor. Observational in both models -- the
+     *  flag must never change timing, which is exactly what running
+     *  these scripts through the lockstep comparator proves. */
+    bool wrongPath = false;
 
     // Kind::Squash / Kind::ClearPending
     int ref = -1;
@@ -82,6 +88,12 @@ struct ScriptConfig
      *  Scheduler rejects load-delay + select-free); StaticFuse caps
      *  generated MOPs at pairs. */
     sched::PolicyId policy = sched::PolicyId::Paper;
+    /** Weave mispredict episodes through the script: a branch anchor,
+     *  a wrong-path burst (missing loads whose replay windows the
+     *  squash lands inside; pending MOP heads whose tails are never
+     *  fetched), an optional bubble, then a Squash at the anchor.
+     *  Mirrors what --wrong-path makes the core do to the scheduler. */
+    bool wrongPath = false;
 };
 
 struct DivergenceReport
@@ -139,7 +151,8 @@ std::string formatRepro(const ScheduleScript &script,
 int runDifftestCampaign(int n, uint64_t baseSeed,
                         const std::string &reproPath = "",
                         bool skip_idle = false,
-                        sched::PolicyId policy = sched::PolicyId::Paper);
+                        sched::PolicyId policy = sched::PolicyId::Paper,
+                        bool wrong_path = false);
 
 } // namespace mop::verify
 

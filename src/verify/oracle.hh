@@ -91,6 +91,16 @@ struct RefQuirks
      *  pair was fused across a taken branch) stays fused and still
      *  completes. Only meaningful under PolicyId::StaticFuse. */
     bool fusedPairSurvivesSquash = false;
+    /** Unlike the others, this quirk mutates the *lockstep driver's*
+     *  cycle-skip fold, not the oracle: squashAfter no longer
+     *  invalidates the production side's provably-idle window (the
+     *  core bug --wrong-path squashes would expose if maybeSkipIdle
+     *  ignored them). A squash re-schedules broadcasts and forces
+     *  sources ready, so entries can issue *inside* the stale window
+     *  while the production model is not ticking; the oracle, ticking
+     *  every cycle, sees them -- a completed.count divergence. Only
+     *  meaningful with skip_idle. */
+    bool skipFoldIgnoresSquash = false;
 };
 
 class RefScheduler

@@ -34,6 +34,18 @@ adversarialMopConfig()
     return cfg;
 }
 
+/** Mispredict-episode scripts: wrong-path bursts the generator always
+ *  terminates with a Squash at the branch anchor. */
+ScriptConfig
+wrongPathConfig(mop::sched::PolicyId pol)
+{
+    ScriptConfig cfg;
+    cfg.policy = pol;
+    cfg.wrongPath = true;
+    cfg.numOps = 80;
+    return cfg;
+}
+
 /**
  * Fuzz under @p quirks and shrink divergences until a repro smaller
  * than @p target_ops emerges (ddmin can plateau on an unlucky script,
@@ -42,17 +54,18 @@ adversarialMopConfig()
  */
 bool
 fuzzAndShrink(const RefQuirks &quirks, const ScriptConfig &cfg,
-              uint64_t max_seeds, int target_ops, ScheduleScript *min)
+              uint64_t max_seeds, int target_ops, ScheduleScript *min,
+              bool skip_idle = false)
 {
     bool any = false;
     int best = INT32_MAX;
     for (uint64_t seed = 1; seed <= max_seeds; ++seed) {
         ScheduleScript s = makeRandomScript(seed, cfg);
         DivergenceReport rep;
-        if (runLockstep(s, quirks, &rep))
+        if (runLockstep(s, quirks, &rep, skip_idle))
             continue;
         any = true;
-        ScheduleScript m = shrinkScript(s, quirks);
+        ScheduleScript m = shrinkScript(s, quirks, skip_idle);
         if (scriptOpCount(m) < best) {
             best = scriptOpCount(m);
             *min = m;
@@ -176,6 +189,76 @@ TEST(Difftest, SkipIdleModeStillCatchesMutations)
         << "FU-overbooking quirk invisible to skip-idle lockstep";
 }
 
+/** Wrong-path corpora: mispredict episodes (wrong-path bursts with
+ *  replay windows the squash lands inside, MOP heads whose tails are
+ *  never fetched) under every behaviour policy. Zero divergence is
+ *  the proof that SchedOp::wrongPath is observational — the flag
+ *  rides through both models and the lockstep comparator checks that
+ *  timing never moves. */
+TEST(Difftest, WrongPathCorpusHasNoDivergence)
+{
+    for (auto pol : {mop::sched::PolicyId::Paper,
+                     mop::sched::PolicyId::LoadDelay,
+                     mop::sched::PolicyId::StaticFuse}) {
+        for (uint64_t seed = 1; seed <= 60; ++seed) {
+            ScheduleScript s =
+                makeRandomScript(seed, wrongPathConfig(pol));
+            DivergenceReport rep;
+            ASSERT_TRUE(runLockstep(s, RefQuirks{}, &rep))
+                << mop::sched::policyIdToken(pol) << " seed " << seed
+                << " cycle " << rep.cycle << " [" << rep.what << "] "
+                << rep.detail;
+        }
+    }
+}
+
+/** The same episodes under skip-idle lockstep: a wrong-path squash
+ *  re-schedules broadcasts and forces sources ready, so the
+ *  next-event invariant must survive squashes landing mid-window. */
+TEST(Difftest, WrongPathSkipIdleCorpusHasNoDivergence)
+{
+    for (auto pol : {mop::sched::PolicyId::Paper,
+                     mop::sched::PolicyId::LoadDelay,
+                     mop::sched::PolicyId::StaticFuse}) {
+        for (uint64_t seed = 1; seed <= 40; ++seed) {
+            ScheduleScript s =
+                makeRandomScript(seed, wrongPathConfig(pol));
+            DivergenceReport rep;
+            ASSERT_TRUE(runLockstep(s, RefQuirks{}, &rep,
+                                    /*skip_idle=*/true))
+                << mop::sched::policyIdToken(pol) << " seed " << seed
+                << " cycle " << rep.cycle << " [" << rep.what << "] "
+                << rep.detail;
+        }
+    }
+}
+
+/** The wrong-path generator is not vacuous: episodes actually appear
+ *  (flagged ops followed by a Squash referencing the branch anchor). */
+TEST(Difftest, WrongPathScriptsContainTerminatedEpisodes)
+{
+    int flagged = 0, squashes = 0;
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        ScheduleScript s = makeRandomScript(
+            seed, wrongPathConfig(mop::sched::PolicyId::Paper));
+        for (size_t i = 0; i < s.items.size(); ++i) {
+            const ScriptItem &it = s.items[i];
+            if (it.kind == ScriptItem::Kind::Op && it.wrongPath)
+                ++flagged;
+            if (it.kind == ScriptItem::Kind::Squash) {
+                ++squashes;
+                // The anchor is a real earlier op item.
+                ASSERT_GE(it.ref, 0);
+                ASSERT_LT(size_t(it.ref), i);
+                EXPECT_EQ(int(s.items[it.ref].kind),
+                          int(ScriptItem::Kind::Op));
+            }
+        }
+    }
+    EXPECT_GT(flagged, 20) << "episodes never emitted wrong-path ops";
+    EXPECT_GT(squashes, 5) << "episodes never terminated with a squash";
+}
+
 TEST(Difftest, GeneratorIsDeterministic)
 {
     ScheduleScript a = makeRandomScript(42);
@@ -192,6 +275,7 @@ TEST(Difftest, GeneratorIsDeterministic)
         EXPECT_EQ(x.ref, y.ref) << i;
         EXPECT_EQ(x.memLat, y.memLat) << i;
         EXPECT_EQ(x.cycles, y.cycles) << i;
+        EXPECT_EQ(x.wrongPath, y.wrongPath) << i;
     }
     EXPECT_EQ(a.params.policy, b.params.policy);
     EXPECT_EQ(a.params.numEntries, b.params.numEntries);
@@ -341,6 +425,43 @@ TEST(Difftest, FuzzerFindsReintroducedFusedPairSquashBug)
         << "shrunken script no longer reproduces";
     DivergenceReport crep;
     EXPECT_TRUE(runLockstep(min, RefQuirks{}, &crep))
+        << "fixed production diverges from the clean oracle: "
+        << crep.what << ": " << crep.detail;
+}
+
+/** Mutation test: the skip-fold-ignores-squash bug (the lockstep
+ *  driver's provably-idle window survives a squashAfter). A squash
+ *  re-schedules broadcasts and forces tail-contributed sources ready,
+ *  so entries issue inside the stale window while the production
+ *  model is not ticking; the oracle, ticking every cycle, sees them.
+ *  This is exactly the core bug --wrong-path squashes would expose if
+ *  maybeSkipIdle did not fold squash-created events into its
+ *  next-event answer — and the difftest's skip-idle mode catches it. */
+TEST(Difftest, SkipIdleFuzzerFindsReintroducedSkipFoldSquashBug)
+{
+    RefQuirks quirks;
+    quirks.skipFoldIgnoresSquash = true;
+
+    ScheduleScript min;
+    ASSERT_TRUE(fuzzAndShrink(quirks,
+                              wrongPathConfig(mop::sched::PolicyId::Paper),
+                              400, 20, &min, /*skip_idle=*/true))
+        << "no script distinguished the stale skip fold in 400 seeds";
+    EXPECT_LT(scriptOpCount(min), 20)
+        << "ddmin left " << scriptOpCount(min) << " ops";
+
+    DivergenceReport mrep;
+    EXPECT_FALSE(runLockstep(min, quirks, &mrep, /*skip_idle=*/true))
+        << "shrunken script no longer reproduces";
+    // The quirk lives in the driver's skip fold: the same script in
+    // stepped mode must NOT diverge (the mutation is invisible when
+    // every cycle is ticked — only --difftest-skip-idle catches it).
+    DivergenceReport srep;
+    EXPECT_TRUE(runLockstep(min, quirks, &srep))
+        << "stepped lockstep diverged, so the quirk leaked out of the "
+           "skip fold: " << srep.what << ": " << srep.detail;
+    DivergenceReport crep;
+    EXPECT_TRUE(runLockstep(min, RefQuirks{}, &crep, /*skip_idle=*/true))
         << "fixed production diverges from the clean oracle: "
         << crep.what << ": " << crep.detail;
 }

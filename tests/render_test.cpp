@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <unistd.h>
 #include <cstring>
 #include <fstream>
 #include <numeric>
@@ -31,7 +32,11 @@ using namespace mop;
 std::string
 tmpPath(const char *name)
 {
-    return std::string(::testing::TempDir()) + name;
+    // PID-unique: ctest runs each case as its own process in
+    // parallel, and cases sharing a literal path race on
+    // write/read/remove.
+    return std::string(::testing::TempDir()) +
+           std::to_string(::getpid()) + "_" + name;
 }
 
 /** FNV-1a 64 over the rendered bytes: cheap, stable content pin. */
@@ -243,7 +248,7 @@ struct GoldenRender
 // clang-format off
 const GoldenRender kGoldenFib = {
     113, 38, 132, 113,
-    47832, 15766235839980648128ULL};
+    48232, 8781952811572827561ULL};
 // clang-format on
 
 TEST(RenderGolden, PinnedKernelWaterfall)

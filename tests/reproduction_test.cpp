@@ -135,7 +135,8 @@ TEST(Reproduction, Figure13GroupedFractionBand)
 // cycles, committed counts or the stall-attribution vector is a real
 // behaviour change and must be acknowledged by re-pinning. The stall
 // vector is indexed by obs::StallCause (useful, frontend, iq-full,
-// rob-full, wakeup-wait, select-loss, replay, dcache-miss, drain).
+// rob-full, wakeup-wait, select-loss, replay, dcache-miss, drain,
+// wrong-path).
 // Regenerate a row with:
 //   build/src/sim/mopsim --bench <b> --machine <m> --iq 32 \
 //       --insts 20000 --report breakdown
@@ -152,6 +153,11 @@ struct GoldenRun
     /** Behaviour policy of the pinned run (the non-paper policies get
      *  their own pins so a refactor cannot silently retime them). */
     sched::PolicyId policy = sched::PolicyId::Paper;
+    /** True wrong-path execution (its own pins: the wrong-path rows
+     *  pin the competition cost, and the plain rows double as the
+     *  off-mode identity guard — wrong-path-off timing must not move
+     *  when the feature evolves). */
+    bool wrongPath = false;
 };
 
 constexpr uint64_t kGoldenInsts = 20000;
@@ -170,6 +176,15 @@ const GoldenRun kGolden[] = {
     {"gzip", Machine::MopWiredOr, 15175, 20000, 21719,
      {22314, 26600, 0, 6263, 4478, 246, 0, 799, 0},
      sched::PolicyId::StaticFuse},
+    {"gzip", Machine::MopWiredOr, 15449, 20000, 21719,
+     {22382, 24930, 0, 6515, 4536, 96, 0, 693, 0, 2644},
+     sched::PolicyId::Paper, true},
+    {"gap",  Machine::MopWiredOr, 16130, 20001, 22987,
+     {23148, 17870, 0, 2190, 10233, 76, 0, 4264, 0, 6739},
+     sched::PolicyId::Paper, true},
+    {"mcf",  Machine::Base,       65369, 20000, 22371,
+     {25639, 8700, 0, 167, 7873, 1179, 1099, 207412, 0, 9407},
+     sched::PolicyId::Paper, true},
 };
 // clang-format on
 
@@ -183,10 +198,13 @@ goldenRow(const GoldenRun &g, const pipeline::SimResult &r)
     for (size_t i = 0; i < obs::kNumStallCauses; ++i)
         os << (i ? ", " : "") << r.stallSlots[i];
     os << "}";
-    if (g.policy != sched::PolicyId::Paper)
+    if (g.policy != sched::PolicyId::Paper || g.wrongPath)
         os << ", sched::PolicyId::"
-           << (g.policy == sched::PolicyId::LoadDelay ? "LoadDelay"
-                                                      : "StaticFuse");
+           << (g.policy == sched::PolicyId::LoadDelay    ? "LoadDelay"
+               : g.policy == sched::PolicyId::StaticFuse ? "StaticFuse"
+                                                         : "Paper");
+    if (g.wrongPath)
+        os << ", true";
     os << "},";
     return os.str();
 }
@@ -199,6 +217,7 @@ TEST(Golden, PinnedIpcAndStallAttribution)
         cfg.iqEntries = 32;
         cfg.obs.enabled = true;
         cfg.policy = g.policy;
+        cfg.wrongPath = g.wrongPath;
         auto r = sim::runBenchmark(g.bench, cfg, kGoldenInsts);
 
         bool match = r.cycles == g.cycles && r.insts == g.insts &&
@@ -236,6 +255,7 @@ TEST(Golden, PinnedIpcIsConsistent)
         cfg.iqEntries = 32;
         cfg.obs.enabled = true;
         cfg.policy = g.policy;
+        cfg.wrongPath = g.wrongPath;
         auto r = sim::runBenchmark(g.bench, cfg, kGoldenInsts);
         EXPECT_EQ(r.ipc, double(r.insts) / double(r.cycles)) << g.bench;
     }

@@ -275,7 +275,7 @@ TEST(EventTraceVersion, RejectsFutureVersionWithClearError)
         EXPECT_NE(std::string(e.what()).find("version 9"),
                   std::string::npos)
             << e.what();
-        EXPECT_NE(std::string(e.what()).find("1-2"), std::string::npos)
+        EXPECT_NE(std::string(e.what()).find("1-3"), std::string::npos)
             << e.what();
     }
     std::remove(path.c_str());
